@@ -1,0 +1,478 @@
+// Benchmark harness: one benchmark per reproducible table/figure of the
+// paper plus the ablations DESIGN.md calls out.
+//
+//	BenchmarkFig3aConvergence   Fig 3a — solver convergence (iterations and
+//	                            matvecs reported as custom metrics)
+//	BenchmarkFig3bSolverTime    Fig 3b — solver wall time per graph size
+//	BenchmarkFig2*              Fig 2  — each visualization renderer
+//	BenchmarkFig5TagPipeline    Fig 5  — similarity → cliques → font sizes
+//	BenchmarkFig67BulkLoad      Fig 6/7 — bulk-load + advanced-search path
+//	BenchmarkAblation*          design-choice ablations (pivoting, caching,
+//	                            double-link weighting, index vs scan)
+package sensormeta
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/pagerank"
+	"repro/internal/relational"
+	"repro/internal/search"
+	"repro/internal/tagging"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+var benchSizes = []int{1000, 5000, 10000}
+
+// BenchmarkFig3aConvergence runs every solver to tolerance and reports the
+// paper's Fig-3a metrics (iterations, matvecs) alongside time.
+func BenchmarkFig3aConvergence(b *testing.B) {
+	for _, n := range benchSizes {
+		g, err := workload.BuildWebGraph(workload.DefaultWebGraph(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := pagerank.NewMatrix(g, pagerank.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range pagerank.MethodNames() {
+			solver := pagerank.Methods[name]
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				var iters, matvecs int
+				for i := 0; i < b.N; i++ {
+					res := solver(m, pagerank.Options{})
+					if !res.Converged {
+						b.Fatalf("%s did not converge", name)
+					}
+					iters, matvecs = res.Iterations, res.MatVecs
+				}
+				b.ReportMetric(float64(iters), "iters")
+				b.ReportMetric(float64(matvecs), "matvecs")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3bSolverTime times each solver end to end (matrix assembly
+// excluded, as in the paper's calculation-module measurements).
+func BenchmarkFig3bSolverTime(b *testing.B) {
+	for _, n := range benchSizes {
+		g, err := workload.BuildWebGraph(workload.DefaultWebGraph(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := pagerank.NewMatrix(g, pagerank.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range pagerank.MethodNames() {
+			solver := pagerank.Methods[name]
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if res := solver(m, pagerank.Options{}); !res.Converged {
+						b.Fatal("no convergence")
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchSystem builds the shared Fig-2/6/7 corpus once.
+func benchSystem(b *testing.B, sensors int) *System {
+	b.Helper()
+	sys, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := workload.DefaultCorpus()
+	opts.Sensors = sensors
+	if _, err := workload.BuildCorpus(sys.Repo, opts); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkFig2Search measures the advanced-search path feeding the Fig-2
+// tabular view.
+func BenchmarkFig2Search(b *testing.B) {
+	sys := benchSystem(b, 600)
+	q := search.Query{Keywords: "temperature", SortBy: search.SortRank, Limit: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Charts measures the bar/pie renderers over live facets.
+func BenchmarkFig2Charts(b *testing.B) {
+	sys := benchSystem(b, 600)
+	rs, err := sys.Search(search.Query{Namespace: "Sensor"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	facets := sys.Engine.Facets(rs, []string{"measures"})
+	data := viz.DataFromCounts(facets["measures"])
+	b.Run("bar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viz.BarChart("bench", data, 720, 400)
+		}
+	})
+	b.Run("pie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viz.PieChart("bench", data, 400)
+		}
+	})
+}
+
+// BenchmarkFig2Map measures marker extraction + clustering + SVG.
+func BenchmarkFig2Map(b *testing.B) {
+	sys := benchSystem(b, 600)
+	rs, err := sys.Search(search.Query{Namespace: "Sensor"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		markers := sys.Markers(rs)
+		clusters := geo.ClusterMarkers(markers, 0.05)
+		viz.MapSVG(clusters, 800, 500)
+	}
+}
+
+// BenchmarkFig2Hypergraph measures the Poincaré-disk layout + SVG.
+func BenchmarkFig2Hypergraph(b *testing.B) {
+	sys := benchSystem(b, 600)
+	g := sys.Repo.LinkGraph()
+	focus := sys.Ranker.TopPages(1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		viz.HypergraphSVG(g, focus, 700)
+	}
+}
+
+// BenchmarkFig5TagPipeline measures the full Section-IV chain on growing
+// tag vocabularies.
+func BenchmarkFig5TagPipeline(b *testing.B) {
+	for _, tags := range []int{50, 200} {
+		pages := map[string][]string{}
+		for i := 0; i < tags; i++ {
+			tag := fmt.Sprintf("tag%03d", i)
+			for p := 0; p < 1+(i%5); p++ {
+				pages[tag] = append(pages[tag], fmt.Sprintf("P%d", (i+p)%40))
+			}
+		}
+		td := tagging.NewTagData(pages)
+		b.Run(fmt.Sprintf("tags=%d", tags), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tagging.BuildCloud(td, tagging.CloudOptions{UsePivot: true})
+			}
+		})
+	}
+}
+
+// BenchmarkFig67BulkLoad measures the bulk-load projection path (CSV →
+// wiki + relational + RDF).
+func BenchmarkFig67BulkLoad(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("title,partOf,measures,samplingRate\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "Sensor:B-%04d,Deployment:D%d,temperature,%d\n", i, i%10, 10+i%60)
+	}
+	csv := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Repo.LoadCSV(strings.NewReader(csv), "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBronKerbosch compares the basic and pivoting clique
+// algorithms (the paper's footnote-3 optimization).
+func BenchmarkAblationBronKerbosch(b *testing.B) {
+	pages := map[string][]string{}
+	for i := 0; i < 60; i++ {
+		tag := fmt.Sprintf("tag%03d", i)
+		for p := 0; p < 4; p++ {
+			pages[tag] = append(pages[tag], fmt.Sprintf("P%d", (i/3+p)%12))
+		}
+	}
+	g := tagging.NewTagData(pages).Graph(0.5)
+	b.Run("basic", func(b *testing.B) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			steps = tagging.BronKerboschBasic(g).RecursionSteps
+		}
+		b.ReportMetric(float64(steps), "recursion-steps")
+	})
+	b.Run("pivot", func(b *testing.B) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			steps = tagging.BronKerboschPivot(g).RecursionSteps
+		}
+		b.ReportMetric(float64(steps), "recursion-steps")
+	})
+	b.Run("degeneracy", func(b *testing.B) {
+		var steps int
+		for i := 0; i < b.N; i++ {
+			steps = tagging.BronKerboschDegeneracy(g).RecursionSteps
+		}
+		b.ReportMetric(float64(steps), "recursion-steps")
+	})
+}
+
+// BenchmarkAblationSOROmega sweeps the SOR relaxation factor around the
+// Gauss–Seidel point (ω = 1), an extension beyond the paper's solver set.
+func BenchmarkAblationSOROmega(b *testing.B) {
+	g, err := workload.BuildWebGraph(workload.DefaultWebGraph(5000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := pagerank.NewMatrix(g, pagerank.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, omega := range []float64{0.9, 1.0, 1.1, 1.2} {
+		b.Run(fmt.Sprintf("omega=%.1f", omega), func(b *testing.B) {
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res := pagerank.SOROmega(m, pagerank.Options{}, omega)
+				if !res.Converged {
+					b.Fatalf("SOR(%v) did not converge", omega)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iters")
+		})
+	}
+}
+
+// BenchmarkAblationWarmStart compares cold and warm-started Gauss–Seidel
+// after a small graph change (the incremental-update path for the paper's
+// "scores need to be updated regularly" requirement).
+func BenchmarkAblationWarmStart(b *testing.B) {
+	g, err := workload.BuildWebGraph(workload.DefaultWebGraph(10000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := pagerank.NewMatrix(g, pagerank.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := pagerank.GaussSeidel(m, pagerank.Options{})
+	// Perturb the graph slightly.
+	g.AddEdge("page000001", "page000002", 0)
+	g.AddEdge("page000003", "page000004", 0)
+	m2, err := pagerank.NewMatrix(g, pagerank.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		var iters int
+		for i := 0; i < b.N; i++ {
+			iters = pagerank.GaussSeidel(m2, pagerank.Options{}).Iterations
+		}
+		b.ReportMetric(float64(iters), "iters")
+	})
+	b.Run("warm", func(b *testing.B) {
+		var iters int
+		for i := 0; i < b.N; i++ {
+			iters = pagerank.GaussSeidelFrom(m2, pagerank.Options{}, prev.Scores).Iterations
+		}
+		b.ReportMetric(float64(iters), "iters")
+	})
+}
+
+// BenchmarkExtensionSolvers measures the beyond-the-paper solvers against
+// their baselines.
+func BenchmarkExtensionSolvers(b *testing.B) {
+	g, err := workload.BuildWebGraph(workload.DefaultWebGraph(5000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := pagerank.NewMatrix(g, pagerank.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	solvers := map[string]pagerank.Solver{
+		"Power":        pagerank.Power,
+		"Power+Aitken": pagerank.PowerExtrapolated,
+		"Gauss-Seidel": pagerank.GaussSeidel,
+		"SOR":          pagerank.SOR,
+	}
+	for _, name := range []string{"Power", "Power+Aitken", "Gauss-Seidel", "SOR"} {
+		solver := solvers[name]
+		b.Run(name, func(b *testing.B) {
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res := solver(m, pagerank.Options{})
+				if !res.Converged {
+					b.Fatal("no convergence")
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iters")
+		})
+	}
+}
+
+// BenchmarkAblationTagCache compares the tagging pipeline with and without
+// the cache module (paper Section IV-A).
+func BenchmarkAblationTagCache(b *testing.B) {
+	sys := benchSystem(b, 300)
+	for _, disable := range []bool{false, true} {
+		name := "cached"
+		if disable {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := tagging.NewPipeline(sys.Repo, true)
+			p.DisableCache = disable
+			if _, err := p.Cloud(tagging.CloudOptions{UsePivot: true}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Cloud(tagging.CloudOptions{UsePivot: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDoubleLink compares PageRank over the double-link
+// structure against single-structure variants (Section III's claim that
+// both linking structures matter).
+func BenchmarkAblationDoubleLink(b *testing.B) {
+	g, err := workload.BuildWebGraph(workload.DefaultWebGraph(5000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name           string
+		page, semantic float64
+	}{
+		{"double", 1, 1},
+		{"page-only", 1, 1e-12},
+		{"semantic-only", 1e-12, 1},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			opts := pagerank.Options{PageWeight: c.page, SemanticWeight: c.semantic}
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res, err := pagerank.Solve(g, "Gauss-Seidel", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iters")
+		})
+	}
+}
+
+// BenchmarkAblationIndexVsScan measures the relational engine's indexed
+// point lookup against a full scan on the annotations-shaped table.
+func BenchmarkAblationIndexVsScan(b *testing.B) {
+	build := func(withIndex bool) *relational.DB {
+		db := relational.NewDB()
+		if _, err := db.Exec("CREATE TABLE ann (page TEXT, property TEXT, value TEXT)"); err != nil {
+			b.Fatal(err)
+		}
+		if withIndex {
+			if _, err := db.Exec("CREATE INDEX idx_prop ON ann (property)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 5000; i++ {
+			sql := fmt.Sprintf("INSERT INTO ann VALUES ('P%d', 'prop%d', 'v%d')", i, i%50, i%7)
+			if _, err := db.Exec(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	for _, withIndex := range []bool{true, false} {
+		name := "indexed"
+		if !withIndex {
+			name = "scan"
+		}
+		db := build(withIndex)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := db.Query("SELECT COUNT(*) FROM ann WHERE property = 'prop7'")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rs.Rows[0][0].Int64() != 100 {
+					b.Fatalf("wrong count %v", rs.Rows[0][0])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryMix replays the generated advanced-search workload.
+func BenchmarkQueryMix(b *testing.B) {
+	sys := benchSystem(b, 600)
+	queries := workload.BuildQueryMix(workload.QueryMixOptions{Count: 50, Seed: 9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, err := sys.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutocomplete measures the trie behind the query box.
+func BenchmarkAutocomplete(b *testing.B) {
+	sys := benchSystem(b, 600)
+	prefixes := []string{"Sen", "Deployment:", "temp", "wi", "Fieldsite:W"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Autocomplete(prefixes[i%len(prefixes)], 10)
+	}
+}
+
+// BenchmarkSPARQLJoin measures a three-pattern BGP join on the corpus RDF.
+func BenchmarkSPARQLJoin(b *testing.B) {
+	sys := benchSystem(b, 600)
+	q := `SELECT ?sensor ?site WHERE {
+		?sensor <smr://prop/partof> ?dep .
+		?dep <smr://prop/locatedin> ?site .
+		?sensor <smr://prop/status> "active" .
+	}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.QuerySPARQL(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecommend measures the recommendation scoring path.
+func BenchmarkRecommend(b *testing.B) {
+	sys := benchSystem(b, 600)
+	seeds := sys.Repo.Wiki.PagesInNamespace("Sensor")[:5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Recommend(seeds, "", 10)
+	}
+}

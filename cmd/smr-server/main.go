@@ -1,0 +1,62 @@
+// Command smr-server runs the sensor-metadata search web application. With
+// -demo it pre-loads a synthetic Swiss-Experiment-style corpus so every
+// endpoint has data to show.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	sensormeta "repro"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.Bool("demo", false, "pre-load a synthetic demo corpus")
+	sensors := flag.Int("sensors", 900, "demo corpus size (sensors)")
+	snapshot := flag.String("snapshot", "", "load the repository from this snapshot file at startup")
+	flag.Parse()
+
+	sys, err := sensormeta.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *snapshot != "" {
+		start := time.Now()
+		if err := sys.Repo.LoadSnapshotFile(*snapshot); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Refresh(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot %s: %d pages in %v", *snapshot, sys.Repo.Wiki.Len(),
+			time.Since(start).Round(time.Millisecond))
+	}
+	if *demo {
+		opts := workload.DefaultCorpus()
+		opts.Sensors = *sensors
+		start := time.Now()
+		stats, err := workload.BuildCorpus(sys.Repo, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Refresh(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("demo corpus: %d pages (%d sites, %d deployments, %d sensors), %d tags in %v",
+			stats.Pages, stats.Sites, stats.Deployments, stats.Sensors, stats.Tags, time.Since(start).Round(time.Millisecond))
+	}
+
+	log.Printf("sensor metadata search listening on %s", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(sys),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

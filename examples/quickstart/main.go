@@ -1,0 +1,96 @@
+// Quickstart: create a system, write a few semantically annotated pages,
+// search them, and look at ranking, recommendations and the tag cloud.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sensormeta "repro"
+	"repro/internal/search"
+	"repro/internal/tagging"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := sensormeta.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pages are wikitext with [[Property::Value]] annotations — exactly the
+	// Semantic MediaWiki convention of the Swiss Experiment platform.
+	pages := map[string]string{
+		"Fieldsite:Davos":      "Snow research valley. [[canton::GR]] [[altitude::1560]] [[latitude::46.80]] [[longitude::9.83]]",
+		"Deployment:SnowStudy": "Seasonal snow pack study at [[Fieldsite:Davos]]. [[locatedIn::Fieldsite:Davos]] [[operatedBy::SLF]]",
+		"Sensor:Wind-01":       "[[partOf::Deployment:SnowStudy]] [[measures::wind speed]] [[samplingRate::10]] ultrasonic anemometer",
+		"Sensor:Snow-01":       "[[partOf::Deployment:SnowStudy]] [[measures::snow height]] [[samplingRate::600]] laser snow gauge",
+	}
+	for title, text := range pages {
+		if _, err := sys.PutPage(title, "quickstart", text, "initial import"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Refresh(); err != nil { // index + PageRank + recommender
+		log.Fatal(err)
+	}
+
+	// 1. Keyword search.
+	results, err := sys.Search(search.Query{Keywords: "snow"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("keyword search for 'snow':")
+	for _, r := range results {
+		fmt.Printf("  %-22s relevance %.3f  rank %.4f\n", r.Title, r.Relevance, r.Rank)
+	}
+
+	// 2. Structured property filter (the advanced search options).
+	results, err = sys.Search(search.Query{
+		Filters: []search.PropertyFilter{
+			{Property: "samplingRate", Op: search.OpLessEq, Value: "60"},
+		},
+		Namespace: "Sensor",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sensors sampling at least once a minute:")
+	for _, r := range results {
+		fmt.Printf("  %-22s matched %v\n", r.Title, r.Matched)
+	}
+
+	// 3. Combined SQL + SPARQL over the same data.
+	sqlRes, err := sys.QuerySQL("SELECT page, value FROM annotations WHERE property = 'measures' ORDER BY page")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SQL over the relational projection:")
+	for _, row := range sqlRes.Rows {
+		fmt.Printf("  %s measures %s\n", row[0], row[1])
+	}
+	spRes, err := sys.QuerySPARQL(`SELECT ?s WHERE { ?s <smr://prop/partof> <smr://page/Deployment:SnowStudy> } ORDER BY ?s`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SPARQL over the RDF projection:")
+	for _, b := range spRes.Rows {
+		fmt.Printf("  %s\n", b["s"].Value)
+	}
+
+	// 4. Recommendations from a result page.
+	fmt.Println("recommended from Sensor:Wind-01:")
+	for _, rec := range sys.Recommend([]string{"Sensor:Wind-01"}, "", 3) {
+		fmt.Printf("  %-22s score %.4f shared %v\n", rec.Title, rec.Score, rec.Shared)
+	}
+
+	// 5. The dynamic tag cloud (annotation values act as tags).
+	cloud, err := sys.TagCloud(tagging.CloudOptions{UsePivot: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tag cloud:")
+	for _, e := range cloud.Entries {
+		fmt.Printf("  %-18s freq %d  font size %d\n", e.Tag, e.Frequency, e.FontSize)
+	}
+}

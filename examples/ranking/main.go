@@ -1,0 +1,101 @@
+// Ranking demonstrates Section III in isolation: the double linking
+// structure, the dangling-node and teleportation corrections, and the six
+// interchangeable solvers — including how the page/semantic link weights
+// change who ranks first.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pagerank"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A hand-built metadata graph. Semantic links encode structure
+	// (partOf/locatedIn); page links encode prose references.
+	g := graph.NewDirected()
+	type edge struct {
+		from, to string
+		kind     graph.LinkKind
+	}
+	edges := []edge{
+		{"Sensor:W1", "Deployment:Wind", graph.SemanticLink},
+		{"Sensor:W2", "Deployment:Wind", graph.SemanticLink},
+		{"Sensor:S1", "Deployment:Snow", graph.SemanticLink},
+		{"Deployment:Wind", "Fieldsite:Wannengrat", graph.SemanticLink},
+		{"Deployment:Snow", "Fieldsite:Wannengrat", graph.SemanticLink},
+		{"Deployment:Wind", "Handbook", graph.PageLink},
+		{"Deployment:Snow", "Handbook", graph.PageLink},
+		{"Sensor:W1", "Handbook", graph.PageLink},
+		{"Sensor:W2", "Handbook", graph.PageLink},
+		{"Sensor:S1", "Handbook", graph.PageLink},
+	}
+	for _, e := range edges {
+		g.AddEdge(e.from, e.to, e.kind)
+	}
+	// Fieldsite and Handbook have no out-links: the dangling pages the
+	// paper's Eq. 1 patches with the d·uᵀ correction.
+	fmt.Printf("graph: %d nodes, %d edges, dangling pages: ", g.NumNodes(), g.NumEdges())
+	for _, d := range g.Dangling() {
+		fmt.Printf("%s ", g.ID(d))
+	}
+	fmt.Println()
+
+	show := func(label string, opts pagerank.Options) {
+		res, err := pagerank.Solve(g, "Gauss-Seidel", opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s (converged in %d sweeps):\n", label, res.Iterations)
+		for _, idx := range res.Top(3) {
+			fmt.Printf("  %-22s %.5f\n", g.ID(idx), res.Scores[idx])
+		}
+	}
+
+	// Equal weighting: both structures count the same.
+	show("equal page/semantic weights", pagerank.Options{})
+	// Semantic-heavy: structure dominates, the fieldsite hub wins.
+	show("semantic links x10", pagerank.Options{PageWeight: 1, SemanticWeight: 10})
+	// Page-heavy: prose references dominate, the handbook wins.
+	show("page links x10", pagerank.Options{PageWeight: 10, SemanticWeight: 1})
+
+	// All six solvers agree on the scores (and disagree on cost).
+	fmt.Println("\nsolver comparison on this graph (tol 1e-12):")
+	results, err := pagerank.Compare(g, pagerank.Options{Tol: 1e-12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("  %-13s %3d iterations %3d matvecs %8.3fms residual %.1e\n",
+			r.Method, r.Iterations, r.MatVecs,
+			float64(r.Elapsed)/float64(time.Millisecond), r.FinalResidual())
+	}
+
+	// Personalized PageRank: teleport only to sensor pages to rank
+	// "importance as seen from the sensors".
+	n := g.NumNodes()
+	teleport := make([]float64, n)
+	sensors := 0
+	for i := 0; i < n; i++ {
+		if len(g.ID(i)) > 7 && g.ID(i)[:7] == "Sensor:" {
+			teleport[i] = 1
+			sensors++
+		}
+	}
+	for i := range teleport {
+		teleport[i] /= float64(sensors)
+	}
+	res, err := pagerank.Solve(g, "Gauss-Seidel", pagerank.Options{Teleport: teleport})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npersonalized to sensor pages:")
+	for _, idx := range res.Top(3) {
+		fmt.Printf("  %-22s %.5f\n", g.ID(idx), res.Scores[idx])
+	}
+}

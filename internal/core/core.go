@@ -1,0 +1,349 @@
+// Package core implements the Query Management module of the paper's
+// Fig. 1 — the piece between the query interface and the stores. Queries
+// "are processed using a combination of SQL and SPARQL query languages
+// since the sensor metadata information is stored in both a relational
+// database and RDF graphs": a CombinedQuery carries an optional SPARQL
+// part (structural selection over the RDF graph), an optional SQL part
+// (attribute computation over the relational projection), and an optional
+// keyword part; the manager executes each against its store, joins the
+// partial results on page titles, applies the ranking, and decides which
+// visualization fits the result shape (table, map, chart, graph), which is
+// how the original system routed results to the Google Maps/Charts,
+// GraphViz and HyperGraph tools.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/search"
+	"repro/internal/smr"
+)
+
+// CombinedQuery is one request through the Query Management module. Any
+// subset of the three parts may be present; absent parts do not constrain
+// the result. The parts AND together.
+type CombinedQuery struct {
+	// SPARQL is a SELECT whose PageVar variable binds page IRIs
+	// (smr://page/…). Other projected variables become output columns.
+	SPARQL string
+	// PageVar names the variable carrying page IRIs. Empty means "page".
+	PageVar string
+	// SQL is a SELECT whose first column is a page title; remaining
+	// columns become output columns.
+	SQL string
+	// Keywords restricts to full-text matches.
+	Keywords string
+	// User is the ACL principal.
+	User string
+	// Limit caps the joined result (0 = unlimited).
+	Limit int
+}
+
+// Column is one output column of a combined result.
+type Column struct {
+	Name    string
+	Numeric bool // every non-empty cell parses as a number
+}
+
+// Result is the joined output.
+type Result struct {
+	Columns []Column   // first column is always "page"
+	Rows    [][]string // cell values, row-aligned with Titles
+	Titles  []string   // page titles (== first column values)
+	Hint    Hint
+}
+
+// Hint tells the interface which visualization the paper's system would
+// route this result to.
+type Hint string
+
+// Visualization hints.
+const (
+	HintTable Hint = "table" // default tabular rendering
+	HintMap   Hint = "map"   // results carry positions
+	HintChart Hint = "chart" // categorical column with few distinct values
+	HintGraph Hint = "graph" // results are densely interlinked
+)
+
+// Manager executes combined queries. Scores (page → PageRank) are optional
+// and used to order joined results.
+type Manager struct {
+	repo   *smr.Repository
+	engine *search.Engine
+	scores map[string]float64
+}
+
+// NewManager wires a manager to a repository and its search engine.
+func NewManager(repo *smr.Repository, engine *search.Engine) *Manager {
+	return &Manager{repo: repo, engine: engine, scores: map[string]float64{}}
+}
+
+// SetScores installs PageRank scores used for result ordering.
+func (m *Manager) SetScores(scores map[string]float64) {
+	if scores == nil {
+		scores = map[string]float64{}
+	}
+	m.scores = scores
+}
+
+// Execute runs a combined query: each present part produces a candidate
+// set (and attribute columns); candidates intersect; rows join on title;
+// ordering is PageRank-descending with title tie-breaks.
+func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
+	if q.SPARQL == "" && q.SQL == "" && strings.TrimSpace(q.Keywords) == "" {
+		return nil, fmt.Errorf("core: combined query needs at least one of SPARQL, SQL, keywords")
+	}
+	pageVar := q.PageVar
+	if pageVar == "" {
+		pageVar = "page"
+	}
+
+	type attrs map[string]string
+	// candidate sets per part; nil means "part absent".
+	var sets []map[string]attrs
+	var extraCols []string
+	seenCol := map[string]bool{}
+	addCol := func(c string) {
+		if c != "" && c != "page" && !seenCol[c] {
+			seenCol[c] = true
+			extraCols = append(extraCols, c)
+		}
+	}
+
+	if q.SPARQL != "" {
+		res, err := m.repo.QuerySPARQL(q.SPARQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: SPARQL part: %w", err)
+		}
+		hasVar := false
+		for _, v := range res.Vars {
+			if v == pageVar {
+				hasVar = true
+			} else {
+				addCol("sparql." + v)
+			}
+		}
+		if !hasVar {
+			return nil, fmt.Errorf("core: SPARQL part does not project ?%s", pageVar)
+		}
+		set := map[string]attrs{}
+		for _, b := range res.Rows {
+			term, ok := b[pageVar]
+			if !ok {
+				continue
+			}
+			title, ok := smr.TitleFromIRI(term)
+			if !ok {
+				continue
+			}
+			a, exists := set[title]
+			if !exists {
+				a = attrs{}
+				set[title] = a
+			}
+			for _, v := range res.Vars {
+				if v == pageVar {
+					continue
+				}
+				if t, bound := b[v]; bound {
+					a["sparql."+v] = t.Value
+				}
+			}
+		}
+		sets = append(sets, set)
+	}
+
+	if q.SQL != "" {
+		rs, err := m.repo.QuerySQL(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: SQL part: %w", err)
+		}
+		if len(rs.Columns) == 0 {
+			return nil, fmt.Errorf("core: SQL part returns no columns")
+		}
+		for _, c := range rs.Columns[1:] {
+			addCol("sql." + c)
+		}
+		set := map[string]attrs{}
+		for _, row := range rs.Rows {
+			title := row[0].String()
+			a, exists := set[title]
+			if !exists {
+				a = attrs{}
+				set[title] = a
+			}
+			for i, c := range rs.Columns[1:] {
+				a["sql."+c] = row[i+1].String()
+			}
+		}
+		sets = append(sets, set)
+	}
+
+	if strings.TrimSpace(q.Keywords) != "" {
+		hits, err := m.engine.Search(search.Query{Keywords: q.Keywords, User: q.User})
+		if err != nil {
+			return nil, fmt.Errorf("core: keyword part: %w", err)
+		}
+		addCol("relevance")
+		set := map[string]attrs{}
+		for _, h := range hits {
+			set[h.Title] = attrs{"relevance": strconv.FormatFloat(h.Relevance, 'f', 4, 64)}
+		}
+		sets = append(sets, set)
+	}
+
+	// Intersect candidate sets, merging attribute maps.
+	joined := sets[0]
+	for _, set := range sets[1:] {
+		next := map[string]attrs{}
+		for title, a := range joined {
+			if b, ok := set[title]; ok {
+				merged := attrs{}
+				for k, v := range a {
+					merged[k] = v
+				}
+				for k, v := range b {
+					merged[k] = v
+				}
+				next[title] = merged
+			}
+		}
+		joined = next
+	}
+
+	// ACL filter, order by PageRank then title.
+	titles := make([]string, 0, len(joined))
+	for title := range joined {
+		if m.repo.ACL.CanRead(q.User, title) {
+			titles = append(titles, title)
+		}
+	}
+	sort.Slice(titles, func(i, j int) bool {
+		si, sj := m.scores[titles[i]], m.scores[titles[j]]
+		if si != sj {
+			return si > sj
+		}
+		return titles[i] < titles[j]
+	})
+	if q.Limit > 0 && len(titles) > q.Limit {
+		titles = titles[:q.Limit]
+	}
+
+	res := &Result{Titles: titles}
+	res.Columns = append(res.Columns, Column{Name: "page"})
+	for _, c := range extraCols {
+		res.Columns = append(res.Columns, Column{Name: c, Numeric: true})
+	}
+	for _, title := range titles {
+		row := make([]string, len(res.Columns))
+		row[0] = title
+		for i, c := range res.Columns[1:] {
+			v := joined[title][c.Name]
+			row[i+1] = v
+			if v != "" {
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					res.Columns[i+1].Numeric = false
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	// Columns with no values are not numeric.
+	for i := range res.Columns[1:] {
+		all := true
+		for _, row := range res.Rows {
+			if row[i+1] != "" {
+				all = false
+			}
+		}
+		if all {
+			res.Columns[i+1].Numeric = false
+		}
+	}
+
+	res.Hint = m.chooseHint(res)
+	return res, nil
+}
+
+// chooseHint routes a result to the visualization the paper's system would
+// pick: map when results carry positions, graph when they interlink
+// densely, chart when a low-cardinality categorical column exists, table
+// otherwise.
+func (m *Manager) chooseHint(res *Result) Hint {
+	if len(res.Titles) == 0 {
+		return HintTable
+	}
+	positioned := 0
+	for _, title := range res.Titles {
+		if page, ok := m.repo.Wiki.Get(title); ok {
+			if len(page.PropertyValues("latitude")) > 0 && len(page.PropertyValues("longitude")) > 0 {
+				positioned++
+			}
+		}
+	}
+	if positioned*2 >= len(res.Titles) && positioned >= 2 {
+		return HintMap
+	}
+
+	// Dense interlinking: count result-to-result links.
+	inSet := map[string]bool{}
+	for _, t := range res.Titles {
+		inSet[t] = true
+	}
+	links := 0
+	g := m.repo.LinkGraph()
+	for _, t := range res.Titles {
+		if idx, ok := g.Index(t); ok {
+			for _, succ := range g.Successors(idx) {
+				if inSet[g.ID(succ)] {
+					links++
+				}
+			}
+		}
+	}
+	if links >= len(res.Titles) {
+		return HintGraph
+	}
+
+	// Low-cardinality non-numeric column → chart.
+	for ci, col := range res.Columns[1:] {
+		if col.Numeric {
+			continue
+		}
+		distinct := map[string]bool{}
+		filled := 0
+		for _, row := range res.Rows {
+			if v := row[ci+1]; v != "" {
+				distinct[v] = true
+				filled++
+			}
+		}
+		if filled == len(res.Rows) && len(distinct) >= 2 && len(distinct) <= 8 && len(res.Rows) > len(distinct) {
+			return HintChart
+		}
+	}
+	return HintTable
+}
+
+// FacetCounts aggregates one output column for the chart renderers.
+func (res *Result) FacetCounts(column string) map[string]int {
+	idx := -1
+	for i, c := range res.Columns {
+		if c.Name == column {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := map[string]int{}
+	for _, row := range res.Rows {
+		if v := row[idx]; v != "" {
+			out[v]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+// Package geo provides the positional substrate behind the map-based
+// browsing of metadata pages: coordinates, haversine distances, bounding
+// boxes for viewport queries, and grid-based marker clustering (the
+// "(clustered) maps" of the paper's Fig. 2), replacing the Google Maps API
+// of the original deployment.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a WGS84 coordinate.
+type Point struct {
+	Lat, Lon float64
+}
+
+// Valid reports whether the coordinate is in range.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180
+}
+
+// String renders "lat,lon" with 5 decimals (≈1 m resolution).
+func (p Point) String() string { return fmt.Sprintf("%.5f,%.5f", p.Lat, p.Lon) }
+
+// EarthRadiusMeters is the mean Earth radius.
+const EarthRadiusMeters = 6371000.0
+
+// HaversineMeters returns the great-circle distance between two points.
+func HaversineMeters(a, b Point) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// BBox is a latitude/longitude bounding box (no antimeridian wrapping —
+// the Swiss Experiment never crosses it).
+type BBox struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// Contains reports whether the point lies inside the box (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat && p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Extend grows the box to include the point.
+func (b BBox) Extend(p Point) BBox {
+	if b.MinLat == 0 && b.MaxLat == 0 && b.MinLon == 0 && b.MaxLon == 0 {
+		return BBox{MinLat: p.Lat, MaxLat: p.Lat, MinLon: p.Lon, MaxLon: p.Lon}
+	}
+	out := b
+	out.MinLat = math.Min(out.MinLat, p.Lat)
+	out.MaxLat = math.Max(out.MaxLat, p.Lat)
+	out.MinLon = math.Min(out.MinLon, p.Lon)
+	out.MaxLon = math.Max(out.MaxLon, p.Lon)
+	return out
+}
+
+// Center returns the box centre.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// BoundsOf computes the bounding box of a marker set (zero box when empty).
+func BoundsOf(markers []Marker) BBox {
+	var b BBox
+	for i, m := range markers {
+		if i == 0 {
+			b = BBox{MinLat: m.At.Lat, MaxLat: m.At.Lat, MinLon: m.At.Lon, MaxLon: m.At.Lon}
+			continue
+		}
+		b = b.Extend(m.At)
+	}
+	return b
+}
+
+// Marker is one map marker: a page at a position with a match degree in
+// [0, 1] (the paper colours markers by "the degree of matching of each
+// result with respect to given join predicates").
+type Marker struct {
+	ID    string
+	At    Point
+	Match float64
+}
+
+// Cluster is a group of nearby markers.
+type Cluster struct {
+	Center   Point
+	Members  []Marker // sorted by ID
+	AvgMatch float64
+}
+
+// ClusterMarkers groups markers into cells of cellDegrees × cellDegrees and
+// merges each non-empty cell into one cluster (centroid position, mean
+// match). Clusters come back sorted by latitude then longitude then first
+// member, so output is deterministic. cellDegrees <= 0 yields one cluster
+// per marker.
+func ClusterMarkers(markers []Marker, cellDegrees float64) []Cluster {
+	if cellDegrees <= 0 {
+		out := make([]Cluster, len(markers))
+		sorted := append([]Marker(nil), markers...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+		for i, m := range sorted {
+			out[i] = Cluster{Center: m.At, Members: []Marker{m}, AvgMatch: m.Match}
+		}
+		sort.Slice(out, func(i, j int) bool { return clusterLess(out[i], out[j]) })
+		return out
+	}
+	type cell struct{ r, c int }
+	buckets := make(map[cell][]Marker)
+	for _, m := range markers {
+		k := cell{
+			r: int(math.Floor(m.At.Lat / cellDegrees)),
+			c: int(math.Floor(m.At.Lon / cellDegrees)),
+		}
+		buckets[k] = append(buckets[k], m)
+	}
+	var out []Cluster
+	for _, members := range buckets {
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		var latSum, lonSum, matchSum float64
+		for _, m := range members {
+			latSum += m.At.Lat
+			lonSum += m.At.Lon
+			matchSum += m.Match
+		}
+		n := float64(len(members))
+		out = append(out, Cluster{
+			Center:   Point{Lat: latSum / n, Lon: lonSum / n},
+			Members:  members,
+			AvgMatch: matchSum / n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return clusterLess(out[i], out[j]) })
+	return out
+}
+
+func clusterLess(a, b Cluster) bool {
+	if a.Center.Lat != b.Center.Lat {
+		return a.Center.Lat < b.Center.Lat
+	}
+	if a.Center.Lon != b.Center.Lon {
+		return a.Center.Lon < b.Center.Lon
+	}
+	if len(a.Members) > 0 && len(b.Members) > 0 {
+		return a.Members[0].ID < b.Members[0].ID
+	}
+	return len(a.Members) < len(b.Members)
+}
+
+// FilterInBox returns markers inside the box, preserving order.
+func FilterInBox(markers []Marker, box BBox) []Marker {
+	var out []Marker
+	for _, m := range markers {
+		if box.Contains(m.At) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Near returns the markers within radiusMeters of the centre, sorted by
+// distance (ties by ID). A non-positive radius matches nothing.
+func Near(markers []Marker, center Point, radiusMeters float64) []Marker {
+	if radiusMeters <= 0 {
+		return nil
+	}
+	type md struct {
+		m Marker
+		d float64
+	}
+	var hits []md
+	for _, m := range markers {
+		if d := HaversineMeters(center, m.At); d <= radiusMeters {
+			hits = append(hits, md{m, d})
+		}
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].d != hits[j].d {
+			return hits[i].d < hits[j].d
+		}
+		return hits[i].m.ID < hits[j].m.ID
+	})
+	out := make([]Marker, len(hits))
+	for i, h := range hits {
+		out[i] = h.m
+	}
+	return out
+}

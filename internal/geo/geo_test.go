@@ -1,0 +1,203 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPointValidAndString(t *testing.T) {
+	if !(Point{46.8, 9.8}).Valid() {
+		t.Error("Swiss point invalid")
+	}
+	for _, p := range []Point{{91, 0}, {-91, 0}, {0, 181}, {0, -181}} {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+	if got := (Point{46.8, 9.80001}).String(); got != "46.80000,9.80001" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	zurich := Point{47.3769, 8.5417}
+	geneva := Point{46.2044, 6.1432}
+	d := HaversineMeters(zurich, geneva)
+	// Real-world distance ≈ 224 km.
+	if d < 215000 || d > 235000 {
+		t.Errorf("Zurich-Geneva = %v m", d)
+	}
+	if HaversineMeters(zurich, zurich) != 0 {
+		t.Error("self distance not 0")
+	}
+	// Symmetry.
+	if math.Abs(HaversineMeters(zurich, geneva)-HaversineMeters(geneva, zurich)) > 1e-9 {
+		t.Error("haversine not symmetric")
+	}
+}
+
+func TestHaversineTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		a := Point{rng.Float64()*180 - 90, rng.Float64()*360 - 180}
+		b := Point{rng.Float64()*180 - 90, rng.Float64()*360 - 180}
+		c := Point{rng.Float64()*180 - 90, rng.Float64()*360 - 180}
+		if HaversineMeters(a, c) > HaversineMeters(a, b)+HaversineMeters(b, c)+1e-6 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestBBox(t *testing.T) {
+	var b BBox
+	b = b.Extend(Point{46, 9})
+	b = b.Extend(Point{47, 8})
+	if !b.Contains(Point{46.5, 8.5}) {
+		t.Error("centre not contained")
+	}
+	if b.Contains(Point{45, 8.5}) {
+		t.Error("outside point contained")
+	}
+	c := b.Center()
+	if c.Lat != 46.5 || c.Lon != 8.5 {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestBoundsOf(t *testing.T) {
+	markers := []Marker{
+		{ID: "a", At: Point{46, 9}},
+		{ID: "b", At: Point{47, 8}},
+	}
+	b := BoundsOf(markers)
+	if b.MinLat != 46 || b.MaxLat != 47 || b.MinLon != 8 || b.MaxLon != 9 {
+		t.Errorf("BoundsOf = %+v", b)
+	}
+	if got := BoundsOf(nil); got != (BBox{}) {
+		t.Errorf("empty bounds = %+v", got)
+	}
+}
+
+func TestClusterMarkersGrid(t *testing.T) {
+	markers := []Marker{
+		{ID: "a", At: Point{46.01, 9.01}, Match: 1.0},
+		{ID: "b", At: Point{46.02, 9.02}, Match: 0.5},
+		{ID: "c", At: Point{47.5, 8.0}, Match: 0.2},
+	}
+	clusters := ClusterMarkers(markers, 0.1)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+	// First cluster (lower latitude) holds a and b.
+	if len(clusters[0].Members) != 2 {
+		t.Errorf("first cluster = %+v", clusters[0])
+	}
+	if math.Abs(clusters[0].AvgMatch-0.75) > 1e-12 {
+		t.Errorf("avg match = %v", clusters[0].AvgMatch)
+	}
+	if math.Abs(clusters[0].Center.Lat-46.015) > 1e-9 {
+		t.Errorf("centroid = %v", clusters[0].Center)
+	}
+}
+
+func TestClusterMarkersNoGrid(t *testing.T) {
+	markers := []Marker{
+		{ID: "b", At: Point{47, 8}},
+		{ID: "a", At: Point{46, 9}},
+	}
+	clusters := ClusterMarkers(markers, 0)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	for _, c := range clusters {
+		if len(c.Members) != 1 {
+			t.Errorf("cluster size = %d", len(c.Members))
+		}
+	}
+}
+
+// Property: clustering covers every marker exactly once.
+func TestClusteringPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(60)
+		markers := make([]Marker, n)
+		for i := range markers {
+			markers[i] = Marker{
+				ID: string(rune('a'+i%26)) + string(rune('0'+i/26)),
+				At: Point{46 + rng.Float64(), 8 + rng.Float64()},
+			}
+		}
+		cell := rng.Float64() * 0.3
+		clusters := ClusterMarkers(markers, cell)
+		seen := map[string]int{}
+		total := 0
+		for _, c := range clusters {
+			for _, m := range c.Members {
+				seen[m.ID]++
+				total++
+			}
+		}
+		if total != n {
+			t.Fatalf("trial %d: %d markers clustered, want %d", trial, total, n)
+		}
+		for id, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("trial %d: marker %s in %d clusters", trial, id, cnt)
+			}
+		}
+	}
+}
+
+func TestFilterInBox(t *testing.T) {
+	markers := []Marker{
+		{ID: "in", At: Point{46.5, 8.5}},
+		{ID: "out", At: Point{50, 8.5}},
+	}
+	box := BBox{MinLat: 46, MaxLat: 47, MinLon: 8, MaxLon: 9}
+	got := FilterInBox(markers, box)
+	if len(got) != 1 || got[0].ID != "in" {
+		t.Errorf("FilterInBox = %+v", got)
+	}
+}
+
+func TestNear(t *testing.T) {
+	davos := Point{46.8027, 9.8360}
+	markers := []Marker{
+		{ID: "close", At: Point{46.8030, 9.8365}},   // tens of metres
+		{ID: "town", At: Point{46.81, 9.85}},        // ~1.3 km
+		{ID: "zermatt", At: Point{46.0207, 7.7491}}, // ~180 km
+	}
+	got := Near(markers, davos, 5000)
+	if len(got) != 2 || got[0].ID != "close" || got[1].ID != "town" {
+		t.Errorf("Near(5km) = %+v", got)
+	}
+	if got := Near(markers, davos, 500000); len(got) != 3 {
+		t.Errorf("Near(500km) = %d markers", len(got))
+	}
+	if Near(markers, davos, 0) != nil {
+		t.Error("zero radius matched markers")
+	}
+	if Near(nil, davos, 1000) != nil {
+		t.Error("empty input produced markers")
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	markers := make([]Marker, 40)
+	for i := range markers {
+		markers[i] = Marker{ID: string(rune('a' + i%26)), At: Point{46 + rng.Float64(), 8 + rng.Float64()}}
+	}
+	a := ClusterMarkers(markers, 0.2)
+	b := ClusterMarkers(markers, 0.2)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if a[i].Center != b[i].Center || len(a[i].Members) != len(b[i].Members) {
+			t.Fatal("nondeterministic clusters")
+		}
+	}
+}

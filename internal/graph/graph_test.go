@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := NewDirected()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if a2 := g.AddNode("a"); a2 != a {
+		t.Errorf("re-adding node changed index: %d then %d", a, a2)
+	}
+	if a == b {
+		t.Error("distinct nodes share an index")
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", g.NumNodes())
+	}
+}
+
+func TestAddEdgeCreatesNodesAndDedupes(t *testing.T) {
+	g := NewDirected()
+	if !g.AddEdge("x", "y", PageLink) {
+		t.Error("first AddEdge reported duplicate")
+	}
+	if g.AddEdge("x", "y", PageLink) {
+		t.Error("duplicate AddEdge reported new")
+	}
+	if !g.AddEdge("x", "y", SemanticLink) {
+		t.Error("same pair different kind should be a new edge")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Errorf("nodes=%d edges=%d, want 2 and 2", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge("x", "y", PageLink) || !g.HasEdge("x", "y", SemanticLink) {
+		t.Error("HasEdge misses inserted edges")
+	}
+	if g.HasEdge("y", "x", PageLink) {
+		t.Error("HasEdge reports reverse edge")
+	}
+	if g.HasEdge("nope", "y", PageLink) || g.HasEdge("x", "nope", PageLink) {
+		t.Error("HasEdge reports edge for unknown node")
+	}
+}
+
+func TestOutDegreeByKind(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", PageLink)
+	g.AddEdge("a", "c", PageLink)
+	g.AddEdge("a", "b", SemanticLink)
+	ai, _ := g.Index("a")
+	if d := g.OutDegree(ai); d != 3 {
+		t.Errorf("OutDegree all = %d, want 3", d)
+	}
+	if d := g.OutDegree(ai, PageLink); d != 2 {
+		t.Errorf("OutDegree page = %d, want 2", d)
+	}
+	if d := g.OutDegree(ai, SemanticLink); d != 1 {
+		t.Errorf("OutDegree semantic = %d, want 1", d)
+	}
+}
+
+func TestSuccessorsSortedAndFiltered(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "c", PageLink)
+	g.AddEdge("a", "b", SemanticLink)
+	g.AddEdge("a", "b", PageLink)
+	ai, _ := g.Index("a")
+	bi, _ := g.Index("b")
+	ci, _ := g.Index("c")
+	all := g.Successors(ai)
+	want := []int{bi, ci}
+	if bi > ci {
+		want = []int{ci, bi}
+	}
+	if !reflect.DeepEqual(all, want) {
+		t.Errorf("Successors = %v, want %v", all, want)
+	}
+	sem := g.Successors(ai, SemanticLink)
+	if !reflect.DeepEqual(sem, []int{bi}) {
+		t.Errorf("semantic successors = %v, want [%d]", sem, bi)
+	}
+}
+
+func TestDangling(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", PageLink)
+	g.AddNode("c")
+	bi, _ := g.Index("b")
+	ci, _ := g.Index("c")
+	d := g.Dangling()
+	if !reflect.DeepEqual(d, []int{bi, ci}) {
+		t.Errorf("Dangling = %v, want [%d %d]", d, bi, ci)
+	}
+	// With only semantic links considered, a is dangling too.
+	if got := len(g.Dangling(SemanticLink)); got != 3 {
+		t.Errorf("semantic dangling count = %d, want 3", got)
+	}
+}
+
+func TestInDegreesAndEdges(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b", PageLink)
+	g.AddEdge("c", "b", SemanticLink)
+	g.AddEdge("b", "a", PageLink)
+	in := g.InDegrees()
+	bi, _ := g.Index("b")
+	ai, _ := g.Index("a")
+	if in[bi] != 2 || in[ai] != 1 {
+		t.Errorf("InDegrees = %v", in)
+	}
+	if len(g.Edges()) != 3 {
+		t.Errorf("Edges count = %d, want 3", len(g.Edges()))
+	}
+}
+
+func TestSelfLoopAllowedInDirected(t *testing.T) {
+	g := NewDirected()
+	if !g.AddEdge("a", "a", PageLink) {
+		t.Fatal("self-loop rejected")
+	}
+	ai, _ := g.Index("a")
+	if g.OutDegree(ai) != 1 {
+		t.Error("self-loop not counted in out-degree")
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	if PageLink.String() != "page" || SemanticLink.String() != "semantic" {
+		t.Error("LinkKind.String misnames kinds")
+	}
+	if LinkKind(9).String() == "" {
+		t.Error("unknown LinkKind should still render")
+	}
+}
+
+func TestUndirectedBasics(t *testing.T) {
+	g := NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 1)  // self-loop ignored
+	g.AddEdge(-1, 2) // out of range ignored
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge not symmetric")
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self-loop stored")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+	if !reflect.DeepEqual(g.Neighbors(1), []int{0, 2}) {
+		t.Errorf("Neighbors(1) = %v", g.Neighbors(1))
+	}
+}
+
+func TestFromAdjacencyMatrix(t *testing.T) {
+	m := [][]float64{
+		{1, 1, 0},
+		{0, 0, 1},
+		{0, 0, 0},
+	}
+	g := FromAdjacencyMatrix(m)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Error("edges from matrix missing")
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("diagonal should be ignored")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestDegeneracyOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := NewUndirected(n)
+		for e := 0; e < rng.Intn(3*n); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		order := g.DegeneracyOrder()
+		if len(order) != n {
+			t.Fatalf("order length %d, want %d", len(order), n)
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range order {
+			if seen[v] {
+				t.Fatalf("vertex %d repeated in degeneracy order", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDegeneracyOrderStartsAtMinDegree(t *testing.T) {
+	// Star graph: centre 0 with leaves 1..4. Any leaf must come first.
+	g := NewUndirected(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, i)
+	}
+	order := g.DegeneracyOrder()
+	if order[0] == 0 {
+		t.Error("degeneracy order started with the hub of a star")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewUndirected(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comps := g.ConnectedComponents()
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Errorf("components = %v, want %v", comps, want)
+	}
+}

@@ -1,0 +1,167 @@
+package graph
+
+import "sort"
+
+// Undirected is a simple undirected graph over dense integer vertices.
+// It is the input shape of the Bron–Kerbosch clique algorithms in
+// internal/tagging: vertex i is adjacent to vertex j iff the tag similarity
+// matrix has a 1 at (i, j).
+type Undirected struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// NewUndirected returns an undirected graph with n vertices and no edges.
+func NewUndirected(n int) *Undirected {
+	g := &Undirected{n: n, adj: make([]map[int]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// FromAdjacencyMatrix builds an undirected graph from a square 0/1 matrix.
+// Entry (i, j) != 0 for i != j creates the edge {i, j}; the diagonal is
+// ignored. The matrix is symmetrised: an entry on either side suffices.
+func FromAdjacencyMatrix(m [][]float64) *Undirected {
+	g := NewUndirected(len(m))
+	for i := range m {
+		for j := range m[i] {
+			if i != j && m[i][j] != 0 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// N returns the vertex count.
+func (g *Undirected) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
+func (g *Undirected) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Undirected) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the degree of vertex v.
+func (g *Undirected) Degree(v int) int { return len(g.adj[v]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Undirected) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Neighbors returns the sorted neighbour set of v.
+func (g *Undirected) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NeighborSet returns the neighbour set of v as a map. The returned map
+// aliases internal storage and must not be modified.
+func (g *Undirected) NeighborSet(v int) map[int]struct{} { return g.adj[v] }
+
+// DegeneracyOrder returns the vertices in degeneracy order (repeatedly
+// removing a minimum-degree vertex). Bron–Kerbosch with this outer order
+// touches each vertex's "later" neighbours only, which bounds the recursion
+// on sparse graphs.
+func (g *Undirected) DegeneracyOrder() []int {
+	deg := make([]int, g.n)
+	removed := make([]bool, g.n)
+	// bucket[d] holds vertices of current degree d.
+	maxDeg := 0
+	for v := 0; v < g.n; v++ {
+		deg[v] = len(g.adj[v])
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([]map[int]struct{}, maxDeg+1)
+	for i := range buckets {
+		buckets[i] = make(map[int]struct{})
+	}
+	for v := 0; v < g.n; v++ {
+		buckets[deg[v]][v] = struct{}{}
+	}
+	order := make([]int, 0, g.n)
+	for len(order) < g.n {
+		var v int
+		found := false
+		for d := 0; d <= maxDeg; d++ {
+			for u := range buckets[d] {
+				v = u
+				found = true
+				break
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		delete(buckets[deg[v]], v)
+		removed[v] = true
+		order = append(order, v)
+		for u := range g.adj[v] {
+			if removed[u] {
+				continue
+			}
+			delete(buckets[deg[u]], u)
+			deg[u]--
+			buckets[deg[u]][u] = struct{}{}
+		}
+	}
+	return order
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted, ordered by their smallest vertex.
+func (g *Undirected) ConnectedComponents() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for u := range g.adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}

@@ -1,0 +1,165 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is a single (row, col, value) coordinate used when assembling a
+// sparse matrix.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed-sparse-row matrix. Rows hold n+1 offsets into Cols and
+// Vals; the non-zeros of row i are Cols[Rows[i]:Rows[i+1]] (column indices,
+// strictly increasing within a row) and the matching Vals slice.
+type CSR struct {
+	N    int // number of rows
+	M    int // number of columns
+	Rows []int
+	Cols []int
+	Vals []float64
+}
+
+// NewCSR assembles a CSR matrix of shape n×m from coordinate entries.
+// Duplicate (row, col) coordinates are summed. Entries outside the shape
+// cause a panic: they indicate a construction bug upstream.
+func NewCSR(n, m int, entries []Entry) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= m {
+			panic(fmt.Sprintf("linalg: entry (%d,%d) outside %dx%d matrix", e.Row, e.Col, n, m))
+		}
+	}
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+
+	c := &CSR{N: n, M: m, Rows: make([]int, n+1)}
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		v := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		c.Cols = append(c.Cols, sorted[i].Col)
+		c.Vals = append(c.Vals, v)
+		c.Rows[sorted[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < n; i++ {
+		c.Rows[i+1] += c.Rows[i]
+	}
+	return c
+}
+
+// NNZ returns the number of stored non-zeros.
+func (c *CSR) NNZ() int { return len(c.Vals) }
+
+// At returns the value at (i, j), 0 when no entry is stored.
+func (c *CSR) At(i, j int) float64 {
+	if i < 0 || i >= c.N || j < 0 || j >= c.M {
+		panic(fmt.Sprintf("linalg: At(%d,%d) outside %dx%d matrix", i, j, c.N, c.M))
+	}
+	lo, hi := c.Rows[i], c.Rows[i+1]
+	k := lo + sort.SearchInts(c.Cols[lo:hi], j)
+	if k < hi && c.Cols[k] == j {
+		return c.Vals[k]
+	}
+	return 0
+}
+
+// MulVec computes dst = c · x. It panics on shape mismatch.
+func (c *CSR) MulVec(dst, x Vector) {
+	if len(x) != c.M || len(dst) != c.N {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch: %dx%d by %d into %d", c.N, c.M, len(x), len(dst)))
+	}
+	for i := 0; i < c.N; i++ {
+		var s float64
+		for k := c.Rows[i]; k < c.Rows[i+1]; k++ {
+			s += c.Vals[k] * x[c.Cols[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = cᵀ · x (i.e. xᵀ·c read as a column vector) without
+// materializing the transpose. It panics on shape mismatch.
+func (c *CSR) MulVecT(dst, x Vector) {
+	if len(x) != c.N || len(dst) != c.M {
+		panic(fmt.Sprintf("linalg: MulVecT shape mismatch: %dx%d transposed by %d into %d", c.N, c.M, len(x), len(dst)))
+	}
+	dst.Zero()
+	for i := 0; i < c.N; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := c.Rows[i]; k < c.Rows[i+1]; k++ {
+			dst[c.Cols[k]] += c.Vals[k] * xi
+		}
+	}
+}
+
+// Transpose returns a new CSR holding cᵀ.
+func (c *CSR) Transpose() *CSR {
+	t := &CSR{N: c.M, M: c.N, Rows: make([]int, c.M+1)}
+	t.Cols = make([]int, c.NNZ())
+	t.Vals = make([]float64, c.NNZ())
+	for _, j := range c.Cols {
+		t.Rows[j+1]++
+	}
+	for i := 0; i < t.N; i++ {
+		t.Rows[i+1] += t.Rows[i]
+	}
+	next := make([]int, t.N)
+	copy(next, t.Rows[:t.N])
+	for i := 0; i < c.N; i++ {
+		for k := c.Rows[i]; k < c.Rows[i+1]; k++ {
+			j := c.Cols[k]
+			p := next[j]
+			t.Cols[p] = i
+			t.Vals[p] = c.Vals[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// RowSums returns the vector of row sums.
+func (c *CSR) RowSums() Vector {
+	out := NewVector(c.N)
+	for i := 0; i < c.N; i++ {
+		var s float64
+		for k := c.Rows[i]; k < c.Rows[i+1]; k++ {
+			s += c.Vals[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ScaleRows multiplies every entry of row i by s[i] in place.
+func (c *CSR) ScaleRows(s Vector) {
+	if len(s) != c.N {
+		panic("linalg: ScaleRows length mismatch")
+	}
+	for i := 0; i < c.N; i++ {
+		for k := c.Rows[i]; k < c.Rows[i+1]; k++ {
+			c.Vals[k] *= s[i]
+		}
+	}
+}
+
+// Row returns the column indices and values of row i. The returned slices
+// alias the matrix storage and must not be modified.
+func (c *CSR) Row(i int) ([]int, []float64) {
+	return c.Cols[c.Rows[i]:c.Rows[i+1]], c.Vals[c.Rows[i]:c.Rows[i+1]]
+}

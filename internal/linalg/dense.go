@@ -1,0 +1,53 @@
+package linalg
+
+import "fmt"
+
+// Dense is a small row-major dense matrix. It backs the Hessenberg systems
+// inside GMRES/Arnoldi, which are tiny (restart × restart) compared with the
+// sparse operator, so simplicity beats cleverness here.
+type Dense struct {
+	R, C int
+	Data []float64
+}
+
+// NewDense returns a zeroed r×c dense matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 {
+	d.check(i, j)
+	return d.Data[i*d.C+j]
+}
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) {
+	d.check(i, j)
+	d.Data[i*d.C+j] = v
+}
+
+func (d *Dense) check(i, j int) {
+	if i < 0 || i >= d.R || j < 0 || j >= d.C {
+		panic(fmt.Sprintf("linalg: dense index (%d,%d) outside %dx%d", i, j, d.R, d.C))
+	}
+}
+
+// SolveUpperTriangular solves the k×k upper-triangular system R·x = b where R
+// is the leading k×k block of d. It returns false when a diagonal entry is
+// (numerically) zero.
+func (d *Dense) SolveUpperTriangular(k int, b Vector) (Vector, bool) {
+	x := NewVector(k)
+	for i := k - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < k; j++ {
+			s -= d.At(i, j) * x[j]
+		}
+		p := d.At(i, i)
+		if p == 0 {
+			return nil, false
+		}
+		x[i] = s / p
+	}
+	return x, true
+}

@@ -1,0 +1,93 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHITSHubAndAuthorityRoles(t *testing.T) {
+	// Two hubs point at three authorities; one authority is cited by both.
+	g := graph.NewDirected()
+	g.AddEdge("hub1", "auth1", graph.PageLink)
+	g.AddEdge("hub1", "auth2", graph.PageLink)
+	g.AddEdge("hub2", "auth2", graph.PageLink)
+	g.AddEdge("hub2", "auth3", graph.PageLink)
+
+	res, err := HITS(g, Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("HITS did not converge")
+	}
+	a2, _ := g.Index("auth2")
+	a1, _ := g.Index("auth1")
+	if res.Authorities[a2] <= res.Authorities[a1] {
+		t.Errorf("doubly-cited authority not ranked above singly-cited: %v vs %v",
+			res.Authorities[a2], res.Authorities[a1])
+	}
+	h1, _ := g.Index("hub1")
+	if res.Hubs[a1] >= res.Hubs[h1] {
+		t.Error("authority has hub score above a real hub")
+	}
+	// Normalization.
+	if math.Abs(res.Hubs.Norm2()-1) > 1e-9 || math.Abs(res.Authorities.Norm2()-1) > 1e-9 {
+		t.Error("vectors not L2-normalized")
+	}
+	// Top-k helpers.
+	if top := res.TopAuthorities(1); g.ID(top[0]) != "auth2" {
+		t.Errorf("top authority = %s", g.ID(top[0]))
+	}
+	tops := res.TopHubs(2)
+	names := map[string]bool{g.ID(tops[0]): true, g.ID(tops[1]): true}
+	if !names["hub1"] || !names["hub2"] {
+		t.Errorf("top hubs = %v", names)
+	}
+}
+
+func TestHITSSemanticWeighting(t *testing.T) {
+	g := graph.NewDirected()
+	g.AddEdge("h", "semTarget", graph.SemanticLink)
+	g.AddEdge("h", "pageTarget", graph.PageLink)
+	g.AddEdge("h2", "semTarget", graph.SemanticLink)
+	g.AddEdge("h2", "pageTarget", graph.PageLink)
+
+	res, err := HITS(g, Options{PageWeight: 0.1, SemanticWeight: 10}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, _ := g.Index("semTarget")
+	pi, _ := g.Index("pageTarget")
+	if res.Authorities[si] <= res.Authorities[pi] {
+		t.Error("semantic-heavy weighting did not boost the semantic target")
+	}
+}
+
+func TestHITSValidation(t *testing.T) {
+	if _, err := HITS(graph.NewDirected(), Options{}, 0, 0); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g := graph.NewDirected()
+	g.AddEdge("a", "b", graph.PageLink)
+	if _, err := HITS(g, Options{Damping: 7}, 0, 0); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestHITSOnRandomGraphConverges(t *testing.T) {
+	g := randomGraph(80, 400, 61)
+	res, err := HITS(g, Options{}, 500, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("HITS did not converge on a random graph")
+	}
+	for i, s := range res.Authorities {
+		if s < -1e-12 || math.IsNaN(s) {
+			t.Fatalf("authority[%d] = %v", i, s)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestSORMatchesGaussSeidelAtOmegaOne(t *testing.T) {
+	g := randomGraph(50, 200, 21)
+	m, err := NewMatrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := GaussSeidel(m, Options{Tol: 1e-12})
+	sor := SOROmega(m, Options{Tol: 1e-12}, 1.0)
+	if !sor.Converged {
+		t.Fatal("SOR(1.0) did not converge")
+	}
+	if d := linalg.Diff1(gs.Scores, sor.Scores); d > 1e-10 {
+		t.Errorf("SOR(1.0) differs from GS by %v", d)
+	}
+	if sor.Iterations != gs.Iterations {
+		t.Errorf("SOR(1.0) sweeps = %d, GS = %d", sor.Iterations, gs.Iterations)
+	}
+}
+
+func TestSORConvergesToSameVector(t *testing.T) {
+	g := randomGraph(60, 250, 22)
+	m, err := NewMatrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Power(m, Options{Tol: 1e-12})
+	for _, omega := range []float64{0.8, 1.0, 1.1, 1.3} {
+		res := SOROmega(m, Options{Tol: 1e-12}, omega)
+		if !res.Converged {
+			t.Errorf("SOR(%v) did not converge", omega)
+			continue
+		}
+		if d := linalg.Diff1(ref.Scores, res.Scores); d > 1e-7 {
+			t.Errorf("SOR(%v) differs from Power by %v", omega, d)
+		}
+	}
+}
+
+func TestSORClampsOmega(t *testing.T) {
+	g := randomGraph(20, 60, 23)
+	m, err := NewMatrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ω = 5 would diverge; the fallback to ω = 1 keeps it stable and
+	// identical to Gauss–Seidel.
+	res := SOROmega(m, Options{Tol: 1e-10, MaxIter: 2000}, 5)
+	if !res.Converged {
+		t.Error("clamped SOR did not converge")
+	}
+	gs := GaussSeidel(m, Options{Tol: 1e-10, MaxIter: 2000})
+	if res.Iterations != gs.Iterations {
+		t.Errorf("clamped SOR sweeps = %d, GS = %d", res.Iterations, gs.Iterations)
+	}
+	res = SOROmega(m, Options{Tol: 1e-10, MaxIter: 2000}, -1)
+	if !res.Converged {
+		t.Error("negative-omega SOR did not converge after clamp")
+	}
+}
+
+func TestSORDefaultIsRegistar(t *testing.T) {
+	g := randomGraph(30, 90, 24)
+	m, err := NewMatrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SOR(m, Options{})
+	if !res.Converged || res.Method != "SOR" {
+		t.Errorf("SOR default: converged=%v method=%s", res.Converged, res.Method)
+	}
+	if math.Abs(res.Scores.Sum()-1) > 1e-8 {
+		t.Errorf("SOR scores sum to %v", res.Scores.Sum())
+	}
+}
+
+func TestGaussSeidelWarmStart(t *testing.T) {
+	// A warm start from the converged solution of a slightly perturbed
+	// graph must need far fewer sweeps than a cold start.
+	g := randomGraph(400, 2400, 40)
+	m, err := NewMatrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := GaussSeidel(m, Options{})
+	if !cold.Converged {
+		t.Fatal("cold start did not converge")
+	}
+
+	// Perturb: the same graph plus a few extra edges.
+	g.AddEdge("nA0a", "nB0a", 0)
+	g.AddEdge("nC0a", "nD0a", 0)
+	m2, err := NewMatrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := GaussSeidelFrom(m2, Options{}, cold.Scores)
+	if !warm.Converged {
+		t.Fatal("warm start did not converge")
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start took %d sweeps, cold %d", warm.Iterations, cold.Iterations)
+	}
+	// Same answer as a cold solve of the perturbed system.
+	cold2 := GaussSeidel(m2, Options{})
+	if d := linalg.Diff1(warm.Scores, cold2.Scores); d > 1e-8 {
+		t.Errorf("warm and cold solutions differ by %v", d)
+	}
+}
+
+func TestGaussSeidelFromBadGuessFallsBack(t *testing.T) {
+	g := randomGraph(30, 120, 41)
+	m, err := NewMatrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong length and zero-sum guesses both fall back to the cold path.
+	for _, x0 := range []linalg.Vector{nil, linalg.NewVector(5), linalg.NewVector(30)} {
+		res := GaussSeidelFrom(m, Options{}, x0)
+		if !res.Converged {
+			t.Errorf("fallback start did not converge for guess of length %d", len(x0))
+		}
+	}
+}
+
+func TestPowerExtrapolatedAgreesWithPower(t *testing.T) {
+	for seed := int64(30); seed < 33; seed++ {
+		g := randomGraph(50, 200, seed)
+		m, err := NewMatrix(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := Power(m, Options{Tol: 1e-11})
+		fast := PowerExtrapolated(m, Options{Tol: 1e-11})
+		if !fast.Converged {
+			t.Errorf("seed %d: extrapolated power did not converge", seed)
+			continue
+		}
+		if d := linalg.Diff1(plain.Scores, fast.Scores); d > 1e-7 {
+			t.Errorf("seed %d: extrapolated differs by %v", seed, d)
+		}
+	}
+}
+
+func TestPowerExtrapolatedScoresValid(t *testing.T) {
+	g := randomGraph(80, 320, 35)
+	m, err := NewMatrix(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := PowerExtrapolated(m, Options{})
+	if math.Abs(res.Scores.Sum()-1) > 1e-8 {
+		t.Errorf("scores sum to %v", res.Scores.Sum())
+	}
+	for i, s := range res.Scores {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("score[%d] = %v", i, s)
+		}
+	}
+}

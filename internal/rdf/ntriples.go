@@ -1,0 +1,142 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNTriples serializes every triple in deterministic order.
+func (st *Store) WriteNTriples(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range st.Match(nil, nil, nil) {
+		if _, err := fmt.Fprintln(bw, t.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNTriples parses N-Triples lines into the store, returning the number
+// of triples added. Blank lines and #-comments are skipped.
+func (st *Store) ReadNTriples(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return n, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		if st.Add(t) {
+			n++
+		}
+	}
+	return n, sc.Err()
+}
+
+// ParseTripleLine parses one N-Triples statement ("<s> <p> <o|literal> .").
+func ParseTripleLine(line string) (Triple, error) {
+	p := &ntParser{s: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.s[p.i:], ".") {
+		return Triple{}, fmt.Errorf("missing terminating dot")
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+type ntParser struct {
+	s string
+	i int
+}
+
+func (p *ntParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.s[p.i] {
+	case '<':
+		end := strings.IndexByte(p.s[p.i:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		iri := p.s[p.i+1 : p.i+end]
+		p.i += end + 1
+		return NewIRI(iri), nil
+	case '_':
+		if p.i+1 >= len(p.s) || p.s[p.i+1] != ':' {
+			return Term{}, fmt.Errorf("malformed blank node")
+		}
+		j := p.i + 2
+		for j < len(p.s) && p.s[j] != ' ' && p.s[j] != '\t' {
+			j++
+		}
+		label := p.s[p.i+2 : j]
+		p.i = j
+		return NewBlank(label), nil
+	case '"':
+		j := p.i + 1
+		for j < len(p.s) {
+			if p.s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if p.s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(p.s) {
+			return Term{}, fmt.Errorf("unterminated literal")
+		}
+		val := unescapeLiteral(p.s[p.i+1 : j])
+		p.i = j + 1
+		// optional @lang or ^^<datatype>
+		if strings.HasPrefix(p.s[p.i:], "@") {
+			k := p.i + 1
+			for k < len(p.s) && p.s[k] != ' ' && p.s[k] != '\t' {
+				k++
+			}
+			lang := p.s[p.i+1 : k]
+			p.i = k
+			return NewLangLiteral(val, lang), nil
+		}
+		if strings.HasPrefix(p.s[p.i:], "^^<") {
+			end := strings.IndexByte(p.s[p.i:], '>')
+			if end < 0 {
+				return Term{}, fmt.Errorf("unterminated datatype IRI")
+			}
+			dt := p.s[p.i+3 : p.i+end]
+			p.i += end + 1
+			return NewTypedLiteral(val, dt), nil
+		}
+		return NewLiteral(val), nil
+	}
+	return Term{}, fmt.Errorf("unexpected character %q", p.s[p.i])
+}

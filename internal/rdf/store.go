@@ -1,0 +1,236 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+type termID uint32
+
+// triple is the encoded form.
+type enc struct{ s, p, o termID }
+
+// Store is an in-memory triple store with dictionary-encoded terms and three
+// hash indexes covering every access pattern a basic graph pattern needs:
+// SPO (bound subject), POS (bound predicate), OSP (bound object). Reads and
+// writes are safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	dict    map[string]termID
+	terms   []Term
+	triples map[enc]struct{}
+	spo     map[termID]map[enc]struct{}
+	pos     map[termID]map[enc]struct{}
+	osp     map[termID]map[enc]struct{}
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		dict:    make(map[string]termID),
+		triples: make(map[enc]struct{}),
+		spo:     make(map[termID]map[enc]struct{}),
+		pos:     make(map[termID]map[enc]struct{}),
+		osp:     make(map[termID]map[enc]struct{}),
+	}
+}
+
+func (st *Store) intern(t Term) termID {
+	k := t.Key()
+	if id, ok := st.dict[k]; ok {
+		return id
+	}
+	id := termID(len(st.terms))
+	st.dict[k] = id
+	st.terms = append(st.terms, t)
+	return id
+}
+
+// lookup returns the id of a term without interning.
+func (st *Store) lookup(t Term) (termID, bool) {
+	id, ok := st.dict[t.Key()]
+	return id, ok
+}
+
+// Add inserts a triple and reports whether it was new.
+func (st *Store) Add(t Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := enc{st.intern(t.S), st.intern(t.P), st.intern(t.O)}
+	if _, dup := st.triples[e]; dup {
+		return false
+	}
+	st.triples[e] = struct{}{}
+	addIdx := func(m map[termID]map[enc]struct{}, k termID) {
+		set, ok := m[k]
+		if !ok {
+			set = make(map[enc]struct{})
+			m[k] = set
+		}
+		set[e] = struct{}{}
+	}
+	addIdx(st.spo, e.s)
+	addIdx(st.pos, e.p)
+	addIdx(st.osp, e.o)
+	return true
+}
+
+// Remove deletes a triple and reports whether it existed.
+func (st *Store) Remove(t Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.lookup(t.S)
+	if !ok {
+		return false
+	}
+	p, ok := st.lookup(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := st.lookup(t.O)
+	if !ok {
+		return false
+	}
+	e := enc{s, p, o}
+	if _, exists := st.triples[e]; !exists {
+		return false
+	}
+	delete(st.triples, e)
+	delete(st.spo[e.s], e)
+	delete(st.pos[e.p], e)
+	delete(st.osp[e.o], e)
+	return true
+}
+
+// Len returns the number of triples.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.triples)
+}
+
+// decode rebuilds a Triple from its encoded form. Caller holds a read lock.
+func (st *Store) decode(e enc) Triple {
+	return Triple{S: st.terms[e.s], P: st.terms[e.p], O: st.terms[e.o]}
+}
+
+// Match returns all triples matching the pattern; nil components are
+// wildcards. Results are sorted by N-Triples text for determinism.
+func (st *Store) Match(s, p, o *Term) []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	// Resolve bound terms to ids; a bound term missing from the dictionary
+	// matches nothing.
+	var sid, pid, oid termID
+	var hasS, hasP, hasO bool
+	if s != nil {
+		id, ok := st.lookup(*s)
+		if !ok {
+			return nil
+		}
+		sid, hasS = id, true
+	}
+	if p != nil {
+		id, ok := st.lookup(*p)
+		if !ok {
+			return nil
+		}
+		pid, hasP = id, true
+	}
+	if o != nil {
+		id, ok := st.lookup(*o)
+		if !ok {
+			return nil
+		}
+		oid, hasO = id, true
+	}
+
+	// Pick the most selective available index.
+	var candidates map[enc]struct{}
+	switch {
+	case hasS:
+		candidates = st.spo[sid]
+	case hasO:
+		candidates = st.osp[oid]
+	case hasP:
+		candidates = st.pos[pid]
+	default:
+		candidates = st.triples
+	}
+
+	var out []Triple
+	for e := range candidates {
+		if hasS && e.s != sid {
+			continue
+		}
+		if hasP && e.p != pid {
+			continue
+		}
+		if hasO && e.o != oid {
+			continue
+		}
+		out = append(out, st.decode(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Has reports whether the exact triple is present.
+func (st *Store) Has(t Triple) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.lookup(t.S)
+	if !ok {
+		return false
+	}
+	p, ok := st.lookup(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := st.lookup(t.O)
+	if !ok {
+		return false
+	}
+	_, exists := st.triples[enc{s, p, o}]
+	return exists
+}
+
+// Subjects returns the distinct subject terms of triples with the given
+// predicate (all subjects when p is nil), sorted.
+func (st *Store) Subjects(p *Term) []Term {
+	seen := make(map[string]Term)
+	for _, t := range st.Match(nil, p, nil) {
+		seen[t.S.Key()] = t.S
+	}
+	return sortTerms(seen)
+}
+
+// Predicates returns all distinct predicate terms, sorted. This powers the
+// dynamic drop-down menus of the advanced search interface.
+func (st *Store) Predicates() []Term {
+	seen := make(map[string]Term)
+	for _, t := range st.Match(nil, nil, nil) {
+		seen[t.P.Key()] = t.P
+	}
+	return sortTerms(seen)
+}
+
+// Objects returns the distinct objects for a given subject/predicate
+// pattern, sorted.
+func (st *Store) Objects(s, p *Term) []Term {
+	seen := make(map[string]Term)
+	for _, t := range st.Match(s, p, nil) {
+		seen[t.O.Key()] = t.O
+	}
+	return sortTerms(seen)
+}
+
+func sortTerms(m map[string]Term) []Term {
+	out := make([]Term, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

@@ -1,0 +1,232 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func tr(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewIRI(o)}
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	st := NewStore()
+	a := tr("s", "p", "o")
+	if !st.Add(a) {
+		t.Error("first Add reported duplicate")
+	}
+	if st.Add(a) {
+		t.Error("duplicate Add reported new")
+	}
+	if !st.Has(a) || st.Len() != 1 {
+		t.Error("Has/Len wrong after insert")
+	}
+	if !st.Remove(a) {
+		t.Error("Remove of present triple failed")
+	}
+	if st.Remove(a) {
+		t.Error("double Remove succeeded")
+	}
+	if st.Has(a) || st.Len() != 0 {
+		t.Error("Has/Len wrong after delete")
+	}
+	if st.Remove(tr("nope", "p", "o")) {
+		t.Error("Remove of unknown subject succeeded")
+	}
+}
+
+func TestLiteralsDistinctByTypeAndLang(t *testing.T) {
+	st := NewStore()
+	s, p := NewIRI("s"), NewIRI("p")
+	st.Add(Triple{S: s, P: p, O: NewLiteral("42")})
+	st.Add(Triple{S: s, P: p, O: NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#int")})
+	st.Add(Triple{S: s, P: p, O: NewLangLiteral("42", "en")})
+	if st.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (typed/lang literals must stay distinct)", st.Len())
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	st := NewStore()
+	st.Add(tr("a", "knows", "b"))
+	st.Add(tr("a", "knows", "c"))
+	st.Add(tr("b", "knows", "c"))
+	st.Add(tr("a", "type", "Person"))
+
+	s, p, o := NewIRI("a"), NewIRI("knows"), NewIRI("c")
+	cases := []struct {
+		s, p, o *Term
+		want    int
+	}{
+		{nil, nil, nil, 4},
+		{&s, nil, nil, 3},
+		{nil, &p, nil, 3},
+		{nil, nil, &o, 2},
+		{&s, &p, nil, 2},
+		{&s, nil, &o, 1},
+		{nil, &p, &o, 2},
+		{&s, &p, &o, 1},
+	}
+	for i, c := range cases {
+		if got := len(st.Match(c.s, c.p, c.o)); got != c.want {
+			t.Errorf("case %d: got %d matches, want %d", i, got, c.want)
+		}
+	}
+	missing := NewIRI("zzz")
+	if got := st.Match(&missing, nil, nil); got != nil {
+		t.Errorf("match on unknown term returned %v", got)
+	}
+}
+
+func TestMatchDeterministicOrder(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 50; i++ {
+		st.Add(tr(fmt.Sprintf("s%02d", i%10), "p", fmt.Sprintf("o%02d", i)))
+	}
+	first := st.Match(nil, nil, nil)
+	for trial := 0; trial < 5; trial++ {
+		again := st.Match(nil, nil, nil)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatal("Match order not deterministic")
+			}
+		}
+	}
+}
+
+func TestSubjectsPredicatesObjects(t *testing.T) {
+	st := NewStore()
+	st.Add(tr("a", "p1", "x"))
+	st.Add(tr("b", "p2", "y"))
+	st.Add(Triple{S: NewIRI("a"), P: NewIRI("p1"), O: NewLiteral("lit")})
+
+	if got := st.Predicates(); len(got) != 2 {
+		t.Errorf("Predicates = %v", got)
+	}
+	p1 := NewIRI("p1")
+	if got := st.Subjects(&p1); len(got) != 1 || got[0].Value != "a" {
+		t.Errorf("Subjects(p1) = %v", got)
+	}
+	if got := st.Subjects(nil); len(got) != 2 {
+		t.Errorf("Subjects(nil) = %v", got)
+	}
+	a := NewIRI("a")
+	if got := st.Objects(&a, &p1); len(got) != 2 {
+		t.Errorf("Objects(a, p1) = %v", got)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{NewIRI("http://x/y"), "<http://x/y>"},
+		{NewLiteral(`say "hi"`), `"say \"hi\""`},
+		{NewLiteral("a\nb"), `"a\nb"`},
+		{NewLangLiteral("chat", "fr"), `"chat"@fr`},
+		{NewTypedLiteral("1", "http://t"), `"1"^^<http://t>`},
+		{NewBlank("n1"), "_:n1"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String = %s, want %s", got, c.want)
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	st := NewStore()
+	st.Add(tr("http://ex/a", "http://ex/p", "http://ex/b"))
+	st.Add(Triple{S: NewIRI("http://ex/a"), P: NewIRI("http://ex/label"), O: NewLiteral(`multi "quote" and \ slash`)})
+	st.Add(Triple{S: NewIRI("http://ex/a"), P: NewIRI("http://ex/temp"), O: NewTypedLiteral("-3.5", "http://www.w3.org/2001/XMLSchema#double")})
+	st.Add(Triple{S: NewIRI("http://ex/a"), P: NewIRI("http://ex/name"), O: NewLangLiteral("Wannengrat", "de")})
+	st.Add(Triple{S: NewBlank("b0"), P: NewIRI("http://ex/p"), O: NewBlank("b1")})
+
+	var buf bytes.Buffer
+	if err := st.WriteNTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	n, err := restored.ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != st.Len() {
+		t.Fatalf("restored %d of %d triples", n, st.Len())
+	}
+	a, b := st.Match(nil, nil, nil), restored.Match(nil, nil, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("triple %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadNTriplesSkipsCommentsAndBlanks(t *testing.T) {
+	input := `# a comment
+
+<http://a> <http://p> <http://b> .
+# another
+<http://a> <http://p> "lit"@en .
+`
+	st := NewStore()
+	n, err := st.ReadNTriples(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("added %d triples, want 2", n)
+	}
+}
+
+func TestReadNTriplesErrors(t *testing.T) {
+	for _, line := range []string{
+		`<http://a> <http://p>`,
+		`<http://a <http://p> <http://b> .`,
+		`<http://a> <http://p> "unterminated .`,
+		`<http://a> <http://p> <http://b>`,
+		`junk`,
+	} {
+		st := NewStore()
+		if _, err := st.ReadNTriples(strings.NewReader(line)); err == nil {
+			t.Errorf("no error for %q", line)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	st := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				s := fmt.Sprintf("s%d", rng.Intn(20))
+				o := fmt.Sprintf("o%d", rng.Intn(20))
+				switch rng.Intn(3) {
+				case 0:
+					st.Add(tr(s, "p", o))
+				case 1:
+					st.Remove(tr(s, "p", o))
+				default:
+					st.Match(nil, nil, nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Consistency: every indexed triple is in the main set.
+	all := st.Match(nil, nil, nil)
+	for _, tp := range all {
+		if !st.Has(tp) {
+			t.Errorf("index/main set mismatch for %v", tp)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package rdf implements the dictionary-encoded triple store that holds the
+// semantic half of the Sensor Metadata Repository: every (attribute, value)
+// annotation of a wiki page becomes a triple, and the SPARQL engine in
+// internal/sparql evaluates basic graph patterns against the three permuted
+// indexes (SPO, POS, OSP) kept here.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind distinguishes IRIs, literals and blank nodes.
+type TermKind uint8
+
+const (
+	// IRI is a resource identifier.
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) literal value.
+	Literal
+	// Blank is a blank node.
+	Blank
+)
+
+// Term is one RDF term. Lang and Datatype apply to literals only.
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Lang     string
+	Datatype string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewTypedLiteral returns a literal with a datatype IRI.
+func NewTypedLiteral(v, datatype string) Term {
+	return Term{Kind: Literal, Value: v, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(v, lang string) Term {
+	return Term{Kind: Literal, Value: v, Lang: lang}
+}
+
+// NewBlank returns a blank node with the given label.
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// Key returns the canonical dictionary key of the term: kind, value,
+// lang/datatype all participate so "42"^^xsd:int and "42" stay distinct.
+func (t Term) Key() string {
+	switch t.Kind {
+	case IRI:
+		return "i:" + t.Value
+	case Blank:
+		return "b:" + t.Value
+	default:
+		return "l:" + t.Value + "\x00" + t.Lang + "\x00" + t.Datatype
+	}
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		s := `"` + escapeLiteral(t.Value) + `"`
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		if t.Datatype != "" {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		return s
+	}
+}
+
+func escapeLiteral(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\r", `\r`, "\t", `\t`)
+	return r.Replace(s)
+}
+
+func unescapeLiteral(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// Triple is one RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple in N-Triples syntax (without trailing newline).
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}

@@ -1,0 +1,154 @@
+// Package recommend implements the paper's recommendation mechanism: it
+// "presents relevant pages based on the combination of query inputs and
+// properties that are high-scored by the PageRank algorithm" (Section II).
+//
+// Properties inherit importance from the pages that carry them: a
+// property's score is the summed PageRank of its annotated pages. Given the
+// pages a query matched, the recommender finds other pages sharing
+// (property, value) pairs with the seed set and scores each candidate by
+// shared-pair property weight × the candidate's own PageRank.
+package recommend
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/smr"
+	"repro/internal/wiki"
+)
+
+// Recommendation is one proposed page.
+type Recommendation struct {
+	Title  string
+	Score  float64
+	Shared []string // "property=value" pairs that connected it to the seeds
+}
+
+// Recommender precomputes property importance from PageRank scores.
+type Recommender struct {
+	repo      *smr.Repository
+	ranks     map[string]float64
+	propScore map[string]float64
+}
+
+// New builds a recommender from the repository and a PageRank score map
+// (page title → score).
+func New(repo *smr.Repository, ranks map[string]float64) *Recommender {
+	r := &Recommender{repo: repo, ranks: ranks, propScore: map[string]float64{}}
+	repo.Wiki.Each(func(p *wiki.Page) {
+		pr := ranks[p.Title.String()]
+		seen := map[string]bool{}
+		for _, a := range p.Annotations {
+			key := strings.ToLower(a.Property)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			r.propScore[key] += pr
+		}
+	})
+	return r
+}
+
+// PropertyScore returns the PageRank-derived importance of a property.
+func (r *Recommender) PropertyScore(property string) float64 {
+	return r.propScore[strings.ToLower(property)]
+}
+
+// TopProperties returns the k highest-scored properties.
+func (r *Recommender) TopProperties(k int) []string {
+	type kv struct {
+		name  string
+		score float64
+	}
+	all := make([]kv, 0, len(r.propScore))
+	for n, s := range r.propScore {
+		all = append(all, kv{n, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].name < all[j].name
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := range out {
+		out[i] = all[i].name
+	}
+	return out
+}
+
+// pairKey renders a (property, value) annotation pair.
+func pairKey(property, value string) string {
+	return strings.ToLower(property) + "=" + value
+}
+
+// Recommend proposes up to k pages related to the seed titles (typically
+// the current search results). Seeds themselves are never recommended, and
+// the ACL of the repository is honoured for the requesting user.
+func (r *Recommender) Recommend(seeds []string, user string, k int) []Recommendation {
+	if k <= 0 || len(seeds) == 0 {
+		return nil
+	}
+	seedSet := make(map[string]bool, len(seeds))
+	// Weight of each (property, value) pair across the seed set: the
+	// property's global importance, counted once per seed page carrying it.
+	pairWeight := map[string]float64{}
+	for _, s := range seeds {
+		canonical := wiki.ParseTitle(s).String()
+		seedSet[canonical] = true
+		page, ok := r.repo.Wiki.Get(canonical)
+		if !ok {
+			continue
+		}
+		for _, a := range page.Annotations {
+			pairWeight[pairKey(a.Property, a.Value)] += r.PropertyScore(a.Property)
+		}
+	}
+	if len(pairWeight) == 0 {
+		return nil
+	}
+
+	var out []Recommendation
+	r.repo.Wiki.Each(func(p *wiki.Page) {
+		title := p.Title.String()
+		if seedSet[title] || !r.repo.ACL.CanRead(user, title) {
+			return
+		}
+		var score float64
+		var shared []string
+		seenPair := map[string]bool{}
+		for _, a := range p.Annotations {
+			key := pairKey(a.Property, a.Value)
+			if seenPair[key] {
+				continue
+			}
+			seenPair[key] = true
+			if w, ok := pairWeight[key]; ok && w > 0 {
+				score += w
+				shared = append(shared, key)
+			}
+		}
+		if score == 0 {
+			return
+		}
+		// Candidates are boosted by their own importance so that, among
+		// equally-connected pages, the popular one is proposed first.
+		score *= 1 + r.ranks[title]
+		sort.Strings(shared)
+		out = append(out, Recommendation{Title: title, Score: score, Shared: shared})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Title < out[j].Title
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is an embedded relational database: a set of named tables guarded by a
+// single readers–writer lock. All SQL enters through Exec/Query; programmatic
+// accessors exist for the hot loading paths of the SMR.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table programmatically.
+func (db *DB) CreateTable(name string, cols []Column) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createTableLocked(name, cols, false)
+}
+
+func (db *DB) createTableLocked(name string, cols []Column, ifNotExists bool) error {
+	key := strings.ToLower(name)
+	if _, dup := db.tables[key]; dup {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("relational: table %q already exists", name)
+	}
+	schema, err := NewSchema(cols)
+	if err != nil {
+		return err
+	}
+	db.tables[key] = NewTable(name, schema)
+	return nil
+}
+
+// Table returns the named table (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames returns the table names sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds a row programmatically (values in schema order).
+func (db *DB) Insert(table string, row Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return 0, fmt.Errorf("relational: no table %q", table)
+	}
+	return t.Insert(row)
+}
+
+// Exec parses and runs any SQL statement.
+func (db *DB) Exec(sql string) (*ResultSet, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execSelect(s)
+	case *CreateTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if err := db.createTableLocked(s.Name, s.Columns, s.IfNotExists); err != nil {
+			return nil, err
+		}
+		return &ResultSet{}, nil
+	case *CreateIndexStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t, ok := db.tables[strings.ToLower(s.Table)]
+		if !ok {
+			return nil, fmt.Errorf("relational: no table %q", s.Table)
+		}
+		if err := t.AddIndex(s.Column); err != nil {
+			return nil, err
+		}
+		return &ResultSet{}, nil
+	case *DropTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		key := strings.ToLower(s.Name)
+		if _, ok := db.tables[key]; !ok {
+			if s.IfExists {
+				return &ResultSet{}, nil
+			}
+			return nil, fmt.Errorf("relational: no table %q", s.Name)
+		}
+		delete(db.tables, key)
+		return &ResultSet{}, nil
+	case *AlterTableStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t, ok := db.tables[strings.ToLower(s.Table)]
+		if !ok {
+			return nil, fmt.Errorf("relational: no table %q", s.Table)
+		}
+		if err := t.AddColumn(s.Column); err != nil {
+			return nil, err
+		}
+		return &ResultSet{}, nil
+	case *InsertStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execInsert(s)
+	case *UpdateStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execUpdate(s)
+	case *DeleteStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execDelete(s)
+	}
+	return nil, fmt.Errorf("relational: unsupported statement %T", stmt)
+}
+
+// Query is Exec restricted to SELECT; it exists for call-site clarity.
+func (db *DB) Query(sql string) (*ResultSet, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("relational: Query requires SELECT, got %T", stmt)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.execSelect(sel)
+}
+
+func (db *DB) execInsert(s *InsertStmt) (*ResultSet, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = make([]string, len(t.Schema.Columns))
+		for i, c := range t.Schema.Columns {
+			cols[i] = c.Name
+		}
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		pos, ok := t.Schema.ColumnIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("relational: no column %q in %s", c, s.Table)
+		}
+		positions[i] = pos
+	}
+	ctx := &evalContext{}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("relational: INSERT expects %d values, got %d", len(cols), len(exprRow))
+		}
+		row := make(Row, len(t.Schema.Columns))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, e := range exprRow {
+			v, err := eval(ctx, e)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = v
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &ResultSet{RowsAffected: n}, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt) (*ResultSet, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	type change struct {
+		id  int64
+		row Row
+	}
+	var changes []change
+	var evalErr error
+	t.Scan(func(id int64, row Row) bool {
+		ctx := &evalContext{bindings: []binding{{name: t.Name, schema: t.Schema, row: row}}}
+		if s.Where != nil {
+			v, err := eval(ctx, s.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if v.IsNull() || !truthy(v) {
+				return true
+			}
+		}
+		updated := row.Clone()
+		for _, a := range s.Set {
+			pos, ok := t.Schema.ColumnIndex(a.Column)
+			if !ok {
+				evalErr = fmt.Errorf("relational: no column %q in %s", a.Column, s.Table)
+				return false
+			}
+			v, err := eval(ctx, a.Value)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			updated[pos] = v
+		}
+		changes = append(changes, change{id: id, row: updated})
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	for _, ch := range changes {
+		if err := t.Update(ch.id, ch.row); err != nil {
+			return nil, err
+		}
+	}
+	return &ResultSet{RowsAffected: len(changes)}, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt) (*ResultSet, error) {
+	t, ok := db.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	var ids []int64
+	var evalErr error
+	t.Scan(func(id int64, row Row) bool {
+		if s.Where != nil {
+			ctx := &evalContext{bindings: []binding{{name: t.Name, schema: t.Schema, row: row}}}
+			v, err := eval(ctx, s.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if v.IsNull() || !truthy(v) {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	for _, id := range ids {
+		t.Delete(id)
+	}
+	return &ResultSet{RowsAffected: len(ids)}, nil
+}

@@ -1,0 +1,623 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// newSensorDB builds the small fixture used across the SQL tests: a sensors
+// table with a primary key and a deployments table for joins.
+func newSensorDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("Exec(%q): %v", sql, err)
+		}
+	}
+	mustExec(`CREATE TABLE sensors (
+		id INT PRIMARY KEY,
+		name TEXT NOT NULL,
+		deployment TEXT,
+		altitude FLOAT,
+		active BOOL
+	)`)
+	mustExec(`CREATE TABLE deployments (name TEXT PRIMARY KEY, site TEXT NOT NULL)`)
+	mustExec(`INSERT INTO sensors (id, name, deployment, altitude, active) VALUES
+		(1, 'wind-01', 'wannengrat', 2440.5, TRUE),
+		(2, 'temp-01', 'wannengrat', 2440.5, TRUE),
+		(3, 'snow-07', 'davos', 1560.0, FALSE),
+		(4, 'temp-02', 'davos', 1560.0, TRUE),
+		(5, 'orphan', NULL, NULL, FALSE)`)
+	mustExec(`INSERT INTO deployments VALUES ('wannengrat', 'Wannengrat Ridge'), ('davos', 'Davos Valley')`)
+	return db
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE t (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t (a INT)`); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := db.Exec(`CREATE TABLE IF NOT EXISTS t (a INT)`); err != nil {
+		t.Errorf("IF NOT EXISTS should be a no-op: %v", err)
+	}
+	if _, err := db.Exec(`CREATE TABLE u (a INT, a TEXT)`); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := db.Exec(`CREATE TABLE v (a INT PRIMARY KEY, b INT PRIMARY KEY)`); err == nil {
+		t.Error("two primary keys accepted")
+	}
+}
+
+func TestSelectAll(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT * FROM sensors ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rs.Rows))
+	}
+	if len(rs.Columns) != 5 || rs.Columns[0] != "id" {
+		t.Errorf("columns = %v", rs.Columns)
+	}
+	if rs.Rows[0][1].Text0() != "wind-01" {
+		t.Errorf("first row = %v", rs.Rows[0])
+	}
+}
+
+func TestSelectWhereAndProjection(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT name FROM sensors WHERE deployment = 'davos' AND active ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text0() != "temp-02" {
+		t.Errorf("rows = %v", rs.Rows)
+	}
+}
+
+func TestSelectLikeAndIn(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT name FROM sensors WHERE name LIKE 'temp%' ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("LIKE matched %d rows", len(rs.Rows))
+	}
+	rs, err = db.Query(`SELECT name FROM sensors WHERE id IN (1, 3) ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Text0() != "wind-01" {
+		t.Errorf("IN rows = %v", rs.Rows)
+	}
+	rs, err = db.Query(`SELECT name FROM sensors WHERE id NOT IN (1, 2, 3, 4) ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text0() != "orphan" {
+		t.Errorf("NOT IN rows = %v", rs.Rows)
+	}
+}
+
+func TestSelectIsNull(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT name FROM sensors WHERE deployment IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text0() != "orphan" {
+		t.Errorf("IS NULL rows = %v", rs.Rows)
+	}
+	rs, err = db.Query(`SELECT COUNT(*) FROM sensors WHERE deployment IS NOT NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Int64() != 4 {
+		t.Errorf("IS NOT NULL count = %v", rs.Rows[0][0])
+	}
+}
+
+func TestAggregatesAndGroupBy(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT deployment, COUNT(*) AS n, AVG(altitude) FROM sensors
+		WHERE deployment IS NOT NULL GROUP BY deployment ORDER BY deployment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("groups = %v", rs.Rows)
+	}
+	if rs.Rows[0][0].Text0() != "davos" || rs.Rows[0][1].Int64() != 2 || rs.Rows[0][2].Float64() != 1560 {
+		t.Errorf("davos group = %v", rs.Rows[0])
+	}
+	if rs.Columns[1] != "n" {
+		t.Errorf("alias lost: %v", rs.Columns)
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT COUNT(*), MIN(altitude), MAX(altitude), SUM(id) FROM sensors`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs.Rows[0]
+	if r[0].Int64() != 5 || r[1].Float64() != 1560 || r[2].Float64() != 2440.5 || r[3].Int64() != 15 {
+		t.Errorf("aggregates = %v", r)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT COUNT(DISTINCT deployment) FROM sensors`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Int64() != 2 {
+		t.Errorf("COUNT(DISTINCT) = %v, want 2 (NULL excluded)", rs.Rows[0][0])
+	}
+}
+
+func TestHaving(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT deployment, COUNT(*) AS n FROM sensors
+		WHERE deployment IS NOT NULL GROUP BY deployment HAVING COUNT(*) > 1 ORDER BY deployment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("HAVING kept %d groups, want 2", len(rs.Rows))
+	}
+	rs, err = db.Query(`SELECT deployment FROM sensors GROUP BY deployment HAVING COUNT(*) > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 0 {
+		t.Errorf("HAVING >2 kept %v", rs.Rows)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT s.name, d.site FROM sensors s
+		JOIN deployments d ON s.deployment = d.name ORDER BY s.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 4 {
+		t.Fatalf("join rows = %d, want 4", len(rs.Rows))
+	}
+	if rs.Rows[0][0].Text0() != "snow-07" || rs.Rows[0][1].Text0() != "Davos Valley" {
+		t.Errorf("first join row = %v", rs.Rows[0])
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT s.name, d.site FROM sensors s
+		LEFT JOIN deployments d ON s.deployment = d.name ORDER BY s.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 5 {
+		t.Fatalf("left join rows = %d, want 5", len(rs.Rows))
+	}
+	// orphan has no deployment: site must be NULL.
+	found := false
+	for _, r := range rs.Rows {
+		if r[0].Text0() == "orphan" {
+			found = true
+			if !r[1].IsNull() {
+				t.Errorf("orphan site = %v, want NULL", r[1])
+			}
+		}
+	}
+	if !found {
+		t.Error("orphan row missing from left join")
+	}
+}
+
+func TestOrderByDescAndLimitOffset(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT id FROM sensors ORDER BY id DESC LIMIT 2 OFFSET 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Int64() != 4 || rs.Rows[1][0].Int64() != 3 {
+		t.Errorf("rows = %v", rs.Rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT DISTINCT deployment FROM sensors WHERE deployment IS NOT NULL ORDER BY deployment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Errorf("distinct rows = %v", rs.Rows)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Exec(`UPDATE sensors SET active = FALSE WHERE deployment = 'wannengrat'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RowsAffected != 2 {
+		t.Errorf("RowsAffected = %d, want 2", rs.RowsAffected)
+	}
+	check, _ := db.Query(`SELECT COUNT(*) FROM sensors WHERE active`)
+	if check.Rows[0][0].Int64() != 1 {
+		t.Errorf("active count after update = %v", check.Rows[0][0])
+	}
+}
+
+func TestUpdateWithExpression(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec(`UPDATE sensors SET altitude = altitude + 10 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := db.Query(`SELECT altitude FROM sensors WHERE id = 1`)
+	if rs.Rows[0][0].Float64() != 2450.5 {
+		t.Errorf("altitude = %v", rs.Rows[0][0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Exec(`DELETE FROM sensors WHERE active = FALSE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RowsAffected != 2 {
+		t.Errorf("RowsAffected = %d, want 2", rs.RowsAffected)
+	}
+	left, _ := db.Query(`SELECT COUNT(*) FROM sensors`)
+	if left.Rows[0][0].Int64() != 3 {
+		t.Errorf("remaining = %v", left.Rows[0][0])
+	}
+}
+
+func TestPrimaryKeyUniqueness(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec(`INSERT INTO sensors (id, name) VALUES (1, 'dup')`); err == nil {
+		t.Error("duplicate primary key accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO sensors (name) VALUES ('no-id')`); err == nil {
+		t.Error("NULL primary key accepted")
+	}
+	if _, err := db.Exec(`INSERT INTO sensors (id) VALUES (99)`); err == nil {
+		t.Error("NULL in NOT NULL name accepted")
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec(`INSERT INTO sensors (id, name, altitude) VALUES (10, 'x', 'high')`); err == nil {
+		t.Error("text in float column accepted")
+	}
+	// int into float column is fine
+	if _, err := db.Exec(`INSERT INTO sensors (id, name, altitude) VALUES (11, 'y', 1000)`); err != nil {
+		t.Errorf("int→float insert rejected: %v", err)
+	}
+}
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec(`CREATE INDEX idx_dep ON sensors (deployment)`); err != nil {
+		t.Fatal(err)
+	}
+	// Index path and scan path must agree.
+	rs, err := db.Query(`SELECT name FROM sensors WHERE deployment = 'davos' ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Errorf("indexed lookup rows = %v", rs.Rows)
+	}
+	// Range over the indexed column.
+	rs, err = db.Query(`SELECT COUNT(*) FROM sensors WHERE altitude > 2000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Int64() != 2 {
+		t.Errorf("range count = %v", rs.Rows[0][0])
+	}
+	if _, err := db.Exec(`CREATE INDEX idx_dep2 ON sensors (deployment)`); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := db.Exec(`CREATE INDEX idx_bad ON sensors (nope)`); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT UPPER(name), LOWER('ABC'), LENGTH(name), COALESCE(deployment, 'none'),
+		CONCAT(name, '/', deployment), SUBSTR(name, 1, 4) FROM sensors WHERE id = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs.Rows[0]
+	if r[0].Text0() != "ORPHAN" || r[1].Text0() != "abc" || r[2].Int64() != 6 {
+		t.Errorf("scalar funcs = %v", r)
+	}
+	if r[3].Text0() != "none" {
+		t.Errorf("COALESCE = %v", r[3])
+	}
+	if r[4].Text0() != "orphan/" { // NULL deployment skipped by CONCAT
+		t.Errorf("CONCAT = %v", r[4])
+	}
+	if r[5].Text0() != "orph" {
+		t.Errorf("SUBSTR = %v", r[5])
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT id * 2 + 1, id / 2, -id, ABS(-3), ROUND(2.7) FROM sensors WHERE id = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs.Rows[0]
+	if r[0].Int64() != 7 {
+		t.Errorf("3*2+1 = %v", r[0])
+	}
+	if r[1].Float64() != 1.5 {
+		t.Errorf("3/2 = %v", r[1])
+	}
+	if r[2].Int64() != -3 || r[3].Int64() != 3 || r[4].Float64() != 3 {
+		t.Errorf("unary/abs/round = %v", r)
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT id / 0 FROM sensors WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Rows[0][0].IsNull() {
+		t.Errorf("x/0 = %v, want NULL", rs.Rows[0][0])
+	}
+}
+
+func TestQueryRejectsNonSelect(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Query(`DELETE FROM sensors`); err == nil {
+		t.Error("Query accepted DELETE")
+	}
+}
+
+func TestUnknownTableAndColumnErrors(t *testing.T) {
+	db := newSensorDB(t)
+	for _, sql := range []string{
+		`SELECT * FROM nope`,
+		`SELECT nope FROM sensors`,
+		`SELECT s.nope FROM sensors s`,
+		`INSERT INTO nope VALUES (1)`,
+		`INSERT INTO sensors (nope) VALUES (1)`,
+		`UPDATE nope SET a = 1`,
+		`DELETE FROM nope`,
+	} {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("no error for %q", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := newSensorDB(t)
+	// Both tables have a "name" column.
+	if _, err := db.Query(`SELECT name FROM sensors s JOIN deployments d ON s.deployment = d.name`); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, sql := range []string{
+		``,
+		`SELEC * FROM t`,
+		`SELECT FROM t`,
+		`SELECT * FROM`,
+		`SELECT * FROM t WHERE`,
+		`INSERT INTO t VALUES`,
+		`CREATE TABLE t`,
+		`CREATE TABLE t (a BADTYPE)`,
+		`SELECT * FROM t; SELECT 1 FROM u`,
+		`SELECT 'unterminated FROM t`,
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("no parse error for %q", sql)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec(`CREATE INDEX idx_dep ON sensors (deployment)`); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewDB()
+	if err := restored.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`SELECT COUNT(*) FROM sensors`,
+		`SELECT COUNT(*) FROM deployments`,
+		`SELECT name FROM sensors WHERE deployment = 'davos' ORDER BY name`,
+	} {
+		a, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%q: %d vs %d rows after restore", q, len(a.Rows), len(b.Rows))
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j].String() != b.Rows[i][j].String() {
+					t.Errorf("%q row %d col %d: %v vs %v", q, i, j, a.Rows[i][j], b.Rows[i][j])
+				}
+			}
+		}
+	}
+	// NULL survives the round trip.
+	rs, _ := restored.Query(`SELECT deployment FROM sensors WHERE id = 5`)
+	if !rs.Rows[0][0].IsNull() {
+		t.Error("NULL did not survive snapshot round trip")
+	}
+}
+
+func TestLoadRejectsNonEmptyDB(t *testing.T) {
+	db := newSensorDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(&buf); err == nil {
+		t.Error("Load into non-empty database accepted")
+	}
+}
+
+func TestProgrammaticAPI(t *testing.T) {
+	db := NewDB()
+	err := db.CreateTable("t", []Column{
+		{Name: "k", Type: TypeText, PrimaryKey: true},
+		{Name: "v", Type: TypeInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("t", Row{Text("a"), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("missing", Row{Text("a")}); err == nil {
+		t.Error("insert into missing table accepted")
+	}
+	tab, ok := db.Table("T") // case-insensitive
+	if !ok || tab.NumRows() != 1 {
+		t.Error("Table lookup failed")
+	}
+	if names := db.TableNames(); len(names) != 1 || names[0] != "t" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestTableUpdateDeleteByID(t *testing.T) {
+	db := NewDB()
+	if err := db.CreateTable("t", []Column{{Name: "v", Type: TypeInt, Unique: true}}); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Table("t")
+	id, err := tab.Insert(Row{Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := tab.Insert(Row{Int(2)})
+	if err := tab.Update(id, Row{Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Update(id, Row{Int(2)}); err == nil {
+		t.Error("unique violation on update accepted")
+	}
+	if err := tab.Update(999, Row{Int(9)}); err == nil {
+		t.Error("update of missing row accepted")
+	}
+	if !tab.Delete(id2) || tab.Delete(id2) {
+		t.Error("delete semantics wrong")
+	}
+	r, ok := tab.Get(id)
+	if !ok || r[0].Int64() != 3 {
+		t.Errorf("Get = %v %v", r, ok)
+	}
+}
+
+func TestIndexRangeAndDelete(t *testing.T) {
+	ix := NewIndex("v", 0, false)
+	for i := 0; i < 10; i++ {
+		if err := ix.Insert(Int(int64(i%5)), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(ix.Lookup(Int(3))); got != 2 {
+		t.Errorf("Lookup(3) returned %d ids", got)
+	}
+	if got := len(ix.Range(Int(1), true, Int(3), true)); got != 6 {
+		t.Errorf("Range[1,3] returned %d ids", got)
+	}
+	if got := len(ix.Range(Null(), false, Null(), false)); got != 10 {
+		t.Errorf("full range returned %d ids", got)
+	}
+	if !ix.Delete(Int(3), 3) {
+		t.Error("delete of present entry failed")
+	}
+	if ix.Delete(Int(3), 3) {
+		t.Error("double delete succeeded")
+	}
+	if got := len(ix.Lookup(Int(3))); got != 1 {
+		t.Errorf("after delete Lookup(3) returned %d ids", got)
+	}
+}
+
+func TestUniqueIndexRejectsDuplicates(t *testing.T) {
+	ix := NewIndex("v", 0, true)
+	if err := ix.Insert(Int(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(Int(1), 1); err == nil {
+		t.Error("duplicate in unique index accepted")
+	}
+	// NULLs are exempt from uniqueness.
+	if err := ix.Insert(Null(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(Null(), 3); err != nil {
+		t.Errorf("second NULL rejected: %v", err)
+	}
+}
+
+func TestBareAliasAndQualifiedStar(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT name sensor_name FROM sensors WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Columns[0] != "sensor_name" {
+		t.Errorf("bare alias lost: %v", rs.Columns)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	db := newSensorDB(t)
+	rs, err := db.Query(`SELECT deployment, COUNT(*) AS n FROM sensors
+		WHERE deployment IS NOT NULL GROUP BY deployment ORDER BY n DESC, deployment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	if rs.Rows[0][1].Int64() < rs.Rows[1][1].Int64() {
+		t.Error("ORDER BY alias DESC not applied")
+	}
+}

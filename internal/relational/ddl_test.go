@@ -1,0 +1,96 @@
+package relational
+
+import "testing"
+
+func TestDropTable(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec("DROP TABLE deployments"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Table("deployments"); ok {
+		t.Error("table still present after DROP")
+	}
+	if _, err := db.Exec("DROP TABLE deployments"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if _, err := db.Exec("DROP TABLE IF EXISTS deployments"); err != nil {
+		t.Errorf("IF EXISTS drop errored: %v", err)
+	}
+	// The other table is untouched.
+	rs, err := db.Query("SELECT COUNT(*) FROM sensors")
+	if err != nil || rs.Rows[0][0].Int64() != 5 {
+		t.Errorf("sensors table damaged: %v %v", rs, err)
+	}
+}
+
+func TestAlterTableAddColumn(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec("ALTER TABLE sensors ADD COLUMN vendor TEXT"); err != nil {
+		t.Fatal(err)
+	}
+	// Existing rows read NULL in the new column.
+	rs, err := db.Query("SELECT vendor FROM sensors WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Rows[0][0].IsNull() {
+		t.Errorf("new column value = %v, want NULL", rs.Rows[0][0])
+	}
+	// New rows can fill it.
+	if _, err := db.Exec("INSERT INTO sensors (id, name, vendor) VALUES (10, 'new', 'Vaisala')"); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = db.Query("SELECT COUNT(*) FROM sensors WHERE vendor IS NOT NULL")
+	if rs.Rows[0][0].Int64() != 1 {
+		t.Errorf("vendor count = %v", rs.Rows[0][0])
+	}
+	// Updates touch it too.
+	if _, err := db.Exec("UPDATE sensors SET vendor = 'Campbell' WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = db.Query("SELECT vendor FROM sensors WHERE id = 2")
+	if rs.Rows[0][0].Text0() != "Campbell" {
+		t.Errorf("updated vendor = %v", rs.Rows[0][0])
+	}
+}
+
+func TestAlterTableRejections(t *testing.T) {
+	db := newSensorDB(t)
+	for _, sql := range []string{
+		"ALTER TABLE sensors ADD COLUMN name TEXT",         // duplicate
+		"ALTER TABLE sensors ADD COLUMN x INT NOT NULL",    // unfillable
+		"ALTER TABLE sensors ADD COLUMN y INT PRIMARY KEY", // second pk
+		"ALTER TABLE missing ADD COLUMN z INT",             // no table
+	} {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("no error for %q", sql)
+		}
+	}
+}
+
+func TestAlterTableAddUniqueColumn(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec("ALTER TABLE sensors ADD serial TEXT UNIQUE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("UPDATE sensors SET serial = 'S-1' WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("UPDATE sensors SET serial = 'S-1' WHERE id = 2"); err == nil {
+		t.Error("unique violation on added column accepted")
+	}
+}
+
+func TestDropAndRecreate(t *testing.T) {
+	db := newSensorDB(t)
+	if _, err := db.Exec("DROP TABLE sensors"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE sensors (id INT PRIMARY KEY)"); err != nil {
+		t.Fatalf("recreate after drop: %v", err)
+	}
+	rs, err := db.Query("SELECT COUNT(*) FROM sensors")
+	if err != nil || rs.Rows[0][0].Int64() != 0 {
+		t.Errorf("recreated table not empty: %v %v", rs, err)
+	}
+}

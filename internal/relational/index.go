@@ -1,0 +1,95 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is an ordered secondary index over one column: a sorted slice of
+// (value, row id) pairs with binary search for point and range lookups.
+// Sorted-array indexes keep scans cache-friendly and make range queries
+// (the map/bounding-box browsing path) a pair of binary searches; inserts
+// are O(n) worst case, which is fine at metadata scale (the SMR holds
+// thousands of pages, not billions of rows).
+type Index struct {
+	Column string
+	Pos    int // column position in the table schema
+	Unique bool
+	keys   []Value
+	ids    []int64
+}
+
+// NewIndex creates an empty index over the column at position pos.
+func NewIndex(column string, pos int, unique bool) *Index {
+	return &Index{Column: column, Pos: pos, Unique: unique}
+}
+
+// Len returns the number of entries.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// search returns the first position whose key is >= v.
+func (ix *Index) search(v Value) int {
+	return sort.Search(len(ix.keys), func(i int) bool { return Compare(ix.keys[i], v) >= 0 })
+}
+
+// Insert adds an entry. Duplicate values are allowed unless Unique; a
+// duplicate on a unique index is an error (NULLs are exempt, as in SQL).
+func (ix *Index) Insert(v Value, id int64) error {
+	p := ix.search(v)
+	if ix.Unique && !v.IsNull() && p < len(ix.keys) && Compare(ix.keys[p], v) == 0 {
+		return fmt.Errorf("relational: unique index %s violated by %s", ix.Column, v)
+	}
+	ix.keys = append(ix.keys, Value{})
+	ix.ids = append(ix.ids, 0)
+	copy(ix.keys[p+1:], ix.keys[p:])
+	copy(ix.ids[p+1:], ix.ids[p:])
+	ix.keys[p] = v
+	ix.ids[p] = id
+	return nil
+}
+
+// Delete removes the (v, id) entry if present and reports success.
+func (ix *Index) Delete(v Value, id int64) bool {
+	for p := ix.search(v); p < len(ix.keys) && Compare(ix.keys[p], v) == 0; p++ {
+		if ix.ids[p] == id {
+			ix.keys = append(ix.keys[:p], ix.keys[p+1:]...)
+			ix.ids = append(ix.ids[:p], ix.ids[p+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the row ids whose key equals v (never NULL matches).
+func (ix *Index) Lookup(v Value) []int64 {
+	if v.IsNull() {
+		return nil
+	}
+	var out []int64
+	for p := ix.search(v); p < len(ix.keys) && Compare(ix.keys[p], v) == 0; p++ {
+		out = append(out, ix.ids[p])
+	}
+	return out
+}
+
+// Range returns row ids with lo <= key <= hi (either bound may be omitted
+// by passing a NULL Value and setting the has flag false). NULL keys are
+// never returned.
+func (ix *Index) Range(lo Value, hasLo bool, hi Value, hasHi bool) []int64 {
+	start := 0
+	if hasLo {
+		start = ix.search(lo)
+	}
+	var out []int64
+	for p := start; p < len(ix.keys); p++ {
+		k := ix.keys[p]
+		if k.IsNull() {
+			continue
+		}
+		if hasHi && Compare(k, hi) > 0 {
+			break
+		}
+		out = append(out, ix.ids[p])
+	}
+	return out
+}

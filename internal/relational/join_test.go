@@ -1,0 +1,163 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestHashJoinMatchesNestedLoop builds random parent/child tables and
+// compares the hash-joinable equality form against a semantically equal
+// condition the optimizer cannot hash (forcing the nested-loop path).
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		db := NewDB()
+		if _, err := db.Exec(`CREATE TABLE parent (pid INT PRIMARY KEY, label TEXT)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE TABLE child (cid INT PRIMARY KEY, pid INT)`); err != nil {
+			t.Fatal(err)
+		}
+		nP, nC := 5+rng.Intn(10), 20+rng.Intn(30)
+		for i := 0; i < nP; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO parent VALUES (%d, 'p%d')", i, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < nC; i++ {
+			// Some children reference missing parents; some have NULL.
+			ref := "NULL"
+			if rng.Intn(5) > 0 {
+				ref = fmt.Sprintf("%d", rng.Intn(nP+3))
+			}
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO child VALUES (%d, %s)", i, ref)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Hash path: plain equality.
+		fast, err := db.Query(`SELECT c.cid, p.label FROM child c JOIN parent p ON c.pid = p.pid ORDER BY c.cid`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Nested-loop path: the +0 arithmetic makes both sides reference
+		// the joined table in a shape the hash planner rejects.
+		slow, err := db.Query(`SELECT c.cid, p.label FROM child c JOIN parent p ON c.pid = p.pid + 0 ORDER BY c.cid`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast.Rows) != len(slow.Rows) {
+			t.Fatalf("trial %d: hash join %d rows, nested loop %d", trial, len(fast.Rows), len(slow.Rows))
+		}
+		for i := range fast.Rows {
+			for j := range fast.Rows[i] {
+				if fast.Rows[i][j].String() != slow.Rows[i][j].String() {
+					t.Fatalf("trial %d row %d: %v vs %v", trial, i, fast.Rows[i], slow.Rows[i])
+				}
+			}
+		}
+
+		// LEFT JOIN parity between the two paths.
+		fastL, err := db.Query(`SELECT c.cid, p.label FROM child c LEFT JOIN parent p ON c.pid = p.pid ORDER BY c.cid`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slowL, err := db.Query(`SELECT c.cid, p.label FROM child c LEFT JOIN parent p ON c.pid = p.pid + 0 ORDER BY c.cid`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fastL.Rows) != nC || len(slowL.Rows) != nC {
+			t.Fatalf("trial %d: left join rows %d/%d, want %d", trial, len(fastL.Rows), len(slowL.Rows), nC)
+		}
+		for i := range fastL.Rows {
+			if fastL.Rows[i][1].String() != slowL.Rows[i][1].String() {
+				t.Fatalf("trial %d left row %d: %v vs %v", trial, i, fastL.Rows[i], slowL.Rows[i])
+			}
+		}
+	}
+}
+
+func TestHashJoinCrossTypeNumericKeys(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE a (k FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE b (k INT, tag TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO a VALUES (2.0), (3.5)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO b VALUES (2, 'two'), (3, 'three')`); err != nil {
+		t.Fatal(err)
+	}
+	// 2.0 (float) must join with 2 (int).
+	rs, err := db.Query(`SELECT b.tag FROM a JOIN b ON a.k = b.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text0() != "two" {
+		t.Errorf("cross-type join rows = %v", rs.Rows)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := NewDB()
+	for _, sql := range []string{
+		`CREATE TABLE site (s TEXT PRIMARY KEY)`,
+		`CREATE TABLE dep (d TEXT PRIMARY KEY, s TEXT)`,
+		`CREATE TABLE sen (n TEXT PRIMARY KEY, d TEXT)`,
+		`INSERT INTO site VALUES ('davos'), ('zermatt')`,
+		`INSERT INTO dep VALUES ('d1', 'davos'), ('d2', 'zermatt')`,
+		`INSERT INTO sen VALUES ('s1', 'd1'), ('s2', 'd1'), ('s3', 'd2')`,
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := db.Query(`SELECT sen.n, site.s FROM sen
+		JOIN dep ON sen.d = dep.d
+		JOIN site ON dep.s = site.s
+		WHERE site.s = 'davos' ORDER BY sen.n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Text0() != "s1" || rs.Rows[1][0].Text0() != "s2" {
+		t.Errorf("three-way join rows = %v", rs.Rows)
+	}
+}
+
+func BenchmarkJoinHashVsNestedLoop(b *testing.B) {
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE parent (pid INT PRIMARY KEY, label TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE child (cid INT PRIMARY KEY, pid INT)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO parent VALUES (%d, 'p%d')", i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO child VALUES (%d, %d)", i, i%200)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(`SELECT COUNT(*) FROM child c JOIN parent p ON c.pid = p.pid`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nested-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(`SELECT COUNT(*) FROM child c JOIN parent p ON c.pid = p.pid + 0`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

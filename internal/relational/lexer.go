@@ -1,0 +1,157 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , * = != <> < <= > >= + - / .
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits a SQL string into tokens. Keywords are returned as tokIdent;
+// the parser matches them case-insensitively.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lexSQL(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'' || c == '"':
+			s, err := l.lexString(c)
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.lexNumber(), pos: start})
+		case isIdentStart(c):
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.lexIdent(), pos: start})
+		default:
+			p, err := l.lexPunct()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, pos: start})
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// line comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString(quote byte) (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// doubled quote escapes itself
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("relational: unterminated string at offset %d", l.pos)
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(rune(c)):
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+				l.pos++
+			}
+		default:
+			return l.src[start:l.pos]
+		}
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexPunct() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<>", "<=", ">=":
+		l.pos += 2
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.', ';', '%':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("relational: unexpected character %q at offset %d", c, l.pos)
+}

@@ -1,0 +1,534 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execSelect runs a SELECT. Callers hold at least a read lock.
+func (db *DB) execSelect(s *SelectStmt) (*ResultSet, error) {
+	// Resolve FROM and JOIN tables.
+	base, ok := db.tables[strings.ToLower(s.From.Table)]
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.From.Table)
+	}
+	type src struct {
+		ref   TableRef
+		table *Table
+		join  *JoinClause
+	}
+	sources := []src{{ref: s.From, table: base}}
+	for i := range s.Joins {
+		jt, ok := db.tables[strings.ToLower(s.Joins[i].Table.Table)]
+		if !ok {
+			return nil, fmt.Errorf("relational: no table %q", s.Joins[i].Table.Table)
+		}
+		sources = append(sources, src{ref: s.Joins[i].Table, table: jt, join: &s.Joins[i]})
+	}
+
+	// Produce joined row contexts with left-deep nested loops. The base
+	// table scan is narrowed through an index when the WHERE clause pins an
+	// indexed column (single-table fast path used heavily by the SMR).
+	var contexts []*evalContext
+	baseRows, err := db.candidateRows(base, s)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range baseRows {
+		contexts = append(contexts, &evalContext{bindings: []binding{{name: s.From.Name(), schema: base.Schema, row: row}}})
+	}
+
+	for _, sc := range sources[1:] {
+		// Hash-join fast path: ON of the form left.col = right.col where
+		// "right" resolves in the table being joined and "left" in the
+		// accumulated bindings. Falls back to a nested-loop scan for any
+		// other condition shape.
+		probe, build, hashable := hashJoinKeys(sc.join.On, sc.ref.Name(), sc.table.Schema)
+		var next []*evalContext
+		if hashable {
+			// Build side: hash the joined table once. Numeric values hash
+			// by their float64 spelling so int 2 and float 2.0 join, as
+			// the = operator would.
+			buildIdx := make(map[string][]Row)
+			sc.table.Scan(func(_ int64, row Row) bool {
+				v := row[build]
+				if !v.IsNull() {
+					buildIdx[joinKey(v)] = append(buildIdx[joinKey(v)], row)
+				}
+				return true
+			})
+			for _, ctx := range contexts {
+				pv, err := eval(ctx, probe)
+				if err != nil {
+					return nil, err
+				}
+				var matches []Row
+				if !pv.IsNull() {
+					matches = buildIdx[joinKey(pv)]
+				}
+				for _, row := range matches {
+					next = append(next, &evalContext{bindings: append(append([]binding{}, ctx.bindings...),
+						binding{name: sc.ref.Name(), schema: sc.table.Schema, row: row})})
+				}
+				if len(matches) == 0 && sc.join.Left {
+					next = append(next, &evalContext{bindings: append(append([]binding{}, ctx.bindings...),
+						binding{name: sc.ref.Name(), schema: sc.table.Schema, row: nil})})
+				}
+			}
+			contexts = next
+			continue
+		}
+		for _, ctx := range contexts {
+			matched := false
+			var scanErr error
+			sc.table.Scan(func(_ int64, row Row) bool {
+				cand := &evalContext{bindings: append(append([]binding{}, ctx.bindings...),
+					binding{name: sc.ref.Name(), schema: sc.table.Schema, row: row})}
+				v, err := eval(cand, sc.join.On)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !v.IsNull() && truthy(v) {
+					matched = true
+					next = append(next, cand)
+				}
+				return true
+			})
+			if scanErr != nil {
+				return nil, scanErr
+			}
+			if !matched && sc.join.Left {
+				next = append(next, &evalContext{bindings: append(append([]binding{}, ctx.bindings...),
+					binding{name: sc.ref.Name(), schema: sc.table.Schema, row: nil})})
+			}
+		}
+		contexts = next
+	}
+
+	// WHERE.
+	if s.Where != nil {
+		filtered := contexts[:0]
+		for _, ctx := range contexts {
+			v, err := eval(ctx, s.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNull() && truthy(v) {
+				filtered = append(filtered, ctx)
+			}
+		}
+		contexts = filtered
+	}
+
+	// Expand the projection list; a nil Expr means * over all bindings.
+	var projExprs []Expr
+	var colNames []string
+	expandStar := func() {
+		for _, sc := range sources {
+			for _, c := range sc.table.Schema.Columns {
+				projExprs = append(projExprs, &ColumnRef{Table: sc.ref.Name(), Name: c.Name})
+				colNames = append(colNames, c.Name)
+			}
+		}
+	}
+	grouped := len(s.GroupBy) > 0
+	for _, se := range s.Exprs {
+		if se.Expr == nil {
+			expandStar()
+			continue
+		}
+		if hasAggregate(se.Expr) {
+			grouped = true
+		}
+		projExprs = append(projExprs, se.Expr)
+		colNames = append(colNames, selectLabel(se))
+	}
+
+	var outRows []Row
+	var orderKeys [][]Value
+
+	evalOrderKeys := func(ctx *evalContext, projected Row) ([]Value, error) {
+		keys := make([]Value, len(s.OrderBy))
+		for i, ok := range s.OrderBy {
+			// An ORDER BY key naming a projection alias sorts on the
+			// projected value.
+			if ref, isRef := ok.Expr.(*ColumnRef); isRef && ref.Table == "" {
+				found := false
+				for ci, cn := range colNames {
+					if strings.EqualFold(cn, ref.Name) {
+						keys[i] = projected[ci]
+						found = true
+						break
+					}
+				}
+				if found {
+					continue
+				}
+			}
+			v, err := eval(ctx, ok.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		return keys, nil
+	}
+
+	if grouped {
+		// Group contexts by the GROUP BY key (one global group when absent).
+		groups := make(map[string]*groupState)
+		var order []string
+		for _, ctx := range contexts {
+			var kv []Value
+			for _, ge := range s.GroupBy {
+				v, err := eval(ctx, ge)
+				if err != nil {
+					return nil, err
+				}
+				kv = append(kv, v)
+			}
+			k := rowKey(kv)
+			g, ok := groups[k]
+			if !ok {
+				g = &groupState{}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, ctx)
+		}
+		if len(groups) == 0 && len(s.GroupBy) == 0 {
+			// Aggregates over an empty input still yield one row.
+			groups[""] = &groupState{}
+			order = append(order, "")
+		}
+		for _, k := range order {
+			g := groups[k]
+			// Representative row context for non-aggregate expressions.
+			var rep *evalContext
+			if len(g.rows) > 0 {
+				rep = g.rows[0]
+			} else {
+				rep = &evalContext{bindings: []binding{{name: s.From.Name(), schema: base.Schema, row: nil}}}
+			}
+			gctx := &evalContext{bindings: rep.bindings, group: g}
+			if s.Having != nil {
+				v, err := eval(gctx, s.Having)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !truthy(v) {
+					continue
+				}
+			}
+			row := make(Row, len(projExprs))
+			for i, e := range projExprs {
+				v, err := eval(gctx, e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			outRows = append(outRows, row)
+			if len(s.OrderBy) > 0 {
+				keys, err := evalOrderKeys(gctx, row)
+				if err != nil {
+					return nil, err
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+		}
+	} else {
+		for _, ctx := range contexts {
+			row := make(Row, len(projExprs))
+			for i, e := range projExprs {
+				v, err := eval(ctx, e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			outRows = append(outRows, row)
+			if len(s.OrderBy) > 0 {
+				keys, err := evalOrderKeys(ctx, row)
+				if err != nil {
+					return nil, err
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+		}
+	}
+
+	// DISTINCT.
+	if s.Distinct {
+		seen := make(map[string]bool)
+		dedup := outRows[:0]
+		var dedupKeys [][]Value
+		for i, r := range outRows {
+			k := rowKey(r)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dedup = append(dedup, r)
+			if len(orderKeys) > 0 {
+				dedupKeys = append(dedupKeys, orderKeys[i])
+			}
+		}
+		outRows = dedup
+		if len(orderKeys) > 0 {
+			orderKeys = dedupKeys
+		}
+	}
+
+	// ORDER BY.
+	if len(s.OrderBy) > 0 && len(outRows) > 1 {
+		desc := make([]bool, len(s.OrderBy))
+		for i, okey := range s.OrderBy {
+			desc[i] = okey.Desc
+		}
+		sortRowsWithKeys(outRows, orderKeys, desc)
+	}
+
+	// OFFSET / LIMIT.
+	if s.HasOffset {
+		if s.Offset >= len(outRows) {
+			outRows = nil
+		} else {
+			outRows = outRows[s.Offset:]
+		}
+	}
+	if s.HasLimit && s.Limit < len(outRows) {
+		outRows = outRows[:s.Limit]
+	}
+
+	return &ResultSet{Columns: colNames, Rows: outRows}, nil
+}
+
+// sortRowsWithKeys stably sorts rows (and their keys) by the key columns.
+func sortRowsWithKeys(rows []Row, keys [][]Value, desc []bool) {
+	if len(keys) != len(rows) {
+		return
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range ka {
+			c := Compare(ka[i], kb[i])
+			if c == 0 {
+				continue
+			}
+			if desc[i] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	outRows := make([]Row, len(rows))
+	outKeys := make([][]Value, len(keys))
+	for i, j := range idx {
+		outRows[i] = rows[j]
+		outKeys[i] = keys[j]
+	}
+	copy(rows, outRows)
+	copy(keys, outKeys)
+}
+
+// joinKey renders a value as a hash-join key with =-compatible equality:
+// numerics collapse to one spelling regardless of int/float type.
+func joinKey(v Value) string {
+	if v.IsNumeric() {
+		return "N:" + Float(v.Float64()).String()
+	}
+	return v.Type().String() + ":" + v.String()
+}
+
+// hashJoinKeys decides whether a join condition is a simple equality
+// between a column of the table being joined (returned as its position,
+// the build side) and an expression over earlier bindings (the probe
+// side). The equality operator's cross-type numeric semantics are handled
+// by the caller.
+func hashJoinKeys(on Expr, joinName string, joinSchema *Schema) (probe Expr, build int, ok bool) {
+	b, isBin := on.(*Binary)
+	if !isBin || b.Op != "=" {
+		return nil, 0, false
+	}
+	side := func(e Expr) (int, bool) {
+		ref, isRef := e.(*ColumnRef)
+		if !isRef {
+			return 0, false
+		}
+		if ref.Table == "" || !strings.EqualFold(ref.Table, joinName) {
+			return 0, false
+		}
+		pos, found := joinSchema.ColumnIndex(ref.Name)
+		return pos, found
+	}
+	refersToJoin := func(e Expr) bool {
+		found := false
+		var walk func(Expr)
+		walk = func(e Expr) {
+			switch x := e.(type) {
+			case *ColumnRef:
+				if x.Table == "" || strings.EqualFold(x.Table, joinName) {
+					// Unqualified references are ambiguous; be conservative.
+					if _, in := joinSchema.ColumnIndex(x.Name); in {
+						found = true
+					}
+				}
+			case *Binary:
+				walk(x.L)
+				walk(x.R)
+			case *Unary:
+				walk(x.X)
+			case *Call:
+				for _, a := range x.Args {
+					walk(a)
+				}
+			case *InExpr:
+				walk(x.X)
+				for _, a := range x.List {
+					walk(a)
+				}
+			case *IsNullExpr:
+				walk(x.X)
+			}
+		}
+		walk(e)
+		return found
+	}
+	if pos, isBuild := side(b.L); isBuild && !refersToJoin(b.R) {
+		return b.R, pos, true
+	}
+	if pos, isBuild := side(b.R); isBuild && !refersToJoin(b.L) {
+		return b.L, pos, true
+	}
+	return nil, 0, false
+}
+
+// selectLabel derives the output column label of a projection.
+func selectLabel(se SelectExpr) string {
+	if se.Alias != "" {
+		return se.Alias
+	}
+	switch e := se.Expr.(type) {
+	case *ColumnRef:
+		return e.Name
+	case *Call:
+		if e.Star {
+			return strings.ToLower(e.Name) + "(*)"
+		}
+		return strings.ToLower(e.Name)
+	}
+	return "expr"
+}
+
+// candidateRows returns the base-table rows to consider, using an index
+// when the WHERE clause contains a top-level equality or range conjunct on
+// an indexed column of a single-table query.
+func (db *DB) candidateRows(t *Table, s *SelectStmt) ([]Row, error) {
+	useIndex := len(s.Joins) == 0 && s.Where != nil
+	if useIndex {
+		if ids, ok := indexLookupIDs(t, s.From.Name(), s.Where); ok {
+			rows := make([]Row, 0, len(ids))
+			for _, id := range ids {
+				if r, live := t.Get(id); live {
+					rows = append(rows, r)
+				}
+			}
+			return rows, nil
+		}
+	}
+	rows := make([]Row, 0, t.NumRows())
+	t.Scan(func(_ int64, row Row) bool {
+		rows = append(rows, row)
+		return true
+	})
+	return rows, nil
+}
+
+// indexLookupIDs walks the top-level AND conjuncts of a WHERE expression
+// looking for `col = literal` or a range bound on an indexed column of the
+// table. It returns candidate row ids and whether an index was usable; the
+// full predicate is still re-checked per row afterwards, so over-matching
+// is harmless.
+func indexLookupIDs(t *Table, tableName string, where Expr) ([]int64, bool) {
+	var conjuncts []Expr
+	var collect func(e Expr)
+	collect = func(e Expr) {
+		if b, ok := e.(*Binary); ok && b.Op == "AND" {
+			collect(b.L)
+			collect(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	collect(where)
+
+	colOf := func(e Expr) (string, bool) {
+		ref, ok := e.(*ColumnRef)
+		if !ok {
+			return "", false
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, tableName) {
+			return "", false
+		}
+		return ref.Name, true
+	}
+	litOf := func(e Expr) (Value, bool) {
+		l, ok := e.(*Literal)
+		if !ok {
+			return Value{}, false
+		}
+		return l.Val, true
+	}
+
+	for _, e := range conjuncts {
+		b, ok := e.(*Binary)
+		if !ok {
+			continue
+		}
+		col, lit, op := "", Value{}, b.Op
+		if c, okc := colOf(b.L); okc {
+			if v, okl := litOf(b.R); okl {
+				col, lit = c, v
+			}
+		} else if c, okc := colOf(b.R); okc {
+			if v, okl := litOf(b.L); okl {
+				col, lit = c, v
+				// flip the operator for literal-on-left ranges
+				switch op {
+				case "<":
+					op = ">"
+				case "<=":
+					op = ">="
+				case ">":
+					op = "<"
+				case ">=":
+					op = "<="
+				}
+			}
+		}
+		if col == "" {
+			continue
+		}
+		idx, ok := t.Index(col)
+		if !ok {
+			continue
+		}
+		switch op {
+		case "=":
+			return idx.Lookup(lit), true
+		case "<", "<=":
+			return idx.Range(Null(), false, lit, true), true
+		case ">", ">=":
+			return idx.Range(lit, true, Null(), false), true
+		}
+	}
+	return nil, false
+}

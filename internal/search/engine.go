@@ -1,0 +1,345 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/smr"
+	"repro/internal/wiki"
+)
+
+// FilterOp is a property-filter comparison in an advanced query.
+type FilterOp string
+
+// Supported filter operators.
+const (
+	OpEquals   FilterOp = "="
+	OpNotEqual FilterOp = "!="
+	OpLess     FilterOp = "<"
+	OpLessEq   FilterOp = "<="
+	OpGreater  FilterOp = ">"
+	OpGreatEq  FilterOp = ">="
+	OpContains FilterOp = "contains"
+)
+
+// PropertyFilter restricts results to pages whose annotation satisfies the
+// comparison. Ordered operators compare numerically when both sides parse
+// as numbers, lexically otherwise.
+type PropertyFilter struct {
+	Property string
+	Op       FilterOp
+	Value    string
+}
+
+// SortKey selects the ordering of results.
+type SortKey string
+
+// Supported sort keys (the interface's "sort by" drop-down).
+const (
+	SortRelevance SortKey = "relevance"
+	SortTitle     SortKey = "title"
+	SortRank      SortKey = "rank" // PageRank score, supplied by the caller
+)
+
+// Order is the explicit result direction ("order by" in the interface).
+type Order string
+
+// Order values. OrderDefault gives each sort key its natural direction:
+// descending for relevance and rank, ascending for title.
+const (
+	OrderDefault Order = ""
+	OrderAsc     Order = "asc"
+	OrderDesc    Order = "desc"
+)
+
+// Query is the advanced search input: free-text keywords plus structured
+// options, mirroring the paper's query interface (keyword, sort by, order
+// by, property conditions, namespace scope).
+type Query struct {
+	Keywords  string
+	Mode      Mode
+	Filters   []PropertyFilter
+	Namespace string // "" means all namespaces
+	Category  string // "" means all categories
+	SortBy    SortKey
+	Order     Order
+	Limit     int // 0 means no limit
+	Offset    int
+	User      string // ACL principal; "" means anonymous
+}
+
+// Result is one search result with its component scores.
+type Result struct {
+	Title     string
+	Relevance float64
+	Rank      float64 // PageRank score when the engine has one
+	Matched   map[string]string
+}
+
+// Engine executes advanced queries against an SMR repository. PageRank
+// scores are pushed in by the ranking layer (internal/ranking) — the engine
+// itself stays ignorant of how they are computed.
+type Engine struct {
+	repo  *smr.Repository
+	index *Index
+	trie  *Trie
+	ranks map[string]float64
+}
+
+// NewEngine builds an engine and indexes the current repository content.
+func NewEngine(repo *smr.Repository) *Engine {
+	e := &Engine{repo: repo, index: NewIndex(), trie: NewTrie(), ranks: map[string]float64{}}
+	e.Rebuild()
+	return e
+}
+
+// Rebuild re-indexes every page: wikitext plus annotation text, so both
+// prose and structured values are searchable, as in Semantic MediaWiki.
+func (e *Engine) Rebuild() {
+	e.index = NewIndex()
+	e.trie = NewTrie()
+	e.repo.Wiki.Each(func(p *wiki.Page) {
+		title := p.Title.String()
+		var b strings.Builder
+		b.WriteString(title)
+		b.WriteByte('\n')
+		b.WriteString(p.Text())
+		for _, a := range p.Annotations {
+			b.WriteByte('\n')
+			b.WriteString(a.Property)
+			b.WriteByte(' ')
+			b.WriteString(a.Value)
+		}
+		e.index.Add(title, b.String())
+		e.trie.Insert(title, 2) // titles weigh above body terms
+	})
+	for _, term := range e.index.Terms() {
+		e.trie.Insert(term, 1)
+	}
+}
+
+// SetRanks installs PageRank scores for SortRank ordering and for the Rank
+// field of results.
+func (e *Engine) SetRanks(ranks map[string]float64) {
+	e.ranks = ranks
+}
+
+// Autocomplete suggests completions for a partial query.
+func (e *Engine) Autocomplete(prefix string, k int) []Completion {
+	return e.trie.Complete(prefix, k)
+}
+
+// Search runs an advanced query.
+func (e *Engine) Search(q Query) ([]Result, error) {
+	// Candidate set: keyword hits, or the whole corpus for pure-filter
+	// queries.
+	base := make(map[string]float64)
+	if strings.TrimSpace(q.Keywords) != "" {
+		for _, h := range e.index.Search(q.Keywords, q.Mode) {
+			base[h.ID] = h.Score
+		}
+	} else {
+		for _, t := range e.repo.Wiki.Titles() {
+			base[t] = 0
+		}
+	}
+
+	var out []Result
+	for title, score := range base {
+		page, ok := e.repo.Wiki.Get(title)
+		if !ok {
+			continue
+		}
+		if q.Namespace != "" && !strings.EqualFold(string(page.Title.Namespace), q.Namespace) {
+			continue
+		}
+		if q.Category != "" && !hasCategory(page, q.Category) {
+			continue
+		}
+		if !e.repo.ACL.CanRead(q.User, title) {
+			continue
+		}
+		matched, ok, err := applyFilters(page, q.Filters)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Result{
+			Title:     title,
+			Relevance: score,
+			Rank:      e.ranks[title],
+			Matched:   matched,
+		})
+	}
+
+	sortResults(out, q)
+
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && q.Limit < len(out) {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+func hasCategory(p *wiki.Page, category string) bool {
+	for _, c := range p.Categories {
+		if strings.EqualFold(c, category) {
+			return true
+		}
+	}
+	return false
+}
+
+// validOps guards against typoed operators reaching the match loop, where
+// they would silently match nothing.
+var validOps = map[FilterOp]bool{
+	OpEquals: true, OpNotEqual: true, OpLess: true, OpLessEq: true,
+	OpGreater: true, OpGreatEq: true, OpContains: true,
+}
+
+// applyFilters checks every filter against the page's annotations. It
+// returns the matched property→value pairs for display.
+func applyFilters(p *wiki.Page, filters []PropertyFilter) (map[string]string, bool, error) {
+	if len(filters) == 0 {
+		return nil, true, nil
+	}
+	matched := make(map[string]string, len(filters))
+	for _, f := range filters {
+		if !validOps[f.Op] {
+			return nil, false, fmt.Errorf("search: unknown filter operator %q", f.Op)
+		}
+		vals := p.PropertyValues(f.Property)
+		ok := false
+		for _, v := range vals {
+			hit, err := filterMatches(f, v)
+			if err != nil {
+				return nil, false, err
+			}
+			if hit {
+				ok = true
+				matched[strings.ToLower(f.Property)] = v
+				break
+			}
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	return matched, true, nil
+}
+
+func filterMatches(f PropertyFilter, value string) (bool, error) {
+	switch f.Op {
+	case OpEquals:
+		return strings.EqualFold(value, f.Value), nil
+	case OpNotEqual:
+		return !strings.EqualFold(value, f.Value), nil
+	case OpContains:
+		return strings.Contains(strings.ToLower(value), strings.ToLower(f.Value)), nil
+	case OpLess, OpLessEq, OpGreater, OpGreatEq:
+		c, err := compareMaybeNumeric(value, f.Value)
+		if err != nil {
+			return false, err
+		}
+		switch f.Op {
+		case OpLess:
+			return c < 0, nil
+		case OpLessEq:
+			return c <= 0, nil
+		case OpGreater:
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	default:
+		return false, fmt.Errorf("search: unknown filter operator %q", f.Op)
+	}
+}
+
+func compareMaybeNumeric(a, b string) (int, error) {
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1, nil
+		case fa > fb:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return strings.Compare(strings.ToLower(a), strings.ToLower(b)), nil
+}
+
+func sortResults(rs []Result, q Query) {
+	key := q.SortBy
+	if key == "" {
+		key = SortRelevance
+	}
+	// Sort into the key's natural direction first (best-first for scores,
+	// A→Z for titles), ties always broken by title for determinism.
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		switch key {
+		case SortTitle:
+			if a.Title != b.Title {
+				return a.Title < b.Title
+			}
+		case SortRank:
+			if a.Rank != b.Rank {
+				return a.Rank > b.Rank
+			}
+		default:
+			if a.Relevance != b.Relevance {
+				return a.Relevance > b.Relevance
+			}
+		}
+		return a.Title < b.Title
+	})
+	natural := OrderDesc
+	if key == SortTitle {
+		natural = OrderAsc
+	}
+	if q.Order != OrderDefault && q.Order != natural {
+		reverse(rs)
+	}
+}
+
+func reverse(rs []Result) {
+	for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+		rs[i], rs[j] = rs[j], rs[i]
+	}
+}
+
+// Facets computes value counts per property over a result set — the data
+// behind the bar/pie charts and the faceted drill-down menus.
+func (e *Engine) Facets(results []Result, properties []string) map[string]map[string]int {
+	out := make(map[string]map[string]int, len(properties))
+	for _, prop := range properties {
+		out[strings.ToLower(prop)] = make(map[string]int)
+	}
+	for _, r := range results {
+		page, ok := e.repo.Wiki.Get(r.Title)
+		if !ok {
+			continue
+		}
+		for _, prop := range properties {
+			key := strings.ToLower(prop)
+			for _, v := range page.PropertyValues(prop) {
+				out[key][v]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// posting is one document entry in a term's posting list. Positions are
+// token offsets, kept for phrase queries.
+type posting struct {
+	doc       int
+	freq      int
+	positions []int
+}
+
+// Index is an in-memory inverted index with TF-IDF scoring. Documents are
+// identified by string ids (page titles); the index assigns dense internal
+// numbers. Safe for concurrent reads; writes take the exclusive lock.
+type Index struct {
+	mu       sync.RWMutex
+	docs     []string
+	docIdx   map[string]int
+	postings map[string][]posting
+	docLen   []int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		docIdx:   make(map[string]int),
+		postings: make(map[string][]posting),
+	}
+}
+
+// Add indexes a document's text under the given id, replacing any previous
+// content for that id.
+func (ix *Index) Add(id, text string) {
+	tokens := Tokenize(text)
+	positions := make(map[string][]int)
+	for i, t := range tokens {
+		positions[t] = append(positions[t], i)
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	doc, exists := ix.docIdx[id]
+	if exists {
+		ix.removeLocked(doc)
+	} else {
+		doc = len(ix.docs)
+		ix.docIdx[id] = doc
+		ix.docs = append(ix.docs, id)
+		ix.docLen = append(ix.docLen, 0)
+	}
+	ix.docLen[doc] = len(tokens)
+	for term, pos := range positions {
+		ix.postings[term] = append(ix.postings[term], posting{doc: doc, freq: len(pos), positions: pos})
+	}
+}
+
+// removeLocked strips a document from every posting list.
+func (ix *Index) removeLocked(doc int) {
+	for term, list := range ix.postings {
+		kept := list[:0]
+		for _, p := range list {
+			if p.doc != doc {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.postings, term)
+		} else {
+			ix.postings[term] = kept
+		}
+	}
+	ix.docLen[doc] = 0
+}
+
+// Remove deletes a document from the index.
+func (ix *Index) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if doc, ok := ix.docIdx[id]; ok {
+		ix.removeLocked(doc)
+		delete(ix.docIdx, id)
+		// The dense slot stays tombstoned (docLen 0); ids are stable.
+	}
+}
+
+// NumDocs returns the number of live documents.
+func (ix *Index) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docIdx)
+}
+
+// Terms returns every indexed term, sorted (used to seed autocomplete).
+func (ix *Index) Terms() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hit is one scored search result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Mode selects the boolean semantics of multi-term queries.
+type Mode int
+
+const (
+	// ModeAll requires every query term (AND).
+	ModeAll Mode = iota
+	// ModeAny requires at least one query term (OR).
+	ModeAny
+)
+
+// Search scores documents against the query with TF-IDF (cosine-ish, length
+// normalized by raw token count) and returns hits sorted by descending
+// score, ties broken by id. Double-quoted spans are phrase constraints:
+// every quoted phrase must occur verbatim (token-adjacent) in the document.
+// An empty query returns nil.
+func (ix *Index) Search(query string, mode Mode) []Hit {
+	phrases, rest := extractPhrases(query)
+	terms := Tokenize(rest)
+	for _, p := range phrases {
+		terms = append(terms, Tokenize(p)...)
+	}
+	if len(terms) == 0 {
+		return nil
+	}
+	// dedupe query terms
+	uniq := make([]string, 0, len(terms))
+	seen := map[string]bool{}
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.docIdx)
+	if n == 0 {
+		return nil
+	}
+	scores := make(map[int]float64)
+	matched := make(map[int]int)
+	for _, term := range uniq {
+		list, ok := ix.postings[term]
+		if !ok {
+			continue
+		}
+		idf := math.Log(float64(n)/float64(len(list))) + 1
+		for _, p := range list {
+			if ix.docLen[p.doc] == 0 {
+				continue
+			}
+			tf := float64(p.freq) / float64(ix.docLen[p.doc])
+			scores[p.doc] += tf * idf
+			matched[p.doc]++
+		}
+	}
+	var hits []Hit
+	for doc, s := range scores {
+		if mode == ModeAll && matched[doc] < len(uniq) {
+			continue
+		}
+		ok := true
+		for _, p := range phrases {
+			if !ix.hasPhraseLocked(doc, Tokenize(p)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		hits = append(hits, Hit{ID: ix.docs[doc], Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	return hits
+}
+
+// extractPhrases splits a query into double-quoted phrases and the
+// remaining free text. Unbalanced quotes treat the tail as free text.
+func extractPhrases(query string) (phrases []string, rest string) {
+	var b []byte
+	for {
+		open := indexByte(query, '"')
+		if open < 0 {
+			b = append(b, query...)
+			break
+		}
+		close := indexByte(query[open+1:], '"')
+		if close < 0 {
+			b = append(b, query...)
+			break
+		}
+		b = append(b, query[:open]...)
+		b = append(b, ' ')
+		phrase := query[open+1 : open+1+close]
+		if phrase != "" {
+			phrases = append(phrases, phrase)
+		}
+		query = query[open+close+2:]
+	}
+	return phrases, string(b)
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// hasPhraseLocked reports whether the document contains the tokens at
+// consecutive positions. Caller holds at least a read lock.
+func (ix *Index) hasPhraseLocked(doc int, tokens []string) bool {
+	if len(tokens) == 0 {
+		return true
+	}
+	// Positions of the first token anchor the check.
+	first := ix.findPosting(tokens[0], doc)
+	if first == nil {
+		return false
+	}
+	for _, start := range first.positions {
+		match := true
+		for k := 1; k < len(tokens); k++ {
+			p := ix.findPosting(tokens[k], doc)
+			if p == nil || !containsInt(p.positions, start+k) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *Index) findPosting(term string, doc int) *posting {
+	for i := range ix.postings[term] {
+		if ix.postings[term][i].doc == doc {
+			return &ix.postings[term][i]
+		}
+	}
+	return nil
+}
+
+func containsInt(sorted []int, v int) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
+}

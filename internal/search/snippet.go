@@ -1,0 +1,107 @@
+package search
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Snippet extracts a display excerpt from text around the first occurrence
+// of any query term, trimmed to at most width bytes on whole-word
+// boundaries with ellipses where text was cut. With no match (or an empty
+// query) it returns the head of the text. The match is wrapped in « » so
+// display layers can style it without HTML in the core.
+func Snippet(text, query string, width int) string {
+	if width <= 0 {
+		width = 160
+	}
+	clean := strings.Join(strings.Fields(text), " ")
+	if clean == "" {
+		return ""
+	}
+	terms := Tokenize(query)
+	lower := strings.ToLower(clean)
+
+	matchStart, matchEnd := -1, -1
+	for _, term := range terms {
+		idx := indexWord(lower, term)
+		if idx >= 0 && (matchStart < 0 || idx < matchStart) {
+			matchStart, matchEnd = idx, idx+len(term)
+		}
+	}
+
+	if matchStart < 0 {
+		if len(clean) <= width {
+			return clean
+		}
+		return trimToWord(clean[:width]) + "…"
+	}
+
+	// Window centred on the match.
+	half := (width - (matchEnd - matchStart)) / 2
+	lo := matchStart - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi := matchEnd + half
+	if hi > len(clean) {
+		hi = len(clean)
+	}
+	out := clean[lo:hi]
+	// Re-find the match inside the window and mark it.
+	rel := matchStart - lo
+	out = out[:rel] + "«" + out[rel:rel+(matchEnd-matchStart)] + "»" + out[rel+(matchEnd-matchStart):]
+	if lo > 0 {
+		out = "…" + trimLeadingWord(out)
+	}
+	if hi < len(clean) {
+		out = trimToWord(out) + "…"
+	}
+	return out
+}
+
+// indexWord finds term starting at a word boundary.
+func indexWord(haystack, term string) int {
+	from := 0
+	for {
+		idx := strings.Index(haystack[from:], term)
+		if idx < 0 {
+			return -1
+		}
+		idx += from
+		atStart := idx == 0 || !isWordByte(haystack[idx-1])
+		if atStart {
+			return idx
+		}
+		from = idx + 1
+	}
+}
+
+func isWordByte(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// trimToWord removes a trailing partial word.
+func trimToWord(s string) string {
+	if i := strings.LastIndexByte(s, ' '); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// trimLeadingWord removes a leading partial word.
+func trimLeadingWord(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 && i+1 < len(s) {
+		return s[i+1:]
+	}
+	return s
+}
+
+// SnippetFor returns the snippet of a repository page for a query. Missing
+// pages yield "".
+func (e *Engine) SnippetFor(title, query string, width int) string {
+	page, ok := e.repo.Wiki.Get(title)
+	if !ok {
+		return ""
+	}
+	return Snippet(page.Text(), query, width)
+}

@@ -1,0 +1,80 @@
+package search
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnippetMarksMatch(t *testing.T) {
+	text := "The ultrasonic anemometer on the ridge measures wind speed at ten hertz during storm events."
+	got := Snippet(text, "wind", 60)
+	if !strings.Contains(got, "«wind»") {
+		t.Errorf("snippet = %q", got)
+	}
+	if len(got) > 80 { // width + markers + ellipses slack
+		t.Errorf("snippet too long: %d bytes", len(got))
+	}
+}
+
+func TestSnippetNoMatchReturnsHead(t *testing.T) {
+	text := strings.Repeat("alpha beta gamma ", 30)
+	got := Snippet(text, "nothinghere", 40)
+	if !strings.HasPrefix(got, "alpha beta") {
+		t.Errorf("snippet = %q", got)
+	}
+	if !strings.HasSuffix(got, "…") {
+		t.Error("truncated head missing ellipsis")
+	}
+}
+
+func TestSnippetShortTextUncut(t *testing.T) {
+	if got := Snippet("tiny text", "zzz", 100); got != "tiny text" {
+		t.Errorf("snippet = %q", got)
+	}
+	if got := Snippet("", "x", 10); got != "" {
+		t.Errorf("empty text snippet = %q", got)
+	}
+}
+
+func TestSnippetWordBoundary(t *testing.T) {
+	// "wind" must not match inside "rewinding".
+	text := "rewinding the tape while wind howls outside"
+	got := Snippet(text, "wind", 60)
+	if !strings.Contains(got, "«wind» howls") {
+		t.Errorf("snippet matched mid-word: %q", got)
+	}
+}
+
+func TestSnippetEllipsesOnBothSides(t *testing.T) {
+	words := make([]string, 60)
+	for i := range words {
+		words[i] = "filler"
+	}
+	words[30] = "needle"
+	text := strings.Join(words, " ")
+	got := Snippet(text, "needle", 50)
+	if !strings.HasPrefix(got, "…") || !strings.HasSuffix(got, "…") {
+		t.Errorf("snippet = %q", got)
+	}
+	if !strings.Contains(got, "«needle»") {
+		t.Errorf("match missing: %q", got)
+	}
+}
+
+func TestSnippetCollapsesWhitespace(t *testing.T) {
+	got := Snippet("aa\n\n\tbb   cc", "bb", 50)
+	if got != "aa «bb» cc" {
+		t.Errorf("snippet = %q", got)
+	}
+}
+
+func TestSnippetForPage(t *testing.T) {
+	_, e := engineFixture(t)
+	got := e.SnippetFor("Sensor:Wind-01", "anemometer", 80)
+	if !strings.Contains(got, "«anemometer»") {
+		t.Errorf("page snippet = %q", got)
+	}
+	if e.SnippetFor("No:Such", "x", 80) != "" {
+		t.Error("missing page should yield empty snippet")
+	}
+}

@@ -1,0 +1,114 @@
+package search
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Trie is the prefix tree behind the query box's autocomplete feature.
+// Entries carry weights (term frequency or page importance) so completions
+// surface popular terms first.
+type Trie struct {
+	mu   sync.RWMutex
+	root *trieNode
+	size int
+}
+
+type trieNode struct {
+	children map[rune]*trieNode
+	weight   float64 // > 0 marks end of an entry
+	entry    string
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie {
+	return &Trie{root: &trieNode{children: make(map[rune]*trieNode)}}
+}
+
+// Insert adds an entry with a weight; re-inserting keeps the maximum weight.
+// Empty entries and non-positive weights are ignored.
+func (t *Trie) Insert(entry string, weight float64) {
+	entry = strings.TrimSpace(entry)
+	if entry == "" || weight <= 0 {
+		return
+	}
+	key := strings.ToLower(entry)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node := t.root
+	for _, r := range key {
+		child, ok := node.children[r]
+		if !ok {
+			child = &trieNode{children: make(map[rune]*trieNode)}
+			node.children[r] = child
+		}
+		node = child
+	}
+	if node.weight == 0 {
+		t.size++
+	}
+	if weight > node.weight {
+		node.weight = weight
+		node.entry = entry
+	}
+}
+
+// Len returns the number of entries.
+func (t *Trie) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Completion is one autocomplete suggestion.
+type Completion struct {
+	Text   string
+	Weight float64
+}
+
+// Complete returns up to k completions of the prefix, ordered by descending
+// weight then text. The prefix matches case-insensitively.
+func (t *Trie) Complete(prefix string, k int) []Completion {
+	if k <= 0 {
+		return nil
+	}
+	key := strings.ToLower(strings.TrimSpace(prefix))
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	node := t.root
+	for _, r := range key {
+		child, ok := node.children[r]
+		if !ok {
+			return nil
+		}
+		node = child
+	}
+	var all []Completion
+	var walk func(n *trieNode)
+	walk = func(n *trieNode) {
+		if n.weight > 0 {
+			all = append(all, Completion{Text: n.entry, Weight: n.weight})
+		}
+		// Deterministic traversal order.
+		runes := make([]rune, 0, len(n.children))
+		for r := range n.children {
+			runes = append(runes, r)
+		}
+		sort.Slice(runes, func(i, j int) bool { return runes[i] < runes[j] })
+		for _, r := range runes {
+			walk(n.children[r])
+		}
+	}
+	walk(node)
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Weight != all[j].Weight {
+			return all[i].Weight > all[j].Weight
+		}
+		return all[i].Text < all[j].Text
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

@@ -1,0 +1,532 @@
+// Package server implements the web application of the demonstration
+// (Section V): the advanced search interface with autocomplete and dynamic
+// drop-downs, JSON APIs for every subsystem, the visualization endpoints
+// (tables, bar/pie charts, maps, association graphs, hypergraphs, tag
+// clouds) and the bulk-loading interface. Everything is served from the
+// Go standard library's net/http.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/search"
+	"repro/internal/tagging"
+	"repro/internal/viz"
+)
+
+// Server is the HTTP application. It implements http.Handler.
+type Server struct {
+	sys *sensormeta.System
+	mux *http.ServeMux
+}
+
+// New wires all routes for a system.
+func New(sys *sensormeta.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleHome)
+	s.mux.HandleFunc("/page/", s.handlePage)
+	s.mux.HandleFunc("/api/search", s.handleSearch)
+	s.mux.HandleFunc("/api/autocomplete", s.handleAutocomplete)
+	s.mux.HandleFunc("/api/properties", s.handleProperties)
+	s.mux.HandleFunc("/api/values", s.handleValues)
+	s.mux.HandleFunc("/api/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/api/tagcloud", s.handleTagCloudJSON)
+	s.mux.HandleFunc("/api/pages", s.handlePutPage)
+	s.mux.HandleFunc("/api/tags", s.handleAddTag)
+	s.mux.HandleFunc("/api/refresh", s.handleRefresh)
+	s.mux.HandleFunc("/api/sql", s.handleSQL)
+	s.mux.HandleFunc("/api/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/api/combined", s.handleCombined)
+	s.mux.HandleFunc("/bulkload", s.handleBulkLoad)
+	s.mux.HandleFunc("/viz/bar.svg", s.handleBarChart)
+	s.mux.HandleFunc("/viz/pie.svg", s.handlePieChart)
+	s.mux.HandleFunc("/viz/map.svg", s.handleMap)
+	s.mux.HandleFunc("/viz/graph.svg", s.handleGraphSVG)
+	s.mux.HandleFunc("/viz/graph.dot", s.handleGraphDOT)
+	s.mux.HandleFunc("/viz/hypergraph.svg", s.handleHypergraph)
+	s.mux.HandleFunc("/viz/tagcloud.html", s.handleTagCloudHTML)
+	s.mux.HandleFunc("/viz/taggraph.svg", s.handleTagGraph)
+	return s
+}
+
+// ServeHTTP dispatches to the router.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeSVG(w http.ResponseWriter, svg string) {
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, svg)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// parseQuery builds a search.Query from URL parameters:
+//
+//	q          keywords
+//	mode       all|any
+//	filter     repeated "property:op:value" triples (op ∈ eq,ne,lt,le,gt,ge,contains)
+//	namespace  namespace scope
+//	category   category scope
+//	sort       relevance|title|rank
+//	order      asc|desc
+//	limit, offset
+//	user       ACL principal
+func parseQuery(r *http.Request) (search.Query, error) {
+	v := r.URL.Query()
+	q := search.Query{
+		Keywords:  v.Get("q"),
+		Namespace: v.Get("namespace"),
+		Category:  v.Get("category"),
+		User:      v.Get("user"),
+	}
+	if v.Get("mode") == "any" {
+		q.Mode = search.ModeAny
+	}
+	switch v.Get("sort") {
+	case "", "relevance":
+		q.SortBy = search.SortRelevance
+	case "title":
+		q.SortBy = search.SortTitle
+	case "rank":
+		q.SortBy = search.SortRank
+	default:
+		return q, fmt.Errorf("unknown sort %q", v.Get("sort"))
+	}
+	switch v.Get("order") {
+	case "":
+	case "asc":
+		q.Order = search.OrderAsc
+	case "desc":
+		q.Order = search.OrderDesc
+	default:
+		return q, fmt.Errorf("unknown order %q", v.Get("order"))
+	}
+	ops := map[string]search.FilterOp{
+		"eq": search.OpEquals, "ne": search.OpNotEqual,
+		"lt": search.OpLess, "le": search.OpLessEq,
+		"gt": search.OpGreater, "ge": search.OpGreatEq,
+		"contains": search.OpContains,
+	}
+	for _, f := range v["filter"] {
+		parts := strings.SplitN(f, ":", 3)
+		if len(parts) != 3 {
+			return q, fmt.Errorf("filter %q is not property:op:value", f)
+		}
+		op, ok := ops[parts[1]]
+		if !ok {
+			return q, fmt.Errorf("unknown filter op %q", parts[1])
+		}
+		q.Filters = append(q.Filters, search.PropertyFilter{
+			Property: parts[0], Op: op, Value: parts[2],
+		})
+	}
+	if lim := v.Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad limit %q", lim)
+		}
+		q.Limit = n
+	}
+	if off := v.Get("offset"); off != "" {
+		n, err := strconv.Atoi(off)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad offset %q", off)
+		}
+		q.Offset = n
+	}
+	return q, nil
+}
+
+func (s *Server) runSearch(r *http.Request) ([]search.Result, search.Query, error) {
+	q, err := parseQuery(r)
+	if err != nil {
+		return nil, q, err
+	}
+	var rs []search.Result
+	if alphaStr := r.URL.Query().Get("alpha"); alphaStr != "" {
+		alpha, err := strconv.ParseFloat(alphaStr, 64)
+		if err != nil {
+			return nil, q, fmt.Errorf("bad alpha %q", alphaStr)
+		}
+		rs, err = s.sys.SearchFused(q, alpha)
+		if err != nil {
+			return nil, q, err
+		}
+	} else {
+		rs, err = s.sys.Search(q)
+		if err != nil {
+			return nil, q, err
+		}
+	}
+	return rs, q, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	rs, _, err := s.runSearch(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "search: %v", err)
+		return
+	}
+	type item struct {
+		Title     string            `json:"title"`
+		Relevance float64           `json:"relevance"`
+		Rank      float64           `json:"rank"`
+		Matched   map[string]string `json:"matched,omitempty"`
+		Snippet   string            `json:"snippet,omitempty"`
+	}
+	keywords := r.URL.Query().Get("q")
+	out := struct {
+		Count   int    `json:"count"`
+		Results []item `json:"results"`
+	}{Count: len(rs)}
+	for _, res := range rs {
+		it := item{Title: res.Title, Relevance: res.Relevance, Rank: res.Rank, Matched: res.Matched}
+		if keywords != "" {
+			it.Snippet = s.sys.Engine.SnippetFor(res.Title, keywords, 160)
+		}
+		out.Results = append(out.Results, it)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleAutocomplete(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if n, err := strconv.Atoi(ks); err == nil && n > 0 {
+			k = n
+		}
+	}
+	writeJSON(w, s.sys.Autocomplete(prefix, k))
+}
+
+func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
+	props, err := s.sys.Repo.Properties()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "properties: %v", err)
+		return
+	}
+	writeJSON(w, props)
+}
+
+func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
+	prop := r.URL.Query().Get("property")
+	if prop == "" {
+		httpError(w, http.StatusBadRequest, "values: property parameter required")
+		return
+	}
+	vals, err := s.sys.Repo.PropertyValues(prop)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "values: %v", err)
+		return
+	}
+	writeJSON(w, vals)
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	seeds := r.URL.Query()["seed"]
+	if len(seeds) == 0 {
+		httpError(w, http.StatusBadRequest, "recommend: at least one seed parameter required")
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if n, err := strconv.Atoi(ks); err == nil && n > 0 {
+			k = n
+		}
+	}
+	writeJSON(w, s.sys.Recommend(seeds, r.URL.Query().Get("user"), k))
+}
+
+func cloudOptions(r *http.Request) tagging.CloudOptions {
+	opts := tagging.CloudOptions{UsePivot: true}
+	v := r.URL.Query()
+	if th := v.Get("threshold"); th != "" {
+		if f, err := strconv.ParseFloat(th, 64); err == nil && f > 0 {
+			opts.Threshold = f
+		}
+	}
+	if mf := v.Get("minfreq"); mf != "" {
+		if n, err := strconv.Atoi(mf); err == nil && n > 0 {
+			opts.MinFrequency = n
+		}
+	}
+	return opts
+}
+
+func (s *Server) handleTagCloudJSON(w http.ResponseWriter, r *http.Request) {
+	cloud, err := s.sys.TagCloud(cloudOptions(r))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "tagcloud: %v", err)
+		return
+	}
+	writeJSON(w, cloud)
+}
+
+func (s *Server) handleTagCloudHTML(w http.ResponseWriter, r *http.Request) {
+	cloud, err := s.sys.TagCloud(cloudOptions(r))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "tagcloud: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, viz.TagCloudHTML(cloud))
+}
+
+func (s *Server) handleTagGraph(w http.ResponseWriter, r *http.Request) {
+	cloud, err := s.sys.TagCloud(cloudOptions(r))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "taggraph: %v", err)
+		return
+	}
+	writeSVG(w, viz.TagGraphSVG(cloud, 0))
+}
+
+func (s *Server) handlePutPage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var in struct {
+		Title   string `json:"title"`
+		Author  string `json:"author"`
+		Text    string `json:"text"`
+		Comment string `json:"comment"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, "pages: %v", err)
+		return
+	}
+	page, err := s.sys.PutPage(in.Title, in.Author, in.Text, in.Comment)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "pages: %v", err)
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"title":     page.Title.String(),
+		"revisions": len(page.Revisions),
+	})
+}
+
+func (s *Server) handleAddTag(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var in struct {
+		Page   string `json:"page"`
+		Tag    string `json:"tag"`
+		Author string `json:"author"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, "tags: %v", err)
+		return
+	}
+	if err := s.sys.Repo.AddTag(in.Page, in.Tag, in.Author); err != nil {
+		httpError(w, http.StatusBadRequest, "tags: %v", err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := s.sys.Refresh(); err != nil {
+		httpError(w, http.StatusInternalServerError, "refresh: %v", err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "sql: q parameter required")
+		return
+	}
+	rs, err := s.sys.QuerySQL(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "sql: %v", err)
+		return
+	}
+	writeJSON(w, rs)
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "sparql: q parameter required")
+		return
+	}
+	res, err := s.sys.QuerySPARQL(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "sparql: %v", err)
+		return
+	}
+	// Flatten bindings to string maps for JSON.
+	out := struct {
+		Vars []string            `json:"vars"`
+		Rows []map[string]string `json:"rows"`
+	}{Vars: res.Vars}
+	for _, b := range res.Rows {
+		row := make(map[string]string, len(b))
+		for k, t := range b {
+			row[k] = t.Value
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	writeJSON(w, out)
+}
+
+// handleCombined runs a combined SQL + SPARQL + keyword query (POST JSON
+// {sparql, pagevar, sql, keywords, user, limit}) and returns the joined
+// rows plus the visualization hint.
+func (s *Server) handleCombined(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var in struct {
+		SPARQL   string `json:"sparql"`
+		PageVar  string `json:"pagevar"`
+		SQL      string `json:"sql"`
+		Keywords string `json:"keywords"`
+		User     string `json:"user"`
+		Limit    int    `json:"limit"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, "combined: %v", err)
+		return
+	}
+	res, err := s.sys.QueryCombined(core.CombinedQuery{
+		SPARQL:   in.SPARQL,
+		PageVar:  in.PageVar,
+		SQL:      in.SQL,
+		Keywords: in.Keywords,
+		User:     in.User,
+		Limit:    in.Limit,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "combined: %v", err)
+		return
+	}
+	cols := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		cols[i] = c.Name
+	}
+	writeJSON(w, struct {
+		Hint    string     `json:"hint"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Hint: string(res.Hint), Columns: cols, Rows: res.Rows})
+}
+
+func (s *Server) handleBulkLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	author := r.URL.Query().Get("author")
+	if author == "" {
+		author = "bulkload"
+	}
+	ct := r.Header.Get("Content-Type")
+	var report interface{}
+	var err error
+	switch {
+	case strings.Contains(ct, "json"):
+		report, err = s.sys.Repo.LoadJSON(r.Body, author)
+	default:
+		report, err = s.sys.Repo.LoadCSV(r.Body, author)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bulkload: %v", err)
+		return
+	}
+	if err := s.sys.Refresh(); err != nil {
+		httpError(w, http.StatusInternalServerError, "bulkload refresh: %v", err)
+		return
+	}
+	writeJSON(w, report)
+}
+
+func (s *Server) handleBarChart(w http.ResponseWriter, r *http.Request) {
+	s.facetChart(w, r, func(title string, data []viz.Datum) string {
+		return viz.BarChart(title, data, 640, 360)
+	})
+}
+
+func (s *Server) handlePieChart(w http.ResponseWriter, r *http.Request) {
+	s.facetChart(w, r, func(title string, data []viz.Datum) string {
+		return viz.PieChart(title, data, 400)
+	})
+}
+
+func (s *Server) facetChart(w http.ResponseWriter, r *http.Request, render func(string, []viz.Datum) string) {
+	prop := r.URL.Query().Get("property")
+	if prop == "" {
+		httpError(w, http.StatusBadRequest, "chart: property parameter required")
+		return
+	}
+	rs, _, err := s.runSearch(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "chart: %v", err)
+		return
+	}
+	facets := s.sys.Engine.Facets(rs, []string{prop})
+	data := viz.DataFromCounts(facets[strings.ToLower(prop)])
+	writeSVG(w, render(fmt.Sprintf("%s over %d result(s)", prop, len(rs)), data))
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	rs, _, err := s.runSearch(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "map: %v", err)
+		return
+	}
+	markers := s.sys.Markers(rs)
+	cell := 0.05
+	if cs := r.URL.Query().Get("cell"); cs != "" {
+		if f, err := strconv.ParseFloat(cs, 64); err == nil && f >= 0 {
+			cell = f
+		}
+	}
+	clusters := geo.ClusterMarkers(markers, cell)
+	writeSVG(w, viz.MapSVG(clusters, 800, 500))
+}
+
+func (s *Server) handleGraphSVG(w http.ResponseWriter, r *http.Request) {
+	writeSVG(w, viz.GraphSVG(s.sys.Repo.LinkGraph(), 800, 600))
+}
+
+func (s *Server) handleGraphDOT(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	fmt.Fprint(w, viz.DOT(s.sys.Repo.LinkGraph(), "smr"))
+}
+
+func (s *Server) handleHypergraph(w http.ResponseWriter, r *http.Request) {
+	focus := r.URL.Query().Get("focus")
+	writeSVG(w, viz.HypergraphSVG(s.sys.Repo.LinkGraph(), focus, 640))
+}

@@ -1,0 +1,379 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	sensormeta "repro"
+	"repro/internal/workload"
+)
+
+// newTestServer builds a system with a small corpus behind an httptest
+// server.
+func newTestServer(t *testing.T) (*sensormeta.System, *httptest.Server) {
+	t.Helper()
+	sys, err := sensormeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = workload.BuildCorpus(sys.Repo, workload.CorpusOptions{
+		Sites: 4, Deployments: 8, Sensors: 40, Seed: 11, TagsPerSensor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	return sys, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func getJSON(t *testing.T, url string, into interface{}) {
+	t.Helper()
+	code, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, code, body)
+	}
+	if err := json.Unmarshal([]byte(body), into); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, body)
+	}
+}
+
+func TestHomePage(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "Advanced Sensor Metadata Search") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(body, "all namespaces") {
+		t.Error("namespace drop-down missing")
+	}
+	// A query shows results and recommendations.
+	code, body = get(t, ts.URL+"/?q=temperature")
+	if code != http.StatusOK || !strings.Contains(body, "result(s)") {
+		t.Errorf("query page: %d\n%s", code, body[:200])
+	}
+}
+
+func TestSearchAPI(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out struct {
+		Count   int `json:"count"`
+		Results []struct {
+			Title string  `json:"title"`
+			Rank  float64 `json:"rank"`
+		} `json:"results"`
+	}
+	getJSON(t, ts.URL+"/api/search?q=temperature&sort=rank", &out)
+	if out.Count == 0 {
+		t.Fatal("no results for temperature")
+	}
+	for _, r := range out.Results {
+		if !strings.Contains(strings.ToLower(r.Title), "temp") {
+			// May match prose too — only check the first few hold rank order.
+			break
+		}
+	}
+	// Rank-sorted: non-increasing.
+	for i := 1; i < len(out.Results); i++ {
+		if out.Results[i].Rank > out.Results[i-1].Rank {
+			t.Error("rank order violated")
+			break
+		}
+	}
+}
+
+func TestSearchAPIFiltersAndErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/api/search?filter=measures:eq:temperature&namespace=Sensor", &out)
+	if out.Count == 0 {
+		t.Error("filter query found nothing")
+	}
+	for _, bad := range []string{
+		"/api/search?sort=magic",
+		"/api/search?order=upward",
+		"/api/search?filter=oops",
+		"/api/search?filter=a:zz:b",
+		"/api/search?limit=x",
+		"/api/search?offset=-2",
+		"/api/search?alpha=x",
+	} {
+		if code, _ := get(t, ts.URL+bad); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestAutocompleteAPI(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out []struct {
+		Text string `json:"Text"`
+	}
+	getJSON(t, ts.URL+"/api/autocomplete?prefix=Sensor:&k=5", &out)
+	if len(out) == 0 || len(out) > 5 {
+		t.Errorf("completions = %d", len(out))
+	}
+}
+
+func TestPropertiesAndValuesAPI(t *testing.T) {
+	_, ts := newTestServer(t)
+	var props []string
+	getJSON(t, ts.URL+"/api/properties", &props)
+	if len(props) == 0 {
+		t.Fatal("no properties")
+	}
+	var vals []string
+	getJSON(t, ts.URL+"/api/values?property=measures", &vals)
+	if len(vals) == 0 {
+		t.Error("no values for measures")
+	}
+	if code, _ := get(t, ts.URL+"/api/values"); code != http.StatusBadRequest {
+		t.Error("missing property parameter accepted")
+	}
+}
+
+func TestRecommendAPI(t *testing.T) {
+	sys, ts := newTestServer(t)
+	seed := sys.Repo.Wiki.PagesInNamespace("Sensor")[0]
+	var out []struct {
+		Title string `json:"Title"`
+	}
+	getJSON(t, ts.URL+"/api/recommend?seed="+strings.ReplaceAll(seed, " ", "%20"), &out)
+	if len(out) == 0 {
+		t.Error("no recommendations")
+	}
+	if code, _ := get(t, ts.URL+"/api/recommend"); code != http.StatusBadRequest {
+		t.Error("missing seed accepted")
+	}
+}
+
+func TestTagCloudEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	var cloud struct {
+		Entries []struct {
+			Tag      string `json:"Tag"`
+			FontSize int    `json:"FontSize"`
+		} `json:"Entries"`
+	}
+	getJSON(t, ts.URL+"/api/tagcloud", &cloud)
+	if len(cloud.Entries) == 0 {
+		t.Fatal("empty tag cloud")
+	}
+	for _, e := range cloud.Entries {
+		if e.FontSize < 1 {
+			t.Errorf("tag %s has font size %d", e.Tag, e.FontSize)
+		}
+	}
+	code, body := get(t, ts.URL+"/viz/tagcloud.html")
+	if code != http.StatusOK || !strings.Contains(body, `class="tagcloud"`) {
+		t.Error("HTML tag cloud broken")
+	}
+	code, body = get(t, ts.URL+"/viz/taggraph.svg")
+	if code != http.StatusOK || !strings.HasPrefix(body, "<svg") {
+		t.Error("tag graph SVG broken")
+	}
+}
+
+func TestVisualizationEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{
+		"/viz/bar.svg?property=measures&namespace=Sensor",
+		"/viz/pie.svg?property=operatedBy",
+		"/viz/map.svg?q=temperature",
+		"/viz/graph.svg",
+		"/viz/hypergraph.svg",
+	} {
+		code, body := get(t, ts.URL+path)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d", path, code)
+			continue
+		}
+		if !strings.HasPrefix(body, "<svg") {
+			t.Errorf("%s: not SVG", path)
+		}
+	}
+	code, body := get(t, ts.URL+"/viz/graph.dot")
+	if code != http.StatusOK || !strings.HasPrefix(body, "digraph") {
+		t.Error("DOT endpoint broken")
+	}
+	if code, _ := get(t, ts.URL+"/viz/bar.svg"); code != http.StatusBadRequest {
+		t.Error("bar chart without property accepted")
+	}
+}
+
+func TestSQLAndSPARQLEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	var sqlOut struct {
+		Columns []string   `json:"Columns"`
+		Rows    [][]string `json:"Rows"`
+	}
+	getJSON(t, ts.URL+"/api/sql?q="+urlQ("SELECT COUNT(*) FROM pages"), &sqlOut)
+	if len(sqlOut.Rows) != 1 {
+		t.Errorf("sql rows = %v", sqlOut.Rows)
+	}
+	var spOut struct {
+		Rows []map[string]string `json:"rows"`
+	}
+	getJSON(t, ts.URL+"/api/sparql?q="+urlQ(
+		`SELECT ?s WHERE { ?s <smr://prop/measures> "temperature" } LIMIT 3`), &spOut)
+	if len(spOut.Rows) == 0 {
+		t.Error("sparql returned nothing")
+	}
+	if code, _ := get(t, ts.URL+"/api/sql?q="+urlQ("DROP TABLE pages")); code != http.StatusBadRequest {
+		t.Error("invalid SQL accepted")
+	}
+	if code, _ := get(t, ts.URL+"/api/sql"); code != http.StatusBadRequest {
+		t.Error("missing sql q accepted")
+	}
+	if code, _ := get(t, ts.URL+"/api/sparql?q="+urlQ("garbage")); code != http.StatusBadRequest {
+		t.Error("invalid SPARQL accepted")
+	}
+}
+
+func urlQ(q string) string {
+	r := strings.NewReplacer(" ", "%20", "?", "%3F", "<", "%3C", ">", "%3E", "\"", "%22", "{", "%7B", "}", "%7D", "*", "%2A", "#", "%23", "+", "%2B")
+	return r.Replace(q)
+}
+
+func TestPutPageAndTagAPI(t *testing.T) {
+	sys, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/pages", "application/json",
+		strings.NewReader(`{"title":"Sensor:HTTP-01","author":"api","text":"[[measures::fog density]]"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put page status %d", resp.StatusCode)
+	}
+	if _, ok := sys.Repo.Wiki.Get("Sensor:HTTP-01"); !ok {
+		t.Fatal("page not stored")
+	}
+	resp, err = http.Post(ts.URL+"/api/tags", "application/json",
+		strings.NewReader(`{"page":"Sensor:HTTP-01","tag":"fog","author":"api"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tag status %d", resp.StatusCode)
+	}
+	// Refresh then search for the new page.
+	resp, err = http.Post(ts.URL+"/api/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var out struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/api/search?q=fog", &out)
+	if out.Count != 1 {
+		t.Errorf("fog results = %d", out.Count)
+	}
+	// GET on POST-only endpoints.
+	for _, p := range []string{"/api/pages", "/api/tags", "/api/refresh", "/bulkload"} {
+		if code, _ := get(t, ts.URL+p); code != http.StatusMethodNotAllowed {
+			t.Errorf("%s: GET status %d, want 405", p, code)
+		}
+	}
+}
+
+func TestBulkLoadEndpoint(t *testing.T) {
+	sys, ts := newTestServer(t)
+	before := sys.Repo.Wiki.Len()
+	csv := "title,measures\nSensor:Bulk-01,ozone\nSensor:Bulk-02,ozone\n"
+	resp, err := http.Post(ts.URL+"/bulkload?author=csvload", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("bulkload status %d: %s", resp.StatusCode, body)
+	}
+	var report struct {
+		Loaded int `json:"Loaded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Loaded != 2 {
+		t.Errorf("loaded = %d", report.Loaded)
+	}
+	if sys.Repo.Wiki.Len() != before+2 {
+		t.Errorf("pages = %d, want %d", sys.Repo.Wiki.Len(), before+2)
+	}
+	// JSON variant.
+	resp, err = http.Post(ts.URL+"/bulkload", "application/json",
+		strings.NewReader(`[{"title":"Sensor:Bulk-03","measures":"co2"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("json bulkload status %d", resp.StatusCode)
+	}
+	// Bulk-loaded pages are immediately searchable (handler refreshes).
+	var out struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/api/search?q=ozone", &out)
+	if out.Count != 2 {
+		t.Errorf("ozone results = %d", out.Count)
+	}
+}
+
+func TestPageView(t *testing.T) {
+	sys, ts := newTestServer(t)
+	title := sys.Repo.Wiki.PagesInNamespace("Sensor")[0]
+	code, body := get(t, ts.URL+"/page/"+strings.ReplaceAll(title, " ", "%20"))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "Annotations") {
+		t.Error("annotations section missing")
+	}
+	if code, _ := get(t, ts.URL+"/page/No:Such"); code != http.StatusNotFound {
+		t.Error("missing page not 404")
+	}
+	// ACL enforcement on the page view.
+	sys.Repo.ACL.SetAnonymousAccess(false)
+	if code, _ := get(t, ts.URL+"/page/"+strings.ReplaceAll(title, " ", "%20")); code != http.StatusForbidden {
+		t.Error("locked page not 403")
+	}
+	sys.Repo.ACL.SetAnonymousAccess(true)
+}
+
+func TestUnknownPathIs404(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := get(t, ts.URL+"/definitely/not/here"); code != http.StatusNotFound {
+		t.Error("unknown path not 404")
+	}
+}

@@ -1,0 +1,134 @@
+package smr
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/wiki"
+)
+
+// ACL implements the privilege model of the Query Interface module: "a user
+// may not have a full access to the whole metadata". Grants are per
+// namespace; a user with no grants at all falls back to the anonymous
+// policy (read-everything by default, lockable).
+type ACL struct {
+	mu            sync.RWMutex
+	grants        map[string]map[wiki.Namespace]bool
+	anonReadsAll  bool
+	deniedByTitle map[string]map[string]bool // user -> denied canonical titles
+}
+
+// NewACL returns an ACL where anonymous users can read everything.
+func NewACL() *ACL {
+	return &ACL{
+		grants:        make(map[string]map[wiki.Namespace]bool),
+		anonReadsAll:  true,
+		deniedByTitle: make(map[string]map[string]bool),
+	}
+}
+
+// SetAnonymousAccess toggles the read-everything fallback for users without
+// explicit grants.
+func (a *ACL) SetAnonymousAccess(allowed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.anonReadsAll = allowed
+}
+
+// Grant allows a user to read a namespace. Granting any namespace switches
+// the user from the anonymous policy to an explicit allow-list.
+func (a *ACL) Grant(user string, ns wiki.Namespace) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	set, ok := a.grants[user]
+	if !ok {
+		set = make(map[wiki.Namespace]bool)
+		a.grants[user] = set
+	}
+	set[ns] = true
+}
+
+// Revoke removes a namespace grant.
+func (a *ACL) Revoke(user string, ns wiki.Namespace) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if set, ok := a.grants[user]; ok {
+		delete(set, ns)
+	}
+}
+
+// DenyPage blocks one specific page for a user regardless of namespace
+// grants.
+func (a *ACL) DenyPage(user, title string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	canonical := wiki.ParseTitle(title).String()
+	set, ok := a.deniedByTitle[user]
+	if !ok {
+		set = make(map[string]bool)
+		a.deniedByTitle[user] = set
+	}
+	set[canonical] = true
+}
+
+// CanRead reports whether the user may see the page.
+func (a *ACL) CanRead(user, title string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	canonical := wiki.ParseTitle(title).String()
+	if denied, ok := a.deniedByTitle[user]; ok && denied[canonical] {
+		return false
+	}
+	set, ok := a.grants[user]
+	if !ok || len(set) == 0 {
+		return a.anonReadsAll
+	}
+	return set[wiki.ParseTitle(title).Namespace]
+}
+
+// FilterTitles returns the subset of titles the user may read, preserving
+// order.
+func (a *ACL) FilterTitles(user string, titles []string) []string {
+	out := make([]string, 0, len(titles))
+	for _, t := range titles {
+		if a.CanRead(user, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Grants lists a user's granted namespaces, sorted, for display in the query
+// interface.
+func (a *ACL) Grants(user string) []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []string
+	for ns, ok := range a.grants[user] {
+		if ok {
+			name := string(ns)
+			if name == "" {
+				name = "(main)"
+			}
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String describes the policy briefly (used in logs).
+func (a *ACL) String() string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("acl{anon=")
+	if a.anonReadsAll {
+		b.WriteString("all")
+	} else {
+		b.WriteString("none")
+	}
+	b.WriteString("}")
+	return b.String()
+}

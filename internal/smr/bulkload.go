@@ -1,0 +1,135 @@
+package smr
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The bulk-loading interface of Section V: users upload large volumes of
+// metadata without programming. Two formats are supported — CSV with a
+// header row (one column must be "title"; every other column becomes a
+// semantic property) and a JSON array of objects with the same convention.
+// Rows become wiki pages whose wikitext is generated annotation markup, so
+// bulk-loaded metadata flows through exactly the same projection path as
+// hand-edited pages.
+
+// BulkReport summarizes a bulk load.
+type BulkReport struct {
+	Loaded  int
+	Skipped int      // rows without a usable title
+	Errors  []string // per-row errors, loading continues past them
+}
+
+// LoadCSV bulk-loads CSV metadata. The author is recorded on every created
+// revision.
+func (r *Repository) LoadCSV(reader io.Reader, author string) (*BulkReport, error) {
+	cr := csv.NewReader(reader)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("smr: reading CSV header: %w", err)
+	}
+	titleCol := -1
+	for i, h := range header {
+		if strings.EqualFold(strings.TrimSpace(h), "title") {
+			titleCol = i
+			break
+		}
+	}
+	if titleCol < 0 {
+		return nil, fmt.Errorf("smr: CSV header %v has no title column", header)
+	}
+	report := &BulkReport{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return report, fmt.Errorf("smr: CSV line %d: %w", line, err)
+		}
+		props := make(map[string]string)
+		title := ""
+		for i, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			if i == titleCol {
+				title = cell
+				continue
+			}
+			if i < len(header) && cell != "" {
+				props[strings.TrimSpace(header[i])] = cell
+			}
+		}
+		r.loadRow(title, props, author, report, fmt.Sprintf("line %d", line))
+	}
+	return report, nil
+}
+
+// LoadJSON bulk-loads a JSON array of flat objects. Every object needs a
+// "title" member; other members become properties (numbers are formatted
+// with %v).
+func (r *Repository) LoadJSON(reader io.Reader, author string) (*BulkReport, error) {
+	var rows []map[string]interface{}
+	dec := json.NewDecoder(reader)
+	if err := dec.Decode(&rows); err != nil {
+		return nil, fmt.Errorf("smr: decoding JSON: %w", err)
+	}
+	report := &BulkReport{}
+	for i, obj := range rows {
+		title := ""
+		props := make(map[string]string)
+		for k, v := range obj {
+			s := fmt.Sprintf("%v", v)
+			if strings.EqualFold(k, "title") {
+				title = s
+				continue
+			}
+			if s != "" {
+				props[k] = s
+			}
+		}
+		r.loadRow(title, props, author, report, fmt.Sprintf("object %d", i))
+	}
+	return report, nil
+}
+
+func (r *Repository) loadRow(title string, props map[string]string, author string, report *BulkReport, where string) {
+	if strings.TrimSpace(title) == "" {
+		report.Skipped++
+		return
+	}
+	text := GenerateWikitext(props)
+	if _, err := r.PutPage(title, author, text, "bulk load"); err != nil {
+		report.Errors = append(report.Errors, fmt.Sprintf("%s: %v", where, err))
+		return
+	}
+	report.Loaded++
+}
+
+// GenerateWikitext renders a property map as annotation markup in sorted
+// key order (deterministic output keeps revisions diffable).
+func GenerateWikitext(props map[string]string) string {
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	// insertion sort; tiny maps
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		switch strings.ToLower(k) {
+		case "category":
+			fmt.Fprintf(&b, "[[Category:%s]]\n", props[k])
+		default:
+			fmt.Fprintf(&b, "[[%s::%s]]\n", k, props[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,361 @@
+// Package smr implements the Sensor Metadata Repository of the paper
+// (Section II): a Semantic-MediaWiki-style page store whose semantic
+// annotations are projected simultaneously into a relational database
+// (internal/relational) and an RDF graph (internal/rdf), so queries can be
+// answered "using a combination of SQL and SPARQL". It also exposes the
+// double linking structure (page links + semantic links) that Section III's
+// PageRank variant ranks, the access-control filter of the query interface,
+// and the bulk-loading path of Section V.
+package smr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/relational"
+	"repro/internal/sparql"
+	"repro/internal/wiki"
+)
+
+// IRI scheme for projecting wiki entities into the RDF graph.
+const (
+	PageIRIPrefix     = "smr://page/"
+	PropertyIRIPrefix = "smr://prop/"
+	CategoryIRI       = "smr://prop/category"
+	XSDDouble         = "http://www.w3.org/2001/XMLSchema#double"
+)
+
+// PageIRI returns the IRI of a page title.
+func PageIRI(title string) rdf.Term { return rdf.NewIRI(PageIRIPrefix + title) }
+
+// PropertyIRI returns the IRI of a semantic property.
+func PropertyIRI(name string) rdf.Term {
+	return rdf.NewIRI(PropertyIRIPrefix + strings.ToLower(name))
+}
+
+// TitleFromIRI recovers a page title from its IRI form.
+func TitleFromIRI(t rdf.Term) (string, bool) {
+	if t.Kind == rdf.IRI && strings.HasPrefix(t.Value, PageIRIPrefix) {
+		return t.Value[len(PageIRIPrefix):], true
+	}
+	return "", false
+}
+
+// Repository is the SMR: one wiki, one relational projection, one RDF
+// projection, kept in sync on every page write.
+type Repository struct {
+	Wiki *wiki.Store
+	DB   *relational.DB
+	RDF  *rdf.Store
+	ACL  *ACL
+}
+
+// New creates an empty repository with its relational schema in place.
+func New() (*Repository, error) {
+	db := relational.NewDB()
+	schema := []struct {
+		name string
+		cols []relational.Column
+	}{
+		{"pages", []relational.Column{
+			{Name: "title", Type: relational.TypeText, PrimaryKey: true},
+			{Name: "namespace", Type: relational.TypeText, NotNull: true},
+			{Name: "author", Type: relational.TypeText},
+			{Name: "revisions", Type: relational.TypeInt, NotNull: true},
+		}},
+		{"annotations", []relational.Column{
+			{Name: "page", Type: relational.TypeText, NotNull: true},
+			{Name: "property", Type: relational.TypeText, NotNull: true},
+			{Name: "value", Type: relational.TypeText, NotNull: true},
+			{Name: "numeric", Type: relational.TypeFloat},
+		}},
+		{"links", []relational.Column{
+			{Name: "source", Type: relational.TypeText, NotNull: true},
+			{Name: "target", Type: relational.TypeText, NotNull: true},
+			{Name: "kind", Type: relational.TypeText, NotNull: true},
+		}},
+		{"tags", []relational.Column{
+			{Name: "page", Type: relational.TypeText, NotNull: true},
+			{Name: "tag", Type: relational.TypeText, NotNull: true},
+			{Name: "author", Type: relational.TypeText},
+		}},
+	}
+	for _, tbl := range schema {
+		if err := db.CreateTable(tbl.name, tbl.cols); err != nil {
+			return nil, err
+		}
+	}
+	for _, idx := range []string{
+		"CREATE INDEX idx_ann_page ON annotations (page)",
+		"CREATE INDEX idx_ann_prop ON annotations (property)",
+		"CREATE INDEX idx_links_source ON links (source)",
+		"CREATE INDEX idx_tags_page ON tags (page)",
+	} {
+		if _, err := db.Exec(idx); err != nil {
+			return nil, err
+		}
+	}
+	return &Repository{
+		Wiki: wiki.NewStore(),
+		DB:   db,
+		RDF:  rdf.NewStore(),
+		ACL:  NewACL(),
+	}, nil
+}
+
+// PutPage writes a page and refreshes both projections. This is the single
+// write path of the repository.
+func (r *Repository) PutPage(title, author, text, comment string) (*wiki.Page, error) {
+	page, err := r.Wiki.Put(title, author, text, comment)
+	if err != nil {
+		return nil, err
+	}
+	canonical := page.Title.String()
+	if err := r.reprojectRelational(page, author); err != nil {
+		return nil, fmt.Errorf("smr: relational projection of %s: %w", canonical, err)
+	}
+	r.reprojectRDF(page)
+	return page, nil
+}
+
+func sqlQuote(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
+
+func (r *Repository) reprojectRelational(page *wiki.Page, author string) error {
+	title := page.Title.String()
+	qt := sqlQuote(title)
+	// Replace the page row.
+	if _, err := r.DB.Exec("DELETE FROM pages WHERE title = " + qt); err != nil {
+		return err
+	}
+	_, err := r.DB.Exec(fmt.Sprintf(
+		"INSERT INTO pages (title, namespace, author, revisions) VALUES (%s, %s, %s, %d)",
+		qt, sqlQuote(string(page.Title.Namespace)), sqlQuote(author), len(page.Revisions)))
+	if err != nil {
+		return err
+	}
+	// Replace annotations and links.
+	if _, err := r.DB.Exec("DELETE FROM annotations WHERE page = " + qt); err != nil {
+		return err
+	}
+	for _, a := range page.Annotations {
+		numeric := "NULL"
+		if f, err := strconv.ParseFloat(a.Value, 64); err == nil {
+			numeric = strconv.FormatFloat(f, 'g', -1, 64)
+		}
+		_, err := r.DB.Exec(fmt.Sprintf(
+			"INSERT INTO annotations (page, property, value, numeric) VALUES (%s, %s, %s, %s)",
+			qt, sqlQuote(strings.ToLower(a.Property)), sqlQuote(a.Value), numeric))
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := r.DB.Exec("DELETE FROM links WHERE source = " + qt); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	insertLink := func(target, kind string) error {
+		key := target + "\x00" + kind
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		_, err := r.DB.Exec(fmt.Sprintf(
+			"INSERT INTO links (source, target, kind) VALUES (%s, %s, %s)",
+			qt, sqlQuote(target), sqlQuote(kind)))
+		return err
+	}
+	for _, l := range page.Links {
+		if err := insertLink(l.String(), "page"); err != nil {
+			return err
+		}
+	}
+	for _, a := range page.Annotations {
+		if looksLikeTitle(a.Value) {
+			if err := insertLink(wiki.ParseTitle(a.Value).String(), "semantic"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// looksLikeTitle reports whether an annotation value references a page
+// rather than a plain literal: it parses as Namespace:Name with a known
+// non-empty namespace.
+func looksLikeTitle(v string) bool {
+	i := strings.IndexByte(v, ':')
+	if i <= 0 || i == len(v)-1 {
+		return false
+	}
+	ns := strings.TrimSpace(v[:i])
+	switch wiki.Namespace(ns) {
+	case wiki.NamespaceFieldsite, wiki.NamespaceDeployment, wiki.NamespaceSensor,
+		wiki.NamespaceProperty, wiki.NamespaceUser:
+		return true
+	}
+	return false
+}
+
+func (r *Repository) reprojectRDF(page *wiki.Page) {
+	title := page.Title.String()
+	subj := PageIRI(title)
+	// Remove previous triples with this subject.
+	for _, t := range r.RDF.Match(&subj, nil, nil) {
+		r.RDF.Remove(t)
+	}
+	for _, a := range page.Annotations {
+		var obj rdf.Term
+		switch {
+		case looksLikeTitle(a.Value):
+			obj = PageIRI(wiki.ParseTitle(a.Value).String())
+		default:
+			if _, err := strconv.ParseFloat(a.Value, 64); err == nil {
+				obj = rdf.NewTypedLiteral(a.Value, XSDDouble)
+			} else {
+				obj = rdf.NewLiteral(a.Value)
+			}
+		}
+		r.RDF.Add(rdf.Triple{S: subj, P: PropertyIRI(a.Property), O: obj})
+	}
+	for _, c := range page.Categories {
+		r.RDF.Add(rdf.Triple{S: subj, P: rdf.NewIRI(CategoryIRI), O: rdf.NewLiteral(c)})
+	}
+	for _, l := range page.Links {
+		r.RDF.Add(rdf.Triple{S: subj, P: rdf.NewIRI("smr://prop/linksTo"), O: PageIRI(l.String())})
+	}
+}
+
+// DeletePage removes a page from all three projections.
+func (r *Repository) DeletePage(title string) bool {
+	canonical := wiki.ParseTitle(title).String()
+	if !r.Wiki.Delete(canonical) {
+		return false
+	}
+	qt := sqlQuote(canonical)
+	r.DB.Exec("DELETE FROM pages WHERE title = " + qt)
+	r.DB.Exec("DELETE FROM annotations WHERE page = " + qt)
+	r.DB.Exec("DELETE FROM links WHERE source = " + qt)
+	r.DB.Exec("DELETE FROM tags WHERE page = " + qt)
+	subj := PageIRI(canonical)
+	for _, t := range r.RDF.Match(&subj, nil, nil) {
+		r.RDF.Remove(t)
+	}
+	return true
+}
+
+// QuerySQL runs a SQL query against the relational projection.
+func (r *Repository) QuerySQL(sql string) (*relational.ResultSet, error) {
+	return r.DB.Query(sql)
+}
+
+// QuerySPARQL runs a SPARQL query against the RDF projection.
+func (r *Repository) QuerySPARQL(q string) (*sparql.Results, error) {
+	return sparql.Exec(r.RDF, q)
+}
+
+// LinkGraph builds the double-link graph of Section III: every page is a
+// node; wiki links become PageLink edges, semantic (page-valued annotation)
+// links become SemanticLink edges. Link targets that are not stored pages
+// still become nodes — exactly the red-link behaviour of a wiki, and the
+// source of dangling nodes in the PageRank matrix.
+func (r *Repository) LinkGraph() *graph.Directed {
+	g := graph.NewDirected()
+	r.Wiki.Each(func(p *wiki.Page) {
+		src := p.Title.String()
+		g.AddNode(src)
+		for _, l := range p.Links {
+			g.AddEdge(src, l.String(), graph.PageLink)
+		}
+		for _, a := range p.Annotations {
+			if looksLikeTitle(a.Value) {
+				g.AddEdge(src, wiki.ParseTitle(a.Value).String(), graph.SemanticLink)
+			}
+		}
+	})
+	return g
+}
+
+// Properties lists the distinct annotation property names, sorted — the
+// source of the dynamic drop-down menus in the query interface.
+func (r *Repository) Properties() ([]string, error) {
+	rs, err := r.DB.Query("SELECT DISTINCT property FROM annotations ORDER BY property")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		out = append(out, row[0].Text0())
+	}
+	return out, nil
+}
+
+// PropertyValues lists the distinct values of one property, sorted — the
+// second-level dynamic drop-down.
+func (r *Repository) PropertyValues(property string) ([]string, error) {
+	rs, err := r.DB.Query(fmt.Sprintf(
+		"SELECT DISTINCT value FROM annotations WHERE property = %s ORDER BY value",
+		sqlQuote(strings.ToLower(property))))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		out = append(out, row[0].Text0())
+	}
+	return out, nil
+}
+
+// AddTag records a user tag on a page (Section IV's tagging input).
+func (r *Repository) AddTag(page, tag, author string) error {
+	if _, ok := r.Wiki.Get(page); !ok {
+		return fmt.Errorf("smr: tagging unknown page %q", page)
+	}
+	canonical := wiki.ParseTitle(page).String()
+	_, err := r.DB.Exec(fmt.Sprintf(
+		"INSERT INTO tags (page, tag, author) VALUES (%s, %s, %s)",
+		sqlQuote(canonical), sqlQuote(strings.ToLower(strings.TrimSpace(tag))), sqlQuote(author)))
+	return err
+}
+
+// TagCounts returns tag -> frequency over all pages. Values of metadata
+// properties also count as tags when includeAnnotations is set, matching
+// the paper ("as tags can also be considered the values of metadata
+// properties of the page").
+func (r *Repository) TagCounts(includeAnnotations bool) (map[string]int, error) {
+	counts := make(map[string]int)
+	rs, err := r.DB.Query("SELECT tag, COUNT(*) FROM tags GROUP BY tag")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rs.Rows {
+		counts[row[0].Text0()] = int(row[1].Int64())
+	}
+	if includeAnnotations {
+		rs, err = r.DB.Query("SELECT value, COUNT(*) FROM annotations GROUP BY value")
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rs.Rows {
+			counts[strings.ToLower(row[0].Text0())] += int(row[1].Int64())
+		}
+	}
+	return counts, nil
+}
+
+// PageTags returns the tags of one page (sorted by tag text).
+func (r *Repository) PageTags(page string) ([]string, error) {
+	canonical := wiki.ParseTitle(page).String()
+	rs, err := r.DB.Query(fmt.Sprintf(
+		"SELECT DISTINCT tag FROM tags WHERE page = %s ORDER BY tag", sqlQuote(canonical)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rs.Rows))
+	for _, row := range rs.Rows {
+		out = append(out, row[0].Text0())
+	}
+	return out, nil
+}

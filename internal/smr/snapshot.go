@@ -1,0 +1,128 @@
+package smr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/wiki"
+)
+
+// Snapshotting persists the authoritative state — wiki pages with their
+// full revision history plus user tags. The relational and RDF projections
+// are derived data and are rebuilt on load by replaying every revision
+// through the normal PutPage path, which guarantees a restored repository
+// behaves identically to the original. (Revision ids are renumbered on
+// load; authors, texts, comments and timestamps are preserved.)
+
+type revisionSnapshot struct {
+	Author    string    `json:"author"`
+	Timestamp time.Time `json:"timestamp"`
+	Text      string    `json:"text"`
+	Comment   string    `json:"comment,omitempty"`
+}
+
+type pageSnapshot struct {
+	Title     string             `json:"title"`
+	Revisions []revisionSnapshot `json:"revisions"`
+}
+
+type tagSnapshot struct {
+	Page   string `json:"page"`
+	Tag    string `json:"tag"`
+	Author string `json:"author,omitempty"`
+}
+
+type repoSnapshot struct {
+	Version int            `json:"version"`
+	Pages   []pageSnapshot `json:"pages"`
+	Tags    []tagSnapshot  `json:"tags"`
+}
+
+// SaveSnapshot writes the whole repository (pages, revisions, tags) as
+// JSON.
+func (r *Repository) SaveSnapshot(w io.Writer) error {
+	snap := repoSnapshot{Version: 1}
+	r.Wiki.Each(func(p *wiki.Page) {
+		ps := pageSnapshot{Title: p.Title.String()}
+		for _, rev := range p.Revisions {
+			ps.Revisions = append(ps.Revisions, revisionSnapshot{
+				Author:    rev.Author,
+				Timestamp: rev.Timestamp,
+				Text:      rev.Text,
+				Comment:   rev.Comment,
+			})
+		}
+		snap.Pages = append(snap.Pages, ps)
+	})
+	rs, err := r.DB.Query("SELECT page, tag, author FROM tags ORDER BY page, tag")
+	if err != nil {
+		return fmt.Errorf("smr: snapshotting tags: %w", err)
+	}
+	for _, row := range rs.Rows {
+		snap.Tags = append(snap.Tags, tagSnapshot{
+			Page: row[0].Text0(), Tag: row[1].Text0(), Author: row[2].Text0(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}
+
+// LoadSnapshot restores a snapshot into an empty repository by replaying
+// every revision and tag through the normal write paths.
+func (r *Repository) LoadSnapshot(rd io.Reader) error {
+	if r.Wiki.Len() > 0 {
+		return fmt.Errorf("smr: LoadSnapshot requires an empty repository (%d pages present)", r.Wiki.Len())
+	}
+	var snap repoSnapshot
+	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
+		return fmt.Errorf("smr: decoding snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("smr: unsupported snapshot version %d", snap.Version)
+	}
+	// Replay revisions with their original timestamps via a swapped clock.
+	var replayTime time.Time
+	r.Wiki.SetClock(func() time.Time { return replayTime })
+	defer r.Wiki.SetClock(time.Now)
+	for _, ps := range snap.Pages {
+		for _, rev := range ps.Revisions {
+			replayTime = rev.Timestamp
+			if _, err := r.PutPage(ps.Title, rev.Author, rev.Text, rev.Comment); err != nil {
+				return fmt.Errorf("smr: replaying %s: %w", ps.Title, err)
+			}
+		}
+	}
+	for _, ts := range snap.Tags {
+		if err := r.AddTag(ts.Page, ts.Tag, ts.Author); err != nil {
+			return fmt.Errorf("smr: replaying tag %s on %s: %w", ts.Tag, ts.Page, err)
+		}
+	}
+	return nil
+}
+
+// SaveSnapshotFile writes the snapshot to a path.
+func (r *Repository) SaveSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.SaveSnapshot(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadSnapshotFile restores a snapshot from a path.
+func (r *Repository) LoadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.LoadSnapshot(f)
+}

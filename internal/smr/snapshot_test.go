@@ -1,0 +1,117 @@
+package smr
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTripPreservesEverything(t *testing.T) {
+	r := seedRepo(t)
+	// Add revision history and tags so the snapshot has depth.
+	fixed := time.Date(2011, 4, 11, 9, 30, 0, 0, time.UTC)
+	r.Wiki.SetClock(func() time.Time { return fixed })
+	put(t, r, "Sensor:Wind-01", "[[partOf::Deployment:SnowStudy]] [[measures::gust speed]]")
+	if err := r.AddTag("Sensor:Wind-01", "alpine", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddTag("Sensor:Temp-01", "valley", "bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newRepo(t)
+	if err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Page count and revision history.
+	if restored.Wiki.Len() != r.Wiki.Len() {
+		t.Fatalf("pages = %d, want %d", restored.Wiki.Len(), r.Wiki.Len())
+	}
+	p, ok := restored.Wiki.Get("Sensor:Wind-01")
+	if !ok || len(p.Revisions) != 2 {
+		t.Fatalf("Wind-01 revisions = %+v", p)
+	}
+	if !p.Revisions[1].Timestamp.Equal(fixed) {
+		t.Errorf("timestamp not preserved: %v", p.Revisions[1].Timestamp)
+	}
+	if p.Revisions[1].Author != "tester" {
+		t.Errorf("author = %q", p.Revisions[1].Author)
+	}
+	// Latest-revision projections rebuilt.
+	rs, err := restored.QuerySQL("SELECT value FROM annotations WHERE page = 'Sensor:Wind-01' AND property = 'measures'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Text0() != "gust speed" {
+		t.Errorf("restored annotation = %v", rs.Rows)
+	}
+	res, err := restored.QuerySPARQL(`SELECT ?o WHERE { <smr://page/Sensor:Wind-01> <smr://prop/measures> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["o"].Value != "gust speed" {
+		t.Errorf("restored RDF = %v", res.Rows)
+	}
+	// Tags survive.
+	tags, err := restored.PageTags("Sensor:Wind-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 1 || tags[0] != "alpine" {
+		t.Errorf("restored tags = %v", tags)
+	}
+	// Link graphs identical.
+	a, b := r.LinkGraph(), restored.LinkGraph()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Errorf("link graph mismatch: %d/%d vs %d/%d nodes/edges",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+}
+
+func TestLoadSnapshotRequiresEmptyRepo(t *testing.T) {
+	r := seedRepo(t)
+	var buf bytes.Buffer
+	if err := r.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.LoadSnapshot(&buf); err == nil {
+		t.Error("load into non-empty repository accepted")
+	}
+}
+
+func TestLoadSnapshotBadInput(t *testing.T) {
+	r := newRepo(t)
+	if err := r.LoadSnapshot(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	r2 := newRepo(t)
+	if err := r2.LoadSnapshot(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestSnapshotFileHelpers(t *testing.T) {
+	r := seedRepo(t)
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := r.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := newRepo(t)
+	if err := restored.LoadSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Wiki.Len() != r.Wiki.Len() {
+		t.Errorf("pages = %d, want %d", restored.Wiki.Len(), r.Wiki.Len())
+	}
+	if err := restored.LoadSnapshotFile("/no/such/file"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

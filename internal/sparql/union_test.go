@@ -1,0 +1,86 @@
+package sparql
+
+import (
+	"testing"
+)
+
+func TestUnionBasic(t *testing.T) {
+	res := mustExec(t, prefix+`SELECT ?x WHERE {
+		{ ?x smr:measures "temperature" } UNION { ?x smr:measures "wind speed" }
+	} ORDER BY ?x`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("union rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestUnionWithSharedPattern(t *testing.T) {
+	// Outer triple restricts to sensors; union branches pick two subsets.
+	res := mustExec(t, prefix+`SELECT ?x WHERE {
+		?x a smr:Sensor .
+		{ ?x smr:attachedTo smr:station1 } UNION { ?x smr:attachedTo smr:station2 }
+	}`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestUnionThreeWay(t *testing.T) {
+	res := mustExec(t, prefix+`SELECT ?x WHERE {
+		{ ?x smr:measures "temperature" }
+		UNION { ?x smr:measures "wind speed" }
+		UNION { ?x smr:locatedIn smr:davos }
+	}`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("three-way union rows = %d, want 4", len(res.Rows))
+	}
+}
+
+func TestUnionDistinct(t *testing.T) {
+	// Branches overlap (both match sensor1); DISTINCT collapses.
+	res := mustExec(t, prefix+`SELECT DISTINCT ?x WHERE {
+		{ ?x smr:measures "temperature" } UNION { ?x smr:attachedTo smr:station1 }
+	}`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("distinct union rows = %d, want 2 (sensor1, sensor3)", len(res.Rows))
+	}
+}
+
+func TestUnionDifferentVariables(t *testing.T) {
+	// Branches bind different variables; unbound stays absent.
+	res := mustExec(t, prefix+`SELECT ?m ?site WHERE {
+		?x a smr:Sensor .
+		{ ?x smr:measures ?m } UNION { ?x smr:attachedTo ?st . ?st smr:locatedIn ?site }
+	}`)
+	withM, withSite := 0, 0
+	for _, b := range res.Rows {
+		if _, ok := b["m"]; ok {
+			withM++
+		}
+		if _, ok := b["site"]; ok {
+			withSite++
+		}
+	}
+	if withM != 3 || withSite != 3 {
+		t.Errorf("m-bound=%d site-bound=%d, want 3 and 3", withM, withSite)
+	}
+}
+
+func TestUnionSelectStarCollectsAllVars(t *testing.T) {
+	res := mustExec(t, prefix+`SELECT * WHERE {
+		{ ?a smr:measures ?m } UNION { ?b smr:locatedIn ?site }
+	}`)
+	if len(res.Vars) != 4 {
+		t.Errorf("vars = %v, want a, b, m, site", res.Vars)
+	}
+}
+
+func TestUnionParseErrors(t *testing.T) {
+	for _, q := range []string{
+		`SELECT ?x WHERE { { ?x <p> ?y } UNION }`,
+		`SELECT ?x WHERE { { ?x <p> ?y } UNION ?x }`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("no error for %q", q)
+		}
+	}
+}

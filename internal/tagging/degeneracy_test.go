@@ -1,0 +1,76 @@
+package tagging
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDegeneracyBKOnKnownGraph(t *testing.T) {
+	got := BronKerboschDegeneracy(pendantTriangle())
+	want := [][]int{{0, 1, 2}, {2, 3}}
+	if !reflect.DeepEqual(got.Cliques, want) {
+		t.Errorf("cliques = %v, want %v", got.Cliques, want)
+	}
+}
+
+func TestDegeneracyBKIsolatedVertices(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1)
+	got := BronKerboschDegeneracy(g)
+	want := [][]int{{0, 1}, {2}}
+	if !reflect.DeepEqual(got.Cliques, want) {
+		t.Errorf("cliques = %v, want %v", got.Cliques, want)
+	}
+}
+
+func TestDegeneracyBKMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(9)
+		g := graph.NewUndirected(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.45 {
+					g.AddEdge(a, b)
+				}
+			}
+		}
+		want := bruteForceMaximalCliques(g)
+		got := BronKerboschDegeneracy(g).Cliques
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: degeneracy = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestDegeneracyBKSparseAdvantage(t *testing.T) {
+	// On a sparse graph (many small cliques), degeneracy ordering should
+	// not recurse more than the plain pivot version from the full vertex
+	// set. Compare total recursion steps.
+	rng := rand.New(rand.NewSource(5))
+	n := 120
+	g := graph.NewUndirected(n)
+	for i := 0; i < n; i += 4 {
+		// K4 blocks
+		for a := i; a < i+4 && a < n; a++ {
+			for b := a + 1; b < i+4 && b < n; b++ {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	// sprinkle a few cross edges
+	for k := 0; k < 20; k++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	deg := BronKerboschDegeneracy(g)
+	piv := BronKerboschPivot(g)
+	if !reflect.DeepEqual(deg.Cliques, piv.Cliques) {
+		t.Fatal("degeneracy and pivot disagree on cliques")
+	}
+	if deg.RecursionSteps > 3*piv.RecursionSteps {
+		t.Errorf("degeneracy recursion %d far above pivot %d", deg.RecursionSteps, piv.RecursionSteps)
+	}
+}

@@ -1,0 +1,104 @@
+package tagging
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/smr"
+	"repro/internal/wiki"
+)
+
+// Pipeline is the end-to-end tagging system wired to an SMR: the Parser
+// module fetches tags (and optionally annotation values, which the paper
+// also treats as tags), the Cache module memoizes computed clouds until the
+// underlying tag data changes, and BuildCloud supplies the matrix → graph →
+// clique → font-size chain.
+type Pipeline struct {
+	repo *smr.Repository
+	// IncludeAnnotations folds metadata property values in as tags.
+	IncludeAnnotations bool
+	// DisableCache turns the cache off (ablation benchmark).
+	DisableCache bool
+
+	mu       sync.Mutex
+	cacheKey uint64
+	cached   *Cloud
+	hits     int
+	misses   int
+}
+
+// NewPipeline builds a tagging pipeline over a repository.
+func NewPipeline(repo *smr.Repository, includeAnnotations bool) *Pipeline {
+	return &Pipeline{repo: repo, IncludeAnnotations: includeAnnotations}
+}
+
+// FetchTagData is the Parser module: it pulls tag assignments (and,
+// optionally, annotation values) from the SMR's relational projection.
+func (p *Pipeline) FetchTagData() (*TagData, error) {
+	pages := make(map[string][]string)
+	rs, err := p.repo.QuerySQL("SELECT tag, page FROM tags")
+	if err != nil {
+		return nil, fmt.Errorf("tagging: fetching tags: %w", err)
+	}
+	for _, row := range rs.Rows {
+		tag := row[0].Text0()
+		pages[tag] = append(pages[tag], row[1].Text0())
+	}
+	if p.IncludeAnnotations {
+		p.repo.Wiki.Each(func(pg *wiki.Page) {
+			title := pg.Title.String()
+			for _, a := range pg.Annotations {
+				tag := strings.ToLower(a.Value)
+				pages[tag] = append(pages[tag], title)
+			}
+		})
+	}
+	return NewTagData(pages), nil
+}
+
+// Cloud computes (or serves from cache) the current tag cloud.
+func (p *Pipeline) Cloud(opts CloudOptions) (*Cloud, error) {
+	td, err := p.FetchTagData()
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(td, opts)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.DisableCache && p.cached != nil && p.cacheKey == key {
+		p.hits++
+		return p.cached, nil
+	}
+	p.misses++
+	cloud := BuildCloud(td, opts)
+	p.cached = cloud
+	p.cacheKey = key
+	return cloud, nil
+}
+
+// CacheStats reports cache hits and misses since construction.
+func (p *Pipeline) CacheStats() (hits, misses int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// cacheKey hashes the tag data and options; any change to either recomputes.
+func cacheKey(td *TagData, opts CloudOptions) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|", opts)
+	tags := append([]string(nil), td.Tags...)
+	sort.Strings(tags)
+	for _, t := range tags {
+		fmt.Fprintf(h, "%s:", t)
+		for _, pg := range td.Pages[t] {
+			fmt.Fprintf(h, "%s,", pg)
+		}
+		fmt.Fprint(h, ";")
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,148 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Datum is one labelled value for the chart renderers.
+type Datum struct {
+	Label string
+	Value float64
+}
+
+// SortData orders data by descending value, ties by label — the display
+// order of the paper's bar/pie snapshots.
+func SortData(data []Datum) []Datum {
+	out := append([]Datum(nil), data...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// DataFromCounts converts a facet count map into sorted chart data.
+func DataFromCounts(counts map[string]int) []Datum {
+	data := make([]Datum, 0, len(counts))
+	for label, n := range counts {
+		data = append(data, Datum{Label: label, Value: float64(n)})
+	}
+	return SortData(data)
+}
+
+// BarChart renders a vertical bar diagram as SVG. Negative values are
+// clamped to zero (counts never go negative; defensive anyway).
+func BarChart(title string, data []Datum, width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 360
+	}
+	s := newSVG(width, height)
+	s.text(float64(width)/2, 20, 14, "middle", "#222", title)
+	if len(data) == 0 {
+		s.text(float64(width)/2, float64(height)/2, 12, "middle", "#666", "no data")
+		return s.String()
+	}
+	maxV := 0.0
+	for _, d := range data {
+		if d.Value > maxV {
+			maxV = d.Value
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	top, bottom, left := 36.0, 48.0, 40.0
+	plotH := float64(height) - top - bottom
+	plotW := float64(width) - left - 16
+	barSpace := plotW / float64(len(data))
+	barW := barSpace * 0.7
+
+	// y axis
+	s.line(left, top, left, top+plotH, "#999", 1)
+	s.line(left, top+plotH, left+plotW, top+plotH, "#999", 1)
+	s.text(left-6, top+8, 10, "end", "#666", fmt.Sprintf("%.0f", maxV))
+
+	for i, d := range data {
+		v := math.Max(0, d.Value)
+		h := plotH * v / maxV
+		x := left + float64(i)*barSpace + (barSpace-barW)/2
+		y := top + plotH - h
+		s.rect(x, y, barW, h, paletteColor(i), fmt.Sprintf("%s: %g", d.Label, d.Value))
+		s.text(x+barW/2, top+plotH+14, 10, "middle", "#333", truncate(d.Label, 12))
+		s.text(x+barW/2, y-4, 10, "middle", "#333", fmt.Sprintf("%g", d.Value))
+	}
+	return s.String()
+}
+
+// PieChart renders a pie diagram as SVG. Non-positive values are dropped.
+func PieChart(title string, data []Datum, size int) string {
+	if size <= 0 {
+		size = 360
+	}
+	s := newSVG(size, size)
+	s.text(float64(size)/2, 18, 14, "middle", "#222", title)
+	var total float64
+	var kept []Datum
+	for _, d := range data {
+		if d.Value > 0 {
+			total += d.Value
+			kept = append(kept, d)
+		}
+	}
+	if total == 0 {
+		s.text(float64(size)/2, float64(size)/2, 12, "middle", "#666", "no data")
+		return s.String()
+	}
+	cx, cy := float64(size)/2, float64(size)/2+10
+	r := float64(size)/2 - 40
+
+	if len(kept) == 1 {
+		s.circle(cx, cy, r, paletteColor(0), fmt.Sprintf("%s: %g (100.0%%)", kept[0].Label, kept[0].Value))
+		s.text(cx, cy, 11, "middle", "#000", kept[0].Label)
+		return s.String()
+	}
+
+	angle := -math.Pi / 2
+	for i, d := range kept {
+		frac := d.Value / total
+		next := angle + frac*2*math.Pi
+		x1, y1 := cx+r*math.Cos(angle), cy+r*math.Sin(angle)
+		x2, y2 := cx+r*math.Cos(next), cy+r*math.Sin(next)
+		large := 0
+		if frac > 0.5 {
+			large = 1
+		}
+		d1 := fmt.Sprintf("M%.2f,%.2f L%.2f,%.2f A%.2f,%.2f 0 %d 1 %.2f,%.2f Z",
+			cx, cy, x1, y1, r, r, large, x2, y2)
+		s.path(d1, paletteColor(i), fmt.Sprintf("%s: %g (%.1f%%)", d.Label, d.Value, 100*frac))
+		// Label at the slice midpoint.
+		mid := (angle + next) / 2
+		lx, ly := cx+(r+14)*math.Cos(mid), cy+(r+14)*math.Sin(mid)
+		anchor := "start"
+		if math.Cos(mid) < -0.1 {
+			anchor = "end"
+		} else if math.Abs(math.Cos(mid)) <= 0.1 {
+			anchor = "middle"
+		}
+		s.text(lx, ly, 10, anchor, "#333", truncate(d.Label, 16))
+		angle = next
+	}
+	return s.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,89 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/tagging"
+)
+
+// fontSizesPx maps the Eq.-6 size scale (1..7 by default) to pixel sizes.
+var fontSizesPx = []int{0, 11, 13, 15, 18, 21, 25, 30}
+
+// TagCloudHTML renders a computed cloud as an HTML fragment. Tags belonging
+// to cliques are coloured by their first clique (different colours indicate
+// different cliques, as in Fig. 5); multi-clique tags get an underline for
+// each extra clique membership.
+func TagCloudHTML(cloud *tagging.Cloud) string {
+	var b strings.Builder
+	b.WriteString(`<div class="tagcloud">` + "\n")
+	for _, e := range cloud.Entries {
+		px := 11
+		if e.FontSize >= 1 && e.FontSize < len(fontSizesPx) {
+			px = fontSizesPx[e.FontSize]
+		} else if e.FontSize >= len(fontSizesPx) {
+			px = fontSizesPx[len(fontSizesPx)-1]
+		}
+		color := "#444444"
+		if len(e.CliqueIDs) > 0 {
+			color = paletteColor(e.CliqueIDs[0])
+		}
+		decoration := ""
+		if len(e.CliqueIDs) > 1 {
+			decoration = ";text-decoration:underline"
+		}
+		fmt.Fprintf(&b,
+			`<span class="tag" style="font-size:%dpx;color:%s%s" title="%s: %d use(s), %d clique(s)">%s</span>`+"\n",
+			px, color, decoration, esc(e.Tag), e.Frequency, e.Cliques, esc(e.Tag))
+	}
+	b.WriteString("</div>\n")
+	return b.String()
+}
+
+// TagGraphSVG draws the tag similarity graph with clique colouring — the
+// Fig. 5 "semantics of tag cliques" picture. Tags are placed on a circle in
+// alphabetical order; edges within a clique take the clique's colour.
+func TagGraphSVG(cloud *tagging.Cloud, size int) string {
+	if size <= 0 {
+		size = 520
+	}
+	s := newSVG(size, size)
+	n := len(cloud.Entries)
+	if n == 0 {
+		s.text(float64(size)/2, float64(size)/2, 12, "middle", "#666", "no tags")
+		return s.String()
+	}
+	c := float64(size) / 2
+	r := c - 60
+	pos := make(map[string][2]float64, n)
+	for i, e := range cloud.Entries {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pos[e.Tag] = [2]float64{c + r*math.Cos(theta), c + r*math.Sin(theta)}
+	}
+	// Edges per clique, coloured by clique id.
+	for ci, clique := range cloud.Cliques {
+		color := paletteColor(ci)
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				p1, ok1 := pos[clique[i]]
+				p2, ok2 := pos[clique[j]]
+				if !ok1 || !ok2 {
+					continue
+				}
+				s.line(p1[0], p1[1], p2[0], p2[1], color, 1.5)
+			}
+		}
+	}
+	for _, e := range cloud.Entries {
+		p := pos[e.Tag]
+		fill := "#888888"
+		if len(e.CliqueIDs) > 0 {
+			fill = paletteColor(e.CliqueIDs[0])
+		}
+		s.circle(p[0], p[1], 4+float64(e.FontSize), fill,
+			fmt.Sprintf("%s (%d)", e.Tag, e.Frequency))
+		s.text(p[0], p[1]-8-float64(e.FontSize), 10, "middle", "#222", e.Tag)
+	}
+	return s.String()
+}

@@ -1,0 +1,183 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// DOT exports a directed link graph in GraphViz syntax: page links as solid
+// edges, semantic links dashed and labelled. Node order is deterministic.
+func DOT(g *graph.Directed, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"sans-serif\"];\n")
+	ids := g.IDs()
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, c int) bool { return ids[order[a]] < ids[order[c]] })
+	for _, i := range order {
+		fmt.Fprintf(&b, "  %q;\n", ids[i])
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(a, c int) bool {
+		ea, ec := edges[a], edges[c]
+		if ids[ea.From] != ids[ec.From] {
+			return ids[ea.From] < ids[ec.From]
+		}
+		if ids[ea.To] != ids[ec.To] {
+			return ids[ea.To] < ids[ec.To]
+		}
+		return ea.Kind < ec.Kind
+	})
+	for _, e := range edges {
+		attr := ""
+		if e.Kind == graph.SemanticLink {
+			attr = ` [style=dashed, color="#4e79a7", label="semantic"]`
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", ids[e.From], ids[e.To], attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Layout is a computed node placement.
+type Layout map[string][2]float64
+
+// ForceLayout computes a deterministic Fruchterman–Reingold-style layout in
+// the unit square. Determinism comes from seeding positions on a circle in
+// node-id order and running a fixed iteration count — no randomness, same
+// input → same picture.
+func ForceLayout(g *graph.Directed, iterations int) Layout {
+	n := g.NumNodes()
+	out := make(Layout, n)
+	if n == 0 {
+		return out
+	}
+	if iterations <= 0 {
+		iterations = 120
+	}
+	ids := g.IDs()
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	posIndex := make(map[string]int, n)
+	for i, id := range sorted {
+		posIndex[id] = i
+	}
+
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i, id := range ids {
+		k := posIndex[id]
+		theta := 2 * math.Pi * float64(k) / float64(n)
+		// Slight radius variation avoids perfectly symmetric deadlocks.
+		r := 0.35 + 0.1*float64(k%3)/3
+		x[i] = 0.5 + r*math.Cos(theta)
+		y[i] = 0.5 + r*math.Sin(theta)
+	}
+
+	// Undirected edge set for attraction.
+	type pair struct{ a, b int }
+	edgeSet := map[pair]bool{}
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			continue
+		}
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		edgeSet[pair{a, b}] = true
+	}
+
+	k := math.Sqrt(1.0 / float64(n)) // ideal edge length
+	temp := 0.1
+	dx := make([]float64, n)
+	dy := make([]float64, n)
+	for iter := 0; iter < iterations; iter++ {
+		for i := range dx {
+			dx[i], dy[i] = 0, 0
+		}
+		// Repulsion.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				ddx, ddy := x[i]-x[j], y[i]-y[j]
+				d2 := ddx*ddx + ddy*ddy
+				if d2 < 1e-9 {
+					d2 = 1e-9
+					ddx = 1e-5 * float64(i-j)
+				}
+				f := k * k / d2
+				dx[i] += ddx * f
+				dy[i] += ddy * f
+				dx[j] -= ddx * f
+				dy[j] -= ddy * f
+			}
+		}
+		// Attraction along edges.
+		for e := range edgeSet {
+			ddx, ddy := x[e.a]-x[e.b], y[e.a]-y[e.b]
+			d := math.Sqrt(ddx*ddx+ddy*ddy) + 1e-9
+			f := d / k * 0.5
+			dx[e.a] -= ddx / d * f * 0.01
+			dy[e.a] -= ddy / d * f * 0.01
+			dx[e.b] += ddx / d * f * 0.01
+			dy[e.b] += ddy / d * f * 0.01
+		}
+		// Displace, bounded by temperature; cool linearly.
+		for i := 0; i < n; i++ {
+			d := math.Sqrt(dx[i]*dx[i]+dy[i]*dy[i]) + 1e-12
+			step := math.Min(d, temp)
+			x[i] += dx[i] / d * step
+			y[i] += dy[i] / d * step
+			x[i] = math.Min(0.95, math.Max(0.05, x[i]))
+			y[i] = math.Min(0.95, math.Max(0.05, y[i]))
+		}
+		temp *= 0.97
+	}
+	for i, id := range ids {
+		out[id] = [2]float64{x[i], y[i]}
+	}
+	return out
+}
+
+// GraphSVG renders the link graph with a force layout: nodes sized by
+// in-degree (the association-graph snapshot of Fig. 2), page links grey,
+// semantic links blue.
+func GraphSVG(g *graph.Directed, width, height int) string {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 600
+	}
+	s := newSVG(width, height)
+	layout := ForceLayout(g, 0)
+	ids := g.IDs()
+	px := func(id string) (float64, float64) {
+		p := layout[id]
+		return p[0] * float64(width), p[1] * float64(height)
+	}
+	for _, e := range g.Edges() {
+		x1, y1 := px(ids[e.From])
+		x2, y2 := px(ids[e.To])
+		color, w := "#bbbbbb", 1.0
+		if e.Kind == graph.SemanticLink {
+			color, w = "#4e79a7", 1.5
+		}
+		s.line(x1, y1, x2, y2, color, w)
+	}
+	in := g.InDegrees()
+	for i, id := range ids {
+		xx, yy := px(id)
+		r := 4 + 2*math.Sqrt(float64(in[i]))
+		s.circle(xx, yy, r, paletteColor(i), id)
+		s.text(xx, yy-r-3, 9, "middle", "#222", id)
+	}
+	return s.String()
+}

@@ -1,0 +1,190 @@
+package viz
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// HyperNode is one placed node of the hypergraph browser view.
+type HyperNode struct {
+	ID    string
+	Depth int
+	X, Y  float64 // position inside the unit Poincaré disk
+}
+
+// HyperbolicLayout places the link graph on a Poincaré disk centred on a
+// focus page, the view the paper's dynamic hypergraphs give users to
+// "browse pages according to their linking structure and … identify popular
+// (clustered) pages". BFS depth from the focus maps to radius tanh(d/2);
+// each subtree receives an angular wedge proportional to its size. Nodes
+// unreachable from the focus are placed on the outermost ring.
+func HyperbolicLayout(g *graph.Directed, focus string) []HyperNode {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	fi, ok := g.Index(focus)
+	if !ok {
+		// No focus: use the first node in id order.
+		ids := g.IDs()
+		sorted := append([]string(nil), ids...)
+		sort.Strings(sorted)
+		fi, _ = g.Index(sorted[0])
+	}
+
+	// Undirected adjacency for browsing (links are followable both ways in
+	// the hypergraph UI).
+	adj := make([][]int, n)
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			continue
+		}
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+
+	depth := make([]int, n)
+	parent := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+		parent[i] = -1
+	}
+	depth[fi] = 0
+	queue := []int{fi}
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range adj[v] {
+			if depth[u] < 0 {
+				depth[u] = depth[v] + 1
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+
+	// Subtree sizes over the BFS tree.
+	children := make([][]int, n)
+	for _, v := range order {
+		if parent[v] >= 0 {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+	size := make([]int, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		size[v] = 1
+		for _, c := range children[v] {
+			size[v] += size[c]
+		}
+	}
+
+	// Angular wedges: root gets [0, 2π); children split proportionally.
+	angleLo := make([]float64, n)
+	angleHi := make([]float64, n)
+	angleLo[fi], angleHi[fi] = 0, 2*math.Pi
+	for _, v := range order {
+		lo, hi := angleLo[v], angleHi[v]
+		total := 0
+		for _, c := range children[v] {
+			total += size[c]
+		}
+		cursor := lo
+		for _, c := range children[v] {
+			span := (hi - lo) * float64(size[c]) / float64(total)
+			angleLo[c], angleHi[c] = cursor, cursor+span
+			cursor += span
+		}
+	}
+
+	ids := g.IDs()
+	var out []HyperNode
+	maxDepth := 0
+	for _, v := range order {
+		if depth[v] > maxDepth {
+			maxDepth = depth[v]
+		}
+	}
+	for _, v := range order {
+		r := math.Tanh(float64(depth[v]) / 2)
+		theta := (angleLo[v] + angleHi[v]) / 2
+		out = append(out, HyperNode{
+			ID:    ids[v],
+			Depth: depth[v],
+			X:     r * math.Cos(theta),
+			Y:     r * math.Sin(theta),
+		})
+	}
+	// Unreachable nodes: outer ring, spread in id order.
+	var unreachable []int
+	for v := 0; v < n; v++ {
+		if depth[v] < 0 {
+			unreachable = append(unreachable, v)
+		}
+	}
+	sort.Slice(unreachable, func(a, b int) bool { return ids[unreachable[a]] < ids[unreachable[b]] })
+	for i, v := range unreachable {
+		theta := 2 * math.Pi * float64(i) / float64(len(unreachable))
+		r := math.Tanh(float64(maxDepth+2) / 2)
+		out = append(out, HyperNode{ID: ids[v], Depth: -1, X: r * math.Cos(theta), Y: r * math.Sin(theta)})
+	}
+	return out
+}
+
+// HypergraphSVG renders the Poincaré-disk view: the focus at the centre,
+// rings per depth, edges as chords.
+func HypergraphSVG(g *graph.Directed, focus string, size int) string {
+	if size <= 0 {
+		size = 640
+	}
+	s := newSVG(size, size)
+	c := float64(size) / 2
+	rMax := c - 20
+	s.circle(c, c, rMax, "#f8f8f8", "")
+
+	nodes := HyperbolicLayout(g, focus)
+	pos := make(map[string][2]float64, len(nodes))
+	for _, nd := range nodes {
+		pos[nd.ID] = [2]float64{c + nd.X*rMax, c + nd.Y*rMax}
+	}
+	for _, e := range g.Edges() {
+		from, to := g.ID(e.From), g.ID(e.To)
+		p1, ok1 := pos[from]
+		p2, ok2 := pos[to]
+		if !ok1 || !ok2 {
+			continue
+		}
+		s.line(p1[0], p1[1], p2[0], p2[1], "#cccccc", 0.8)
+	}
+	for _, nd := range nodes {
+		p := pos[nd.ID]
+		r := 6.0 / (1 + float64(maxInt(nd.Depth, 0)))
+		if r < 2 {
+			r = 2
+		}
+		fill := paletteColor(nd.Depth + 1)
+		if nd.Depth == 0 {
+			fill = "#e15759"
+			r = 8
+		}
+		s.circle(p[0], p[1], r, fill, nd.ID)
+		if nd.Depth >= 0 && nd.Depth <= 1 {
+			s.text(p[0], p[1]-r-2, 9, "middle", "#222", nd.ID)
+		}
+	}
+	return s.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is one named curve for LineChart.
+type Series struct {
+	Name   string
+	Points []float64 // y value per x = 1..len
+}
+
+// LineChart renders curves as an SVG line plot. With logY, the y axis is
+// log₁₀ (non-positive values are dropped from the curve) — the natural
+// scale for the Fig.-3a residual-vs-iteration convergence plot.
+func LineChart(title, xLabel, yLabel string, series []Series, width, height int, logY bool) string {
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 440
+	}
+	s := newSVG(width, height)
+	s.text(float64(width)/2, 20, 14, "middle", "#222", title)
+
+	// Collect the value range.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	maxX := 0
+	for _, sr := range series {
+		if len(sr.Points) > maxX {
+			maxX = len(sr.Points)
+		}
+		for _, y := range sr.Points {
+			if logY && y <= 0 {
+				continue
+			}
+			v := y
+			if logY {
+				v = math.Log10(y)
+			}
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxX == 0 || math.IsInf(minY, 1) {
+		s.text(float64(width)/2, float64(height)/2, 12, "middle", "#666", "no data")
+		return s.String()
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	top, bottom, left, right := 36.0, 52.0, 64.0, 16.0
+	plotW := float64(width) - left - right
+	plotH := float64(height) - top - bottom
+	px := func(x int) float64 {
+		if maxX == 1 {
+			return left + plotW/2
+		}
+		return left + plotW*float64(x-1)/float64(maxX-1)
+	}
+	py := func(v float64) float64 {
+		return top + plotH*(1-(v-minY)/(maxY-minY))
+	}
+
+	// Axes and gridlines.
+	s.line(left, top, left, top+plotH, "#999", 1)
+	s.line(left, top+plotH, left+plotW, top+plotH, "#999", 1)
+	s.text(left+plotW/2, float64(height)-12, 11, "middle", "#444", xLabel)
+	s.text(14, top-8, 11, "start", "#444", yLabel)
+	ticks := 5
+	for t := 0; t <= ticks; t++ {
+		v := minY + (maxY-minY)*float64(t)/float64(ticks)
+		y := py(v)
+		s.line(left, y, left+plotW, y, "#eeeeee", 1)
+		label := fmt.Sprintf("%.2g", v)
+		if logY {
+			label = fmt.Sprintf("1e%.0f", v)
+		}
+		s.text(left-6, y+4, 9, "end", "#666", label)
+	}
+
+	// Curves, sorted by name for deterministic colour assignment.
+	ordered := append([]Series(nil), series...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+	for si, sr := range ordered {
+		color := paletteColor(si)
+		prevValid := false
+		var prevX, prevY float64
+		for i, y := range sr.Points {
+			if logY && y <= 0 {
+				prevValid = false
+				continue
+			}
+			v := y
+			if logY {
+				v = math.Log10(y)
+			}
+			cx, cy := px(i+1), py(v)
+			if prevValid {
+				s.line(prevX, prevY, cx, cy, color, 1.5)
+			}
+			prevX, prevY, prevValid = cx, cy, true
+		}
+		// Legend entry.
+		ly := top + 14*float64(si)
+		s.line(left+plotW-110, ly, left+plotW-90, ly, color, 2)
+		s.text(left+plotW-84, ly+4, 10, "start", "#333", sr.Name)
+	}
+	return s.String()
+}

@@ -1,0 +1,62 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	svg := LineChart("Convergence", "iteration", "residual", []Series{
+		{Name: "GS", Points: []float64{1, 0.1, 0.01, 0.001}},
+		{Name: "Power", Points: []float64{1, 0.5, 0.25, 0.125, 0.06}},
+	}, 720, 440, true)
+	validXML(t, svg)
+	if !strings.Contains(svg, "Convergence") || !strings.Contains(svg, "GS") || !strings.Contains(svg, "Power") {
+		t.Error("labels missing")
+	}
+	// Log ticks like 1e-3 appear.
+	if !strings.Contains(svg, "1e") {
+		t.Error("log ticks missing")
+	}
+	// 3 segments + 4 segments + axes + grids + legend strokes.
+	if strings.Count(svg, "<line") < 10 {
+		t.Errorf("too few lines: %d", strings.Count(svg, "<line"))
+	}
+}
+
+func TestLineChartLinearScale(t *testing.T) {
+	svg := LineChart("T", "x", "y", []Series{
+		{Name: "a", Points: []float64{0, 5, 10}},
+	}, 0, 0, false)
+	validXML(t, svg)
+	if strings.Contains(svg, "1e") {
+		t.Error("linear chart shows log ticks")
+	}
+}
+
+func TestLineChartDropsNonPositiveOnLog(t *testing.T) {
+	svg := LineChart("T", "x", "y", []Series{
+		{Name: "a", Points: []float64{1, 0, 0.1}}, // the 0 breaks the curve
+	}, 400, 300, true)
+	validXML(t, svg)
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	svg := LineChart("T", "x", "y", nil, 400, 300, true)
+	validXML(t, svg)
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty chart should say so")
+	}
+	svg = LineChart("T", "x", "y", []Series{{Name: "a", Points: []float64{0}}}, 400, 300, true)
+	validXML(t, svg)
+	if !strings.Contains(svg, "no data") {
+		t.Error("all-dropped chart should say so")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	svg := LineChart("T", "x", "y", []Series{
+		{Name: "flat", Points: []float64{2, 2, 2}},
+	}, 400, 300, false)
+	validXML(t, svg)
+}

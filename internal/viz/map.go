@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// MapSVG renders clustered markers over a plain equirectangular canvas —
+// the map-based browsing of Fig. 2 with "different colors for describing
+// the degree of matching of each result". Cluster radius grows with member
+// count; colour encodes the cluster's mean match degree.
+func MapSVG(clusters []geo.Cluster, width, height int) string {
+	if width <= 0 {
+		width = 800
+	}
+	if height <= 0 {
+		height = 500
+	}
+	s := newSVG(width, height)
+	s.rect(0, 0, float64(width), float64(height), "#eef3f7", "")
+
+	if len(clusters) == 0 {
+		s.text(float64(width)/2, float64(height)/2, 12, "middle", "#666", "no positioned results")
+		return s.String()
+	}
+
+	// Viewport: bounding box of all cluster members with 10% padding.
+	var all []geo.Marker
+	for _, c := range clusters {
+		all = append(all, c.Members...)
+	}
+	box := geo.BoundsOf(all)
+	latSpan := box.MaxLat - box.MinLat
+	lonSpan := box.MaxLon - box.MinLon
+	if latSpan == 0 {
+		latSpan = 0.01
+	}
+	if lonSpan == 0 {
+		lonSpan = 0.01
+	}
+	pad := 0.1
+	minLat, maxLat := box.MinLat-latSpan*pad, box.MaxLat+latSpan*pad
+	minLon, maxLon := box.MinLon-lonSpan*pad, box.MaxLon+lonSpan*pad
+
+	project := func(p geo.Point) (float64, float64) {
+		x := (p.Lon - minLon) / (maxLon - minLon) * float64(width)
+		y := (1 - (p.Lat-minLat)/(maxLat-minLat)) * float64(height)
+		return x, y
+	}
+
+	// Graticule for orientation.
+	for i := 1; i < 5; i++ {
+		fx := float64(width) * float64(i) / 5
+		fy := float64(height) * float64(i) / 5
+		s.line(fx, 0, fx, float64(height), "#dde5ec", 1)
+		s.line(0, fy, float64(width), fy, "#dde5ec", 1)
+	}
+
+	for _, c := range clusters {
+		x, y := project(c.Center)
+		r := 6 + 4*math.Sqrt(float64(len(c.Members)-1))
+		title := fmt.Sprintf("%d result(s), match %.2f", len(c.Members), c.AvgMatch)
+		if len(c.Members) == 1 {
+			title = fmt.Sprintf("%s (match %.2f)", c.Members[0].ID, c.Members[0].Match)
+		}
+		s.circle(x, y, r, matchColor(c.AvgMatch), title)
+		if len(c.Members) > 1 {
+			s.text(x, y+3, 10, "middle", "#fff", fmt.Sprintf("%d", len(c.Members)))
+		}
+	}
+
+	// Legend.
+	s.text(10, float64(height)-28, 10, "start", "#333", "match degree:")
+	for i := 0; i <= 4; i++ {
+		m := float64(i) / 4
+		s.rect(85+float64(i)*22, float64(height)-38, 20, 12, matchColor(m), fmt.Sprintf("%.2f", m))
+	}
+	s.text(85, float64(height)-12, 9, "start", "#666", "low")
+	s.text(85+5*22, float64(height)-12, 9, "end", "#666", "high")
+	return s.String()
+}

@@ -1,0 +1,92 @@
+// Package viz regenerates every visual artefact of the paper's Fig. 2 and
+// Fig. 5 without the external services the original system called out to:
+// SVG bar and pie diagrams (for the Google Chart APIs), an SVG map renderer
+// with clustering and match-degree colouring (for the Google Maps API), DOT
+// export and a deterministic force-directed SVG layout (for GraphViz), a
+// Poincaré-disk hypergraph browser view (for the HyperGraph API), HTML
+// result tables, and HTML/SVG tag clouds with clique colouring.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// svgBuilder accumulates SVG elements with correct escaping.
+type svgBuilder struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newSVG(w, h int) *svgBuilder {
+	s := &svgBuilder{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	return s
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&#39;")
+	return r.Replace(s)
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, fill, title string) {
+	fmt.Fprintf(&s.b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s">`, x, y, w, h, fill)
+	if title != "" {
+		fmt.Fprintf(&s.b, "<title>%s</title>", esc(title))
+	}
+	s.b.WriteString("</rect>\n")
+}
+
+func (s *svgBuilder) circle(cx, cy, r float64, fill, title string) {
+	fmt.Fprintf(&s.b, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s">`, cx, cy, r, fill)
+	if title != "" {
+		fmt.Fprintf(&s.b, "<title>%s</title>", esc(title))
+	}
+	s.b.WriteString("</circle>\n")
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (s *svgBuilder) text(x, y float64, size int, anchor, fill, content string) {
+	fmt.Fprintf(&s.b, `<text x="%.2f" y="%.2f" font-size="%d" text-anchor="%s" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+		x, y, size, anchor, fill, esc(content))
+}
+
+func (s *svgBuilder) path(d, fill, title string) {
+	fmt.Fprintf(&s.b, `<path d="%s" fill="%s">`, d, fill)
+	if title != "" {
+		fmt.Fprintf(&s.b, "<title>%s</title>", esc(title))
+	}
+	s.b.WriteString("</path>\n")
+}
+
+func (s *svgBuilder) String() string {
+	return s.b.String() + "</svg>\n"
+}
+
+// Palette is the default categorical colour palette (clique colours in
+// Fig. 5, pie slices, marker classes).
+var Palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// paletteColor cycles the palette.
+func paletteColor(i int) string { return Palette[((i%len(Palette))+len(Palette))%len(Palette)] }
+
+// matchColor maps a match degree in [0, 1] to a red→green ramp (the map
+// marker colouring of Fig. 2).
+func matchColor(match float64) string {
+	if match < 0 {
+		match = 0
+	}
+	if match > 1 {
+		match = 1
+	}
+	r := int(220 * (1 - match))
+	g := int(170 * match)
+	return fmt.Sprintf("#%02x%02x40", r, g)
+}

@@ -1,0 +1,41 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// HTMLTable renders rows as a plain HTML table (the "plain tabular formats"
+// of Fig. 2). All cell content is escaped.
+func HTMLTable(columns []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(`<table class="results">` + "\n<thead><tr>")
+	for _, c := range columns {
+		fmt.Fprintf(&b, "<th>%s</th>", esc(c))
+	}
+	b.WriteString("</tr></thead>\n<tbody>\n")
+	for _, row := range rows {
+		b.WriteString("<tr>")
+		for _, cell := range row {
+			fmt.Fprintf(&b, "<td>%s</td>", esc(cell))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody>\n</table>\n")
+	return b.String()
+}
+
+// ResultSetTable renders a relational result set as HTML.
+func ResultSetTable(rs *relational.ResultSet) string {
+	rows := make([][]string, len(rs.Rows))
+	for i, r := range rs.Rows {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.String()
+		}
+		rows[i] = cells
+	}
+	return HTMLTable(rs.Columns, rows)
+}

@@ -1,0 +1,176 @@
+// Package workload generates the synthetic inputs of every experiment: a
+// Swiss-Experiment-like metadata corpus (institutions, field sites,
+// deployments, stations, sensors with positions in the Swiss Alps), random
+// web graphs with power-law out-degrees and dangling nodes for the
+// PageRank evaluation of Fig. 3, tag assignments for the Section-IV
+// pipeline, and query mixes that drive the search handlers. All generators
+// are deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/smr"
+)
+
+// Swiss Alps bounding box used for generated coordinates.
+const (
+	MinLat, MaxLat = 46.0, 47.5
+	MinLon, MaxLon = 7.0, 10.5
+)
+
+// Institutions and measurands mirror the Swiss Experiment participants and
+// the sensor types its deployments report.
+var (
+	institutions = []string{"EPFL", "WSL", "SLF", "ETHZ", "UniBas", "MeteoSwiss"}
+	cantons      = []string{"GR", "VS", "BE", "VD", "UR", "TI"}
+	measurands   = []string{
+		"temperature", "wind speed", "wind direction", "humidity",
+		"snow height", "solar radiation", "soil moisture", "pressure",
+		"precipitation", "discharge",
+	}
+	siteNames = []string{
+		"Wannengrat", "Davos", "Zermatt", "Grimsel", "Jungfraujoch",
+		"Rietholzbach", "Lago Bianco", "Piora", "Dischma", "Gemmi",
+		"Plaine Morte", "Crap Alv", "Furka", "Albula", "Simplon",
+	}
+)
+
+// CorpusOptions sizes the generated corpus.
+type CorpusOptions struct {
+	Sites       int // number of field sites (capped by name pool × suffixes)
+	Deployments int // total deployments, spread over sites
+	Sensors     int // total sensors, spread over deployments
+	Seed        int64
+	// TagsPerSensor adds this many user tags per sensor page (0 disables).
+	TagsPerSensor int
+}
+
+// DefaultCorpus is the 1k-page configuration used by Fig. 2/6/7
+// regeneration.
+func DefaultCorpus() CorpusOptions {
+	return CorpusOptions{Sites: 12, Deployments: 60, Sensors: 900, Seed: 42, TagsPerSensor: 2}
+}
+
+// CorpusStats reports what was generated.
+type CorpusStats struct {
+	Sites, Deployments, Sensors, Pages, Tags int
+}
+
+// BuildCorpus fills a repository with a synthetic Swiss-Experiment-style
+// corpus. Pages link realistically: sensors → deployments (partOf, both as
+// semantic annotation and page link), deployments → sites (locatedIn) and
+// institutions (operatedBy), sites → canton pages. Sensors carry positions
+// near their site.
+func BuildCorpus(repo *smr.Repository, opts CorpusOptions) (*CorpusStats, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	stats := &CorpusStats{}
+
+	if opts.Sites <= 0 || opts.Deployments <= 0 || opts.Sensors <= 0 {
+		return nil, fmt.Errorf("workload: corpus sizes must be positive: %+v", opts)
+	}
+
+	// Field sites.
+	type site struct {
+		title    string
+		lat, lon float64
+	}
+	sites := make([]site, opts.Sites)
+	for i := range sites {
+		name := siteNames[i%len(siteNames)]
+		if i >= len(siteNames) {
+			name = fmt.Sprintf("%s-%d", name, i/len(siteNames)+1)
+		}
+		lat := MinLat + rng.Float64()*(MaxLat-MinLat)
+		lon := MinLon + rng.Float64()*(MaxLon-MinLon)
+		canton := cantons[rng.Intn(len(cantons))]
+		title := "Fieldsite:" + name
+		text := fmt.Sprintf(
+			"%s field site in the Swiss Alps.\n[[canton::%s]]\n[[latitude::%.5f]]\n[[longitude::%.5f]]\n[[altitude::%d]]\n[[Category:Fieldsites]]\n",
+			name, canton, lat, lon, 800+rng.Intn(2800))
+		if _, err := repo.PutPage(title, "generator", text, "corpus"); err != nil {
+			return nil, err
+		}
+		sites[i] = site{title: title, lat: lat, lon: lon}
+		stats.Sites++
+		stats.Pages++
+	}
+
+	// Deployments.
+	type deployment struct {
+		title string
+		site  int
+	}
+	deployments := make([]deployment, opts.Deployments)
+	for i := range deployments {
+		si := rng.Intn(len(sites))
+		inst := institutions[rng.Intn(len(institutions))]
+		title := fmt.Sprintf("Deployment:%s-%02d", trimNS(sites[si].title), i)
+		text := fmt.Sprintf(
+			"Deployment %d at [[%s]].\n[[locatedIn::%s]]\n[[operatedBy::%s]]\n[[startYear::%d]]\n[[Category:Deployments]]\n",
+			i, sites[si].title, sites[si].title, inst, 2005+rng.Intn(6))
+		if _, err := repo.PutPage(title, "generator", text, "corpus"); err != nil {
+			return nil, err
+		}
+		deployments[i] = deployment{title: title, site: si}
+		stats.Deployments++
+		stats.Pages++
+	}
+
+	// Sensors.
+	for i := 0; i < opts.Sensors; i++ {
+		di := rng.Intn(len(deployments))
+		dep := deployments[di]
+		st := sites[dep.site]
+		m := measurands[rng.Intn(len(measurands))]
+		lat := st.lat + rng.NormFloat64()*0.01
+		lon := st.lon + rng.NormFloat64()*0.01
+		title := fmt.Sprintf("Sensor:%s-%04d", shortName(m), i)
+		text := fmt.Sprintf(
+			"A %s sensor of [[%s]].\n[[partOf::%s]]\n[[measures::%s]]\n[[samplingRate::%d]]\n[[latitude::%.5f]]\n[[longitude::%.5f]]\n[[status::%s]]\n[[Category:Sensors]]\n",
+			m, dep.title, dep.title, m, []int{1, 10, 60, 600}[rng.Intn(4)], lat, lon,
+			[]string{"active", "active", "active", "maintenance", "retired"}[rng.Intn(5)])
+		if _, err := repo.PutPage(title, "generator", text, "corpus"); err != nil {
+			return nil, err
+		}
+		stats.Sensors++
+		stats.Pages++
+
+		for tgi := 0; tgi < opts.TagsPerSensor; tgi++ {
+			tag := measurands[rng.Intn(len(measurands))]
+			if rng.Intn(3) == 0 {
+				tag = institutions[rng.Intn(len(institutions))]
+			}
+			if err := repo.AddTag(title, tag, "generator"); err != nil {
+				return nil, err
+			}
+			stats.Tags++
+		}
+	}
+	return stats, nil
+}
+
+func trimNS(title string) string {
+	for i := 0; i < len(title); i++ {
+		if title[i] == ':' {
+			return title[i+1:]
+		}
+	}
+	return title
+}
+
+func shortName(measurand string) string {
+	out := make([]byte, 0, len(measurand))
+	for i := 0; i < len(measurand); i++ {
+		c := measurand[i]
+		if c == ' ' {
+			continue
+		}
+		out = append(out, c)
+	}
+	if len(out) > 8 {
+		out = out[:8]
+	}
+	return string(out)
+}

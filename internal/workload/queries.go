@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/search"
+)
+
+// QueryMixOptions configures the generated query workload.
+type QueryMixOptions struct {
+	Count int
+	Seed  int64
+}
+
+// BuildQueryMix generates a realistic advanced-search workload: keyword
+// queries over measurands and sites, property filters (equality and
+// numeric ranges), and combined keyword+filter queries — the shapes the
+// demonstration walks the audience through.
+func BuildQueryMix(opts QueryMixOptions) []search.Query {
+	if opts.Count <= 0 {
+		opts.Count = 100
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	out := make([]search.Query, 0, opts.Count)
+	for i := 0; i < opts.Count; i++ {
+		switch rng.Intn(5) {
+		case 0: // keyword only
+			out = append(out, search.Query{
+				Keywords: measurands[rng.Intn(len(measurands))],
+				SortBy:   search.SortRelevance,
+			})
+		case 1: // keyword, rank-sorted
+			out = append(out, search.Query{
+				Keywords: siteNames[rng.Intn(len(siteNames))],
+				SortBy:   search.SortRank,
+			})
+		case 2: // property equality
+			out = append(out, search.Query{
+				Filters: []search.PropertyFilter{{
+					Property: "measures",
+					Op:       search.OpEquals,
+					Value:    measurands[rng.Intn(len(measurands))],
+				}},
+				SortBy: search.SortTitle,
+			})
+		case 3: // numeric range over sampling rate
+			out = append(out, search.Query{
+				Filters: []search.PropertyFilter{{
+					Property: "samplingRate",
+					Op:       search.OpLessEq,
+					Value:    fmt.Sprintf("%d", []int{10, 60, 600}[rng.Intn(3)]),
+				}},
+				Namespace: "Sensor",
+				Limit:     50,
+			})
+		default: // combined keyword + filter
+			out = append(out, search.Query{
+				Keywords: "sensor",
+				Filters: []search.PropertyFilter{{
+					Property: "operatedBy",
+					Op:       search.OpEquals,
+					Value:    institutions[rng.Intn(len(institutions))],
+				}},
+				Mode:  search.ModeAny,
+				Limit: 20,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/smr"
+)
+
+func TestBuildCorpus(t *testing.T) {
+	repo, err := smr.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CorpusOptions{Sites: 5, Deployments: 10, Sensors: 40, Seed: 7, TagsPerSensor: 1}
+	stats, err := BuildCorpus(repo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sites != 5 || stats.Deployments != 10 || stats.Sensors != 40 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Pages != 55 {
+		t.Errorf("pages = %d, want 55", stats.Pages)
+	}
+	if stats.Tags != 40 {
+		t.Errorf("tags = %d, want 40", stats.Tags)
+	}
+	if repo.Wiki.Len() != 55 {
+		t.Errorf("wiki pages = %d", repo.Wiki.Len())
+	}
+	// Projections populated.
+	rs, err := repo.QuerySQL("SELECT COUNT(*) FROM annotations WHERE property = 'measures'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].Int64() != 40 {
+		t.Errorf("measures annotations = %v", rs.Rows[0][0])
+	}
+	// Coordinates inside the Alps box.
+	rs, err = repo.QuerySQL("SELECT MIN(numeric), MAX(numeric) FROM annotations WHERE property = 'latitude'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := rs.Rows[0][0].Float64(), rs.Rows[0][1].Float64()
+	if lo < MinLat-1 || hi > MaxLat+1 {
+		t.Errorf("latitudes [%v, %v] far outside the Alps box", lo, hi)
+	}
+	// Link graph is connected enough: every sensor points at a deployment.
+	g := repo.LinkGraph()
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges in corpus link graph")
+	}
+	danglingSensors := 0
+	for _, id := range g.IDs() {
+		if len(id) > 7 && id[:7] == "Sensor:" {
+			i, _ := g.Index(id)
+			if g.OutDegree(i, graph.SemanticLink) == 0 {
+				danglingSensors++
+			}
+		}
+	}
+	if danglingSensors != 0 {
+		t.Errorf("%d sensors without semantic links", danglingSensors)
+	}
+}
+
+func TestBuildCorpusDeterministic(t *testing.T) {
+	build := func() []string {
+		repo, err := smr.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := BuildCorpus(repo, CorpusOptions{Sites: 3, Deployments: 6, Sensors: 12, Seed: 5}); err != nil {
+			t.Fatal(err)
+		}
+		return repo.Wiki.Titles()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic corpus size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic title at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBuildCorpusValidation(t *testing.T) {
+	repo, _ := smr.New()
+	if _, err := BuildCorpus(repo, CorpusOptions{}); err == nil {
+		t.Error("zero-size corpus accepted")
+	}
+}
+
+func TestBuildWebGraph(t *testing.T) {
+	opts := DefaultWebGraph(500)
+	g, err := BuildWebGraph(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	dangling := len(g.Dangling())
+	// ~20% requested; allow generous slack.
+	if dangling < 50 || dangling > 200 {
+		t.Errorf("dangling = %d, expected around 100", dangling)
+	}
+	// Both link kinds present.
+	semantic, page := 0, 0
+	for _, e := range g.Edges() {
+		if e.Kind == graph.SemanticLink {
+			semantic++
+		} else {
+			page++
+		}
+	}
+	if semantic == 0 || page == 0 {
+		t.Errorf("link kinds: %d semantic, %d page", semantic, page)
+	}
+	// Power-lawish: max in-degree far above the average.
+	in := g.InDegrees()
+	maxIn, sum := 0, 0
+	for _, d := range in {
+		sum += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	avg := float64(sum) / float64(len(in))
+	if float64(maxIn) < 4*avg {
+		t.Errorf("max in-degree %d vs avg %.1f: no preferential attachment visible", maxIn, avg)
+	}
+}
+
+func TestBuildWebGraphDeterministic(t *testing.T) {
+	a, err := BuildWebGraph(DefaultWebGraph(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWebGraph(DefaultWebGraph(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Error("nondeterministic web graph")
+	}
+}
+
+func TestBuildWebGraphValidation(t *testing.T) {
+	if _, err := BuildWebGraph(WebGraphOptions{Nodes: 0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := BuildWebGraph(WebGraphOptions{Nodes: 10, DanglingFraction: 1.5}); err == nil {
+		t.Error("bad dangling fraction accepted")
+	}
+}
+
+func TestBuildQueryMix(t *testing.T) {
+	qs := BuildQueryMix(QueryMixOptions{Count: 50, Seed: 3})
+	if len(qs) != 50 {
+		t.Fatalf("count = %d", len(qs))
+	}
+	kinds := map[string]int{}
+	for _, q := range qs {
+		switch {
+		case q.Keywords != "" && len(q.Filters) > 0:
+			kinds["combined"]++
+		case q.Keywords != "":
+			kinds["keyword"]++
+		case len(q.Filters) > 0:
+			kinds["filter"]++
+		}
+	}
+	if kinds["keyword"] == 0 || kinds["filter"] == 0 || kinds["combined"] == 0 {
+		t.Errorf("query mix lacks variety: %v", kinds)
+	}
+	// Default count.
+	if got := BuildQueryMix(QueryMixOptions{}); len(got) != 100 {
+		t.Errorf("default count = %d", len(got))
+	}
+}

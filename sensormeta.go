@@ -1,0 +1,214 @@
+// Package sensormeta is the public facade of the sensor-metadata search
+// system reproduced from "Advanced Search, Visualization and Tagging of
+// Sensor Metadata" (Paparrizos, Jeung, Aberer; ICDE 2011). One System value
+// wires together every subsystem the paper describes:
+//
+//   - the Sensor Metadata Repository (wiki + relational + RDF projections,
+//     bulk loading, access control) — internal/smr;
+//   - combined SQL + SPARQL querying — internal/relational, internal/sparql;
+//   - the advanced search interface (keyword TF-IDF, property filters,
+//     facets, autocomplete) — internal/search;
+//   - PageRank over the double link structure, with the six solvers of the
+//     paper's Fig. 3 — internal/pagerank, internal/ranking;
+//   - the recommendation mechanism — internal/recommend;
+//   - the dynamic tagging pipeline (cosine similarity → tag graph →
+//     Bron–Kerbosch cliques → Eq.-6 font sizes) — internal/tagging;
+//   - visualization artefacts (charts, maps, graphs, hypergraphs, clouds) —
+//     internal/viz, internal/geo.
+//
+// Quickstart:
+//
+//	sys, _ := sensormeta.New()
+//	sys.PutPage("Sensor:W1", "me", "[[measures::wind speed]]", "")
+//	sys.Refresh()
+//	results, _ := sys.Search(search.Query{Keywords: "wind"})
+package sensormeta
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/pagerank"
+	"repro/internal/ranking"
+	"repro/internal/recommend"
+	"repro/internal/search"
+	"repro/internal/smr"
+	"repro/internal/sparql"
+	"repro/internal/tagging"
+	"repro/internal/wiki"
+)
+
+// System is a fully wired instance of the metadata search stack.
+type System struct {
+	Repo        *smr.Repository
+	Engine      *search.Engine
+	Ranker      *ranking.Ranker
+	Recommender *recommend.Recommender
+	Tags        *tagging.Pipeline
+	// QueryManager is the combined SQL+SPARQL+keyword execution path (the
+	// Query Management module of the paper's Fig. 1).
+	QueryManager *core.Manager
+
+	// PageRankOptions is used on every Refresh. The zero value selects the
+	// paper's defaults (c = 0.85, tol 1e-10, Gauss–Seidel).
+	PageRankOptions pagerank.Options
+	// PageRankMethod selects the solver; empty means Gauss–Seidel.
+	PageRankMethod string
+}
+
+// New creates an empty system.
+func New() (*System, error) {
+	repo, err := smr.New()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Repo: repo}
+	s.Engine = search.NewEngine(repo)
+	s.Tags = tagging.NewPipeline(repo, true)
+	s.QueryManager = core.NewManager(repo, s.Engine)
+	if err := s.Refresh(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// QueryCombined runs a combined SQL + SPARQL + keyword query through the
+// Query Management module and returns the joined, ranked, ACL-filtered
+// result with its visualization hint.
+func (s *System) QueryCombined(q core.CombinedQuery) (*core.Result, error) {
+	return s.QueryManager.Execute(q)
+}
+
+// PutPage writes a page through the repository (all projections update).
+// Call Refresh afterwards to make it searchable and ranked.
+func (s *System) PutPage(title, author, text, comment string) (*wiki.Page, error) {
+	return s.Repo.PutPage(title, author, text, comment)
+}
+
+// Refresh rebuilds the search index, recomputes PageRank over the double
+// link graph and refreshes the recommender. Call it after (batches of)
+// writes; it is the equivalent of the original system's periodic re-rank
+// ("Pagerank scores need to be updated regularly as new metadata pages are
+// continuously created").
+func (s *System) Refresh() error {
+	s.Engine.Rebuild()
+	rk, err := ranking.New(s.Repo, s.PageRankMethod, s.PageRankOptions)
+	if err != nil {
+		return fmt.Errorf("sensormeta: refresh: %w", err)
+	}
+	s.Ranker = rk
+	rk.Install(s.Engine)
+	s.Recommender = recommend.New(s.Repo, rk.Scores())
+	s.QueryManager.SetScores(rk.Scores())
+	return nil
+}
+
+// Search runs an advanced query.
+func (s *System) Search(q search.Query) ([]search.Result, error) {
+	return s.Engine.Search(q)
+}
+
+// SearchFused runs a query and re-orders results by the PageRank/relevance
+// fusion with the given alpha (1 = pure relevance, 0 = pure PageRank).
+func (s *System) SearchFused(q search.Query, alpha float64) ([]search.Result, error) {
+	rs, err := s.Engine.Search(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.Ranker.Fuse(rs, alpha), nil
+}
+
+// Autocomplete suggests query completions.
+func (s *System) Autocomplete(prefix string, k int) []search.Completion {
+	return s.Engine.Autocomplete(prefix, k)
+}
+
+// Recommend proposes pages related to a seed set for a user.
+func (s *System) Recommend(seeds []string, user string, k int) []recommend.Recommendation {
+	return s.Recommender.Recommend(seeds, user, k)
+}
+
+// TagCloud computes the current dynamic tag cloud.
+func (s *System) TagCloud(opts tagging.CloudOptions) (*tagging.Cloud, error) {
+	return s.Tags.Cloud(opts)
+}
+
+// QuerySQL runs SQL against the relational projection.
+func (s *System) QuerySQL(sql string) (*SQLResult, error) {
+	rs, err := s.Repo.QuerySQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := &SQLResult{Columns: rs.Columns}
+	for _, row := range rs.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out, nil
+}
+
+// SQLResult is a stringly-typed SQL result for display layers.
+type SQLResult struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// QuerySPARQL runs SPARQL against the RDF projection.
+func (s *System) QuerySPARQL(q string) (*sparql.Results, error) {
+	return s.Repo.QuerySPARQL(q)
+}
+
+// Markers extracts map markers from search results: pages annotated with
+// latitude/longitude become markers whose match degree is the result's
+// relevance normalized into [0, 1] over the set (1 when all relevances are
+// equal, e.g. pure filter queries).
+func (s *System) Markers(results []search.Result) []geo.Marker {
+	var maxRel float64
+	for _, r := range results {
+		if r.Relevance > maxRel {
+			maxRel = r.Relevance
+		}
+	}
+	var out []geo.Marker
+	for _, r := range results {
+		page, ok := s.Repo.Wiki.Get(r.Title)
+		if !ok {
+			continue
+		}
+		lat, okLat := firstFloat(page, "latitude")
+		lon, okLon := firstFloat(page, "longitude")
+		if !okLat || !okLon {
+			continue
+		}
+		p := geo.Point{Lat: lat, Lon: lon}
+		if !p.Valid() {
+			continue
+		}
+		match := 1.0
+		if maxRel > 0 {
+			match = r.Relevance / maxRel
+		}
+		out = append(out, geo.Marker{ID: r.Title, At: p, Match: match})
+	}
+	return out
+}
+
+func firstFloat(p *wiki.Page, property string) (float64, bool) {
+	for _, v := range p.PropertyValues(property) {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// CompareSolvers runs all six PageRank solvers over the current link graph
+// (the paper's Fig.-3 evaluation on live data).
+func (s *System) CompareSolvers(opts pagerank.Options) ([]*pagerank.Result, error) {
+	return pagerank.Compare(s.Repo.LinkGraph(), opts)
+}
