@@ -1,0 +1,180 @@
+package sensormeta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/search"
+	"repro/internal/workload"
+)
+
+// TestRefreshIncrementalMatchesFull drives random churn through Refresh and
+// checks the system answers exactly like one rebuilt from scratch over the
+// same repository: identical search results (PageRank scores compared
+// within solver tolerance, everything else byte-identical) and identical
+// autocomplete.
+func TestRefreshIncrementalMatchesFull(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := workload.DefaultCorpus()
+	opts.Sensors = 120
+	opts.Deployments = 12
+	if _, err := workload.BuildCorpus(sys.Repo, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	sensors := sys.Repo.Wiki.PagesInNamespace("Sensor")
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 10; i++ {
+			title := sensors[rng.Intn(len(sensors))]
+			switch rng.Intn(5) {
+			case 0: // structural edit: new link target
+				text := fmt.Sprintf("Relocated sensor.\n[[partOf::Deployment:Moved-%d]]\n[[measures::humidity]]\n", rng.Intn(3))
+				if _, err := sys.PutPage(title, "churn", text, ""); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				sys.Repo.DeletePage(title)
+			default: // metadata-only edit, link structure untouched
+				page, ok := sys.Repo.Wiki.Get(title)
+				if !ok {
+					continue
+				}
+				text := page.Text() + fmt.Sprintf("\n[[calibrated::%d]]\n", rng.Intn(1000))
+				if _, err := sys.PutPage(title, "churn", text, ""); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := sys.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+
+		full := &System{Repo: sys.Repo}
+		full.Engine = search.NewEngine(sys.Repo)
+		full.QueryManager = core.NewManager(sys.Repo, full.Engine)
+		if err := full.RefreshFull(); err != nil {
+			t.Fatal(err)
+		}
+		queries := []search.Query{
+			{Keywords: "temperature"},
+			{Keywords: "humidity", SortBy: search.SortTitle},
+			{Keywords: "sensor wind", Mode: search.ModeAny, Limit: 10},
+			{Namespace: "Sensor", SortBy: search.SortTitle, Limit: 15, Offset: 5},
+			{Filters: []search.PropertyFilter{{Property: "calibrated", Op: search.OpGreatEq, Value: "0"}}, SortBy: search.SortTitle},
+		}
+		for qi, q := range queries {
+			got, err := sys.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := full.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d query %d: %d results incremental, %d full", round, qi, len(got), len(want))
+			}
+			for i := range got {
+				g, w := got[i], want[i]
+				// PageRank solves (cold vs warm-started) agree only to the
+				// solver tolerance; everything else must match exactly.
+				if math.Abs(g.Rank-w.Rank) > 1e-6 {
+					t.Fatalf("round %d query %d result %d: rank %v vs %v", round, qi, i, g.Rank, w.Rank)
+				}
+				g.Rank, w.Rank = 0, 0
+				if !reflect.DeepEqual(g, w) {
+					t.Fatalf("round %d query %d result %d:\nincremental = %+v\nfull        = %+v", round, qi, i, g, w)
+				}
+			}
+		}
+		for _, prefix := range []string{"Sensor:", "temp", "hum", "Deployment:"} {
+			got := sys.Autocomplete(prefix, 10)
+			want := full.Autocomplete(prefix, 10)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d autocomplete %q:\nincremental = %+v\nfull        = %+v", round, prefix, got, want)
+			}
+		}
+	}
+}
+
+// TestRefreshSkipsPageRankWhenLinksUnchanged checks the journal's
+// link-change flag actually gates the solve: metadata-only churn must keep
+// the Ranker instance, structural churn must replace it.
+func TestRefreshSkipsPageRankWhenLinksUnchanged(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.PutPage("Sensor:R1", "t", "[[partOf::Deployment:D1]] [[samplingRate::10]]", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Ranker
+	// Metadata-only edit: PageRank must be skipped.
+	if _, err := sys.PutPage("Sensor:R1", "t", "[[partOf::Deployment:D1]] [[samplingRate::60]]", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Ranker != before {
+		t.Fatal("metadata-only refresh recomputed PageRank")
+	}
+	// The index still picked the edit up.
+	rs, err := sys.Search(search.Query{Filters: []search.PropertyFilter{{Property: "samplingRate", Op: search.OpEquals, Value: "60"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("edited annotation not searchable: %+v", rs)
+	}
+	// Structural edit: PageRank must run again.
+	if _, err := sys.PutPage("Sensor:R1", "t", "[[partOf::Deployment:D2]]", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Ranker == before {
+		t.Fatal("structural refresh kept stale PageRank")
+	}
+	// And an idle refresh does nothing.
+	before = sys.Ranker
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Ranker != before {
+		t.Fatal("idle refresh recomputed PageRank")
+	}
+}
+
+// TestRefreshTrimsJournal checks consumed journal entries are released.
+func TestRefreshTrimsJournal(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sys.PutPage(fmt.Sprintf("Sensor:T%d", i), "t", "prose", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if n := sys.Repo.Journal().Len(); n != 0 {
+		t.Fatalf("journal retains %d entries after refresh", n)
+	}
+}

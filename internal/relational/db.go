@@ -213,7 +213,7 @@ func (db *DB) execUpdate(s *UpdateStmt) (*ResultSet, error) {
 	}
 	var changes []change
 	var evalErr error
-	t.Scan(func(id int64, row Row) bool {
+	scanCandidates(t, s.Where, func(id int64, row Row) bool {
 		ctx := &evalContext{bindings: []binding{{name: t.Name, schema: t.Schema, row: row}}}
 		if s.Where != nil {
 			v, err := eval(ctx, s.Where)
@@ -260,7 +260,7 @@ func (db *DB) execDelete(s *DeleteStmt) (*ResultSet, error) {
 	}
 	var ids []int64
 	var evalErr error
-	t.Scan(func(id int64, row Row) bool {
+	scanCandidates(t, s.Where, func(id int64, row Row) bool {
 		if s.Where != nil {
 			ctx := &evalContext{bindings: []binding{{name: t.Name, schema: t.Schema, row: row}}}
 			v, err := eval(ctx, s.Where)
@@ -282,4 +282,28 @@ func (db *DB) execDelete(s *DeleteStmt) (*ResultSet, error) {
 		t.Delete(id)
 	}
 	return &ResultSet{RowsAffected: len(ids)}, nil
+}
+
+// scanCandidates feeds fn the rows a WHERE clause could match, narrowing
+// through an index when the clause has an indexable conjunct (the same
+// planning SELECT uses). The caller still re-checks the full predicate per
+// row, so over-matching is harmless. This is what keeps the repository's
+// per-page reprojection (DELETE ... WHERE page = 'x' on every PutPage) at
+// O(rows of that page) instead of a full-table scan.
+func scanCandidates(t *Table, where Expr, fn func(id int64, row Row) bool) {
+	if where != nil {
+		if ids, ok := indexLookupIDs(t, t.Name, where); ok {
+			// Sort for the same deterministic visit order Scan gives.
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				if row, live := t.Get(id); live {
+					if !fn(id, row) {
+						return
+					}
+				}
+			}
+			return
+		}
+	}
+	t.Scan(fn)
 }

@@ -2,6 +2,7 @@ package relational
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -619,5 +620,65 @@ func TestOrderByAlias(t *testing.T) {
 	}
 	if rs.Rows[0][1].Int64() < rs.Rows[1][1].Int64() {
 		t.Error("ORDER BY alias DESC not applied")
+	}
+}
+
+// TestIndexedDeleteUpdate pins the index-planned write path: DELETE and
+// UPDATE with an equality/range conjunct on an indexed column must behave
+// exactly like the full-scan path, including when the indexable conjunct
+// over-matches and the residual predicate filters further.
+func TestIndexedDeleteUpdate(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE ann (page TEXT, property TEXT, value TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE INDEX idx_page ON ann (page)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		sql := fmt.Sprintf(`INSERT INTO ann VALUES ('P%d', 'prop%d', 'v%d')`, i%3, i%5, i)
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Indexed equality + residual predicate on an unindexed column.
+	rs, err := db.Exec(`DELETE FROM ann WHERE page = 'P1' AND property = 'prop2'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RowsAffected != 2 {
+		t.Errorf("indexed delete RowsAffected = %d, want 2", rs.RowsAffected)
+	}
+	left, _ := db.Query(`SELECT COUNT(*) FROM ann WHERE page = 'P1'`)
+	if left.Rows[0][0].Int64() != 8 {
+		t.Errorf("remaining P1 rows = %v", left.Rows[0][0])
+	}
+	// Indexed update.
+	rs, err = db.Exec(`UPDATE ann SET value = 'x' WHERE page = 'P2'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RowsAffected != 10 {
+		t.Errorf("indexed update RowsAffected = %d, want 10", rs.RowsAffected)
+	}
+	check, _ := db.Query(`SELECT COUNT(*) FROM ann WHERE value = 'x'`)
+	if check.Rows[0][0].Int64() != 10 {
+		t.Errorf("updated rows = %v", check.Rows[0][0])
+	}
+	// Unindexed predicate still works (full scan fallback).
+	rs, err = db.Exec(`DELETE FROM ann WHERE property = 'prop0'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.RowsAffected != 6 {
+		t.Errorf("scan delete RowsAffected = %d, want 6", rs.RowsAffected)
+	}
+	// Delete everything matched by an index with no residual.
+	if _, err := db.Exec(`DELETE FROM ann WHERE page = 'P0'`); err != nil {
+		t.Fatal(err)
+	}
+	left, _ = db.Query(`SELECT COUNT(*) FROM ann WHERE page = 'P0'`)
+	if left.Rows[0][0].Int64() != 0 {
+		t.Errorf("P0 rows survive indexed delete: %v", left.Rows[0][0])
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/smr"
 	"repro/internal/wiki"
@@ -78,105 +79,263 @@ type Result struct {
 	Matched   map[string]string
 }
 
+// Trie entry weight classes: page titles outrank body terms in the
+// completion box.
+const (
+	titleWeight = 2
+	termWeight  = 1
+)
+
 // Engine executes advanced queries against an SMR repository. PageRank
 // scores are pushed in by the ranking layer (internal/ranking) — the engine
-// itself stays ignorant of how they are computed.
+// itself stays ignorant of how they are computed. The engine consumes the
+// repository's change journal (Update) to keep its index and trie current
+// without rebuilding them; Rebuild remains the from-scratch fallback.
 type Engine struct {
+	mu    sync.RWMutex
 	repo  *smr.Repository
 	index *Index
 	trie  *Trie
 	ranks map[string]float64
+	seq   uint64 // journal position the index reflects
+
+	// writeMu serializes Rebuild/Update against each other. Applying one
+	// journal run is idempotent, but two interleaved runs would each see
+	// the pre-apply state (e.g. both observe a page as new) and
+	// double-count trie references.
+	writeMu sync.Mutex
 }
 
 // NewEngine builds an engine and indexes the current repository content.
 func NewEngine(repo *smr.Repository) *Engine {
-	e := &Engine{repo: repo, index: NewIndex(), trie: NewTrie(), ranks: map[string]float64{}}
+	e := &Engine{repo: repo, ranks: map[string]float64{}}
 	e.Rebuild()
 	return e
 }
 
-// Rebuild re-indexes every page: wikitext plus annotation text, so both
-// prose and structured values are searchable, as in Semantic MediaWiki.
-func (e *Engine) Rebuild() {
-	e.index = NewIndex()
-	e.trie = NewTrie()
-	e.repo.Wiki.Each(func(p *wiki.Page) {
-		title := p.Title.String()
-		var b strings.Builder
-		b.WriteString(title)
+// buildDocText renders the indexable text of a page: title, wikitext and
+// annotation text, so both prose and structured values are searchable, as
+// in Semantic MediaWiki.
+func buildDocText(p *wiki.Page) string {
+	var b strings.Builder
+	b.WriteString(p.Title.String())
+	b.WriteByte('\n')
+	b.WriteString(p.Text())
+	for _, a := range p.Annotations {
 		b.WriteByte('\n')
-		b.WriteString(p.Text())
-		for _, a := range p.Annotations {
-			b.WriteByte('\n')
-			b.WriteString(a.Property)
-			b.WriteByte(' ')
-			b.WriteString(a.Value)
-		}
-		e.index.Add(title, b.String())
-		e.trie.Insert(title, 2) // titles weigh above body terms
-	})
-	for _, term := range e.index.Terms() {
-		e.trie.Insert(term, 1)
+		b.WriteString(a.Property)
+		b.WriteByte(' ')
+		b.WriteString(a.Value)
 	}
+	return b.String()
+}
+
+// upsertPage (re)indexes one page and keeps the trie's refcounts in step:
+// one title reference per live page, one term reference per (page, term).
+func upsertPage(ix *Index, tr *Trie, p *wiki.Page) {
+	title := p.Title.String()
+	isNew := !ix.Has(title)
+	added, removed := ix.Add(title, buildDocText(p))
+	if isNew {
+		tr.Insert(title, titleWeight)
+	}
+	for _, t := range removed {
+		tr.Remove(t, termWeight)
+	}
+	for _, t := range added {
+		tr.Insert(t, termWeight)
+	}
+}
+
+// deletePage drops one page from the index and releases its trie entries.
+func deletePage(ix *Index, tr *Trie, title string) {
+	if !ix.Has(title) {
+		return
+	}
+	for _, t := range ix.Remove(title) {
+		tr.Remove(t, termWeight)
+	}
+	tr.Remove(title, titleWeight)
+}
+
+// Rebuild re-indexes every page from scratch and swaps the fresh structures
+// in atomically. Searches running concurrently keep the old snapshot.
+func (e *Engine) Rebuild() {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.rebuildLocked()
+}
+
+// rebuildLocked is Rebuild's body; the caller holds writeMu.
+func (e *Engine) rebuildLocked() {
+	// Capture the journal position first: changes racing with the scan may
+	// be double-applied by a later Update, which is idempotent.
+	seq := e.repo.LastSeq()
+	index := NewIndex()
+	trie := NewTrie()
+	e.repo.Wiki.Each(func(p *wiki.Page) {
+		upsertPage(index, trie, p)
+	})
+	e.mu.Lock()
+	e.index, e.trie, e.seq = index, trie, seq
+	e.mu.Unlock()
+}
+
+// UpdateStats reports what one Update call did.
+type UpdateStats struct {
+	Full         bool   // the journal was truncated past us: a full Rebuild ran
+	Applied      int    // pages re-indexed or dropped
+	LinksChanged bool   // some applied change altered the link graph
+	Seq          uint64 // journal position the engine now reflects
+}
+
+// Update consumes the repository's change journal since the engine's last
+// position and applies the delta to the live index and trie — O(changed
+// pages) instead of Rebuild's O(corpus). When the journal no longer retains
+// the engine's position it falls back to a full Rebuild. The stats tell the
+// caller whether the link graph changed (and PageRank therefore needs
+// recomputing).
+func (e *Engine) Update() UpdateStats {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.mu.RLock()
+	since := e.seq
+	e.mu.RUnlock()
+	changes, ok := e.repo.Changes(since)
+	if !ok {
+		e.rebuildLocked()
+		e.mu.RLock()
+		seq := e.seq
+		e.mu.RUnlock()
+		return UpdateStats{Full: true, LinksChanged: true, Seq: seq}
+	}
+	if len(changes) == 0 {
+		return UpdateStats{Seq: since}
+	}
+	stats := UpdateStats{Seq: changes[len(changes)-1].Seq}
+	// Coalesce to one application per title: the page is re-read from the
+	// repository's current state, so the latest revision wins regardless of
+	// how many journal entries it accumulated.
+	seen := make(map[string]bool, len(changes))
+	titles := make([]string, 0, len(changes))
+	for _, c := range changes {
+		if c.LinksChanged {
+			stats.LinksChanged = true
+		}
+		if !seen[c.Title] {
+			seen[c.Title] = true
+			titles = append(titles, c.Title)
+		}
+	}
+	e.mu.RLock()
+	ix, tr := e.index, e.trie
+	e.mu.RUnlock()
+	for _, title := range titles {
+		if page, ok := e.repo.Wiki.Get(title); ok {
+			upsertPage(ix, tr, page)
+		} else {
+			deletePage(ix, tr, title)
+		}
+		stats.Applied++
+	}
+	e.mu.Lock()
+	if stats.Seq > e.seq {
+		e.seq = stats.Seq
+	}
+	e.mu.Unlock()
+	return stats
+}
+
+// Seq returns the journal position the engine currently reflects.
+func (e *Engine) Seq() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.seq
 }
 
 // SetRanks installs PageRank scores for SortRank ordering and for the Rank
 // field of results.
 func (e *Engine) SetRanks(ranks map[string]float64) {
+	e.mu.Lock()
 	e.ranks = ranks
+	e.mu.Unlock()
 }
 
 // Autocomplete suggests completions for a partial query.
 func (e *Engine) Autocomplete(prefix string, k int) []Completion {
-	return e.trie.Complete(prefix, k)
+	e.mu.RLock()
+	trie := e.trie
+	e.mu.RUnlock()
+	return trie.Complete(prefix, k)
 }
 
-// Search runs an advanced query.
+// Search runs an advanced query. When the query carries a Limit, candidates
+// stream through a bounded top-(Limit+Offset) selector instead of being
+// materialized and fully sorted.
 func (e *Engine) Search(q Query) ([]Result, error) {
-	// Candidate set: keyword hits, or the whole corpus for pure-filter
-	// queries.
-	base := make(map[string]float64)
-	if strings.TrimSpace(q.Keywords) != "" {
-		for _, h := range e.index.Search(q.Keywords, q.Mode) {
-			base[h.ID] = h.Score
-		}
-	} else {
-		for _, t := range e.repo.Wiki.Titles() {
-			base[t] = 0
-		}
+	e.mu.RLock()
+	ix, ranks := e.index, e.ranks
+	e.mu.RUnlock()
+
+	less := resultLess(q)
+	var sel *topK[Result]
+	var out []Result
+	if q.Limit > 0 {
+		sel = newTopK(q.Limit+q.Offset, less)
 	}
 
-	var out []Result
-	for title, score := range base {
+	var filterErr error
+	examine := func(title string, score float64) {
 		page, ok := e.repo.Wiki.Get(title)
 		if !ok {
-			continue
+			return
 		}
 		if q.Namespace != "" && !strings.EqualFold(string(page.Title.Namespace), q.Namespace) {
-			continue
+			return
 		}
 		if q.Category != "" && !hasCategory(page, q.Category) {
-			continue
+			return
 		}
 		if !e.repo.ACL.CanRead(q.User, title) {
-			continue
+			return
 		}
 		matched, ok, err := applyFilters(page, q.Filters)
 		if err != nil {
-			return nil, err
+			filterErr = err
+			return
 		}
 		if !ok {
-			continue
+			return
 		}
-		out = append(out, Result{
-			Title:     title,
-			Relevance: score,
-			Rank:      e.ranks[title],
-			Matched:   matched,
-		})
+		r := Result{Title: title, Relevance: score, Rank: ranks[title], Matched: matched}
+		if sel != nil {
+			sel.push(r)
+		} else {
+			out = append(out, r)
+		}
 	}
 
-	sortResults(out, q)
+	// Candidate set: keyword hits, or the whole corpus for pure-filter
+	// queries.
+	if strings.TrimSpace(q.Keywords) != "" {
+		for _, h := range ix.Hits(q.Keywords, q.Mode) {
+			if examine(h.ID, h.Score); filterErr != nil {
+				return nil, filterErr
+			}
+		}
+	} else {
+		for _, t := range e.repo.Wiki.Titles() {
+			if examine(t, 0); filterErr != nil {
+				return nil, filterErr
+			}
+		}
+	}
+
+	if sel != nil {
+		out = sel.sorted()
+	} else {
+		sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	}
 
 	if q.Offset > 0 {
 		if q.Offset >= len(out) {
@@ -282,15 +441,17 @@ func compareMaybeNumeric(a, b string) (int, error) {
 	return strings.Compare(strings.ToLower(a), strings.ToLower(b)), nil
 }
 
-func sortResults(rs []Result, q Query) {
+// resultLess builds the comparator of the query's final display order: the
+// sort key's natural direction (best-first for scores, A→Z for titles),
+// ties broken by title, the whole order negated when an explicit Order
+// opposes the natural one. Titles are unique within a result set, so this
+// is a strict total order and negation is exactly the reversed list.
+func resultLess(q Query) func(a, b Result) bool {
 	key := q.SortBy
 	if key == "" {
 		key = SortRelevance
 	}
-	// Sort into the key's natural direction first (best-first for scores,
-	// A→Z for titles), ties always broken by title for determinism.
-	sort.SliceStable(rs, func(i, j int) bool {
-		a, b := rs[i], rs[j]
+	natural := func(a, b Result) bool {
 		switch key {
 		case SortTitle:
 			if a.Title != b.Title {
@@ -306,20 +467,15 @@ func sortResults(rs []Result, q Query) {
 			}
 		}
 		return a.Title < b.Title
-	})
-	natural := OrderDesc
+	}
+	naturalOrder := OrderDesc
 	if key == SortTitle {
-		natural = OrderAsc
+		naturalOrder = OrderAsc
 	}
-	if q.Order != OrderDefault && q.Order != natural {
-		reverse(rs)
+	if q.Order != OrderDefault && q.Order != naturalOrder {
+		return func(a, b Result) bool { return natural(b, a) }
 	}
-}
-
-func reverse(rs []Result) {
-	for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
-		rs[i], rs[j] = rs[j], rs[i]
-	}
+	return natural
 }
 
 // Facets computes value counts per property over a result set — the data

@@ -3,6 +3,7 @@ package search
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -16,75 +17,185 @@ type posting struct {
 
 // Index is an in-memory inverted index with TF-IDF scoring. Documents are
 // identified by string ids (page titles); the index assigns dense internal
-// numbers. Safe for concurrent reads; writes take the exclusive lock.
+// numbers, reusing slots freed by removals. Each document records its own
+// distinct-term list so updates and removals cost O(terms in the document)
+// instead of a scan over the whole postings map, and every posting list is
+// kept sorted by document number so per-document lookups (phrase checks)
+// binary-search instead of scanning. Safe for concurrent reads; writes take
+// the exclusive lock.
 type Index struct {
 	mu       sync.RWMutex
 	docs     []string
 	docIdx   map[string]int
-	postings map[string][]posting
+	postings map[string][]posting // every list sorted by doc
 	docLen   []int
+	docTerms [][]string // distinct terms per live doc, sorted
+	free     []int      // slots released by Remove, reused by Add
+	accPool  sync.Pool  // *accumulator, reused across searches
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{
+	ix := &Index{
 		docIdx:   make(map[string]int),
 		postings: make(map[string][]posting),
 	}
+	ix.accPool.New = func() any { return new(accumulator) }
+	return ix
+}
+
+// accumulator is a dense per-document scoring scratchpad. touched records
+// which slots were written so release only zeroes those, keeping the reset
+// cost proportional to the candidate set, not the corpus.
+type accumulator struct {
+	scores  []float64
+	matched []int
+	touched []int
+}
+
+func (ix *Index) acquireAcc(n int) *accumulator {
+	a := ix.accPool.Get().(*accumulator)
+	if cap(a.scores) < n {
+		a.scores = make([]float64, n)
+		a.matched = make([]int, n)
+	}
+	a.scores = a.scores[:n]
+	a.matched = a.matched[:n]
+	return a
+}
+
+func (ix *Index) releaseAcc(a *accumulator) {
+	for _, d := range a.touched {
+		a.scores[d] = 0
+		a.matched[d] = 0
+	}
+	a.touched = a.touched[:0]
+	ix.accPool.Put(a)
 }
 
 // Add indexes a document's text under the given id, replacing any previous
-// content for that id.
-func (ix *Index) Add(id, text string) {
+// content for that id. It returns the distinct terms the document gained
+// and lost relative to its previous content (everything is "added" for a
+// new document), so callers maintaining derived structures — the
+// autocomplete trie — can update them incrementally.
+func (ix *Index) Add(id, text string) (added, removed []string) {
 	tokens := Tokenize(text)
-	positions := make(map[string][]int)
+	positions := make(map[string][]int, len(tokens))
 	for i, t := range tokens {
 		positions[t] = append(positions[t], i)
 	}
+	terms := make([]string, 0, len(positions))
+	for t := range positions {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
 
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	doc, exists := ix.docIdx[id]
 	if exists {
-		ix.removeLocked(doc)
-	} else {
-		doc = len(ix.docs)
-		ix.docIdx[id] = doc
-		ix.docs = append(ix.docs, id)
-		ix.docLen = append(ix.docLen, 0)
-	}
-	ix.docLen[doc] = len(tokens)
-	for term, pos := range positions {
-		ix.postings[term] = append(ix.postings[term], posting{doc: doc, freq: len(pos), positions: pos})
-	}
-}
-
-// removeLocked strips a document from every posting list.
-func (ix *Index) removeLocked(doc int) {
-	for term, list := range ix.postings {
-		kept := list[:0]
-		for _, p := range list {
-			if p.doc != doc {
-				kept = append(kept, p)
+		// Diff against the previous content: drop stale postings, rewrite
+		// surviving ones in place, insert the new ones.
+		oldSet := make(map[string]bool, len(ix.docTerms[doc]))
+		for _, t := range ix.docTerms[doc] {
+			oldSet[t] = true
+			if _, still := positions[t]; !still {
+				ix.removePosting(t, doc)
+				removed = append(removed, t)
 			}
 		}
-		if len(kept) == 0 {
-			delete(ix.postings, term)
-		} else {
-			ix.postings[term] = kept
+		for _, t := range terms {
+			pos := positions[t]
+			if oldSet[t] {
+				p := ix.findPosting(t, doc)
+				p.freq, p.positions = len(pos), pos
+			} else {
+				ix.insertPosting(t, posting{doc: doc, freq: len(pos), positions: pos})
+				added = append(added, t)
+			}
 		}
+	} else {
+		if n := len(ix.free); n > 0 {
+			doc = ix.free[n-1]
+			ix.free = ix.free[:n-1]
+			ix.docs[doc] = id
+		} else {
+			doc = len(ix.docs)
+			ix.docs = append(ix.docs, id)
+			ix.docLen = append(ix.docLen, 0)
+			ix.docTerms = append(ix.docTerms, nil)
+		}
+		ix.docIdx[id] = doc
+		for _, t := range terms {
+			pos := positions[t]
+			ix.insertPosting(t, posting{doc: doc, freq: len(pos), positions: pos})
+		}
+		added = terms
 	}
-	ix.docLen[doc] = 0
+	ix.docLen[doc] = len(tokens)
+	ix.docTerms[doc] = terms
+	return added, removed
 }
 
-// Remove deletes a document from the index.
-func (ix *Index) Remove(id string) {
+// Remove deletes a document from the index and returns the distinct terms
+// it carried (nil when the id was unknown). Its dense slot is recycled.
+func (ix *Index) Remove(id string) (removed []string) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if doc, ok := ix.docIdx[id]; ok {
-		ix.removeLocked(doc)
-		delete(ix.docIdx, id)
-		// The dense slot stays tombstoned (docLen 0); ids are stable.
+	doc, ok := ix.docIdx[id]
+	if !ok {
+		return nil
+	}
+	removed = ix.docTerms[doc]
+	for _, t := range removed {
+		ix.removePosting(t, doc)
+	}
+	delete(ix.docIdx, id)
+	ix.docs[doc] = ""
+	ix.docLen[doc] = 0
+	ix.docTerms[doc] = nil
+	ix.free = append(ix.free, doc)
+	return removed
+}
+
+// Has reports whether the id is currently indexed.
+func (ix *Index) Has(id string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.docIdx[id]
+	return ok
+}
+
+// insertPosting places p into term's doc-sorted posting list. Caller holds
+// the write lock. New documents take the highest doc number, so the common
+// case is a plain append.
+func (ix *Index) insertPosting(term string, p posting) {
+	list := ix.postings[term]
+	if n := len(list); n == 0 || list[n-1].doc < p.doc {
+		ix.postings[term] = append(list, p)
+		return
+	}
+	i := sort.Search(len(list), func(k int) bool { return list[k].doc >= p.doc })
+	list = append(list, posting{})
+	copy(list[i+1:], list[i:])
+	list[i] = p
+	ix.postings[term] = list
+}
+
+// removePosting deletes the (term, doc) posting if present. Caller holds
+// the write lock.
+func (ix *Index) removePosting(term string, doc int) {
+	list := ix.postings[term]
+	i := sort.Search(len(list), func(k int) bool { return list[k].doc >= doc })
+	if i >= len(list) || list[i].doc != doc {
+		return
+	}
+	copy(list[i:], list[i+1:])
+	list = list[:len(list)-1]
+	if len(list) == 0 {
+		delete(ix.postings, term)
+	} else {
+		ix.postings[term] = list
 	}
 }
 
@@ -95,22 +206,19 @@ func (ix *Index) NumDocs() int {
 	return len(ix.docIdx)
 }
 
-// Terms returns every indexed term, sorted (used to seed autocomplete).
-func (ix *Index) Terms() []string {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([]string, 0, len(ix.postings))
-	for t := range ix.postings {
-		out = append(out, t)
-	}
-	sort.Strings(out)
-	return out
-}
-
 // Hit is one scored search result.
 type Hit struct {
 	ID    string
 	Score float64
+}
+
+// hitBefore is the canonical result order: descending score, ties broken by
+// ascending id.
+func hitBefore(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
 }
 
 // Mode selects the boolean semantics of multi-term queries.
@@ -129,13 +237,41 @@ const (
 // every quoted phrase must occur verbatim (token-adjacent) in the document.
 // An empty query returns nil.
 func (ix *Index) Search(query string, mode Mode) []Hit {
+	hits := ix.Hits(query, mode)
+	sort.Slice(hits, func(i, j int) bool { return hitBefore(hits[i], hits[j]) })
+	return hits
+}
+
+// SearchTopK is Search restricted to the k best hits, selected with a
+// bounded heap so the full candidate set is never sorted. k <= 0 means no
+// bound (identical to Search).
+func (ix *Index) SearchTopK(query string, mode Mode, k int) []Hit {
+	if k <= 0 {
+		return ix.Search(query, mode)
+	}
+	sel := newTopK(k, hitBefore)
+	ix.collect(query, mode, sel.push)
+	return sel.sorted()
+}
+
+// Hits returns the scored matches in unspecified order. Callers that apply
+// their own post-filtering and selection (the engine) use this to avoid a
+// throwaway full sort.
+func (ix *Index) Hits(query string, mode Mode) []Hit {
+	var hits []Hit
+	ix.collect(query, mode, func(h Hit) { hits = append(hits, h) })
+	return hits
+}
+
+// collect runs the scoring loop and streams every matching hit to emit.
+func (ix *Index) collect(query string, mode Mode, emit func(Hit)) {
 	phrases, rest := extractPhrases(query)
 	terms := Tokenize(rest)
 	for _, p := range phrases {
 		terms = append(terms, Tokenize(p)...)
 	}
 	if len(terms) == 0 {
-		return nil
+		return
 	}
 	// dedupe query terms
 	uniq := make([]string, 0, len(terms))
@@ -151,28 +287,28 @@ func (ix *Index) Search(query string, mode Mode) []Hit {
 	defer ix.mu.RUnlock()
 	n := len(ix.docIdx)
 	if n == 0 {
-		return nil
+		return
 	}
-	scores := make(map[int]float64)
-	matched := make(map[int]int)
+	acc := ix.acquireAcc(len(ix.docs))
+	defer ix.releaseAcc(acc)
 	for _, term := range uniq {
-		list, ok := ix.postings[term]
-		if !ok {
+		list := ix.postings[term]
+		if len(list) == 0 {
 			continue
 		}
 		idf := math.Log(float64(n)/float64(len(list))) + 1
-		for _, p := range list {
-			if ix.docLen[p.doc] == 0 {
-				continue
+		for i := range list {
+			p := &list[i]
+			if acc.matched[p.doc] == 0 {
+				acc.touched = append(acc.touched, p.doc)
 			}
+			acc.matched[p.doc]++
 			tf := float64(p.freq) / float64(ix.docLen[p.doc])
-			scores[p.doc] += tf * idf
-			matched[p.doc]++
+			acc.scores[p.doc] += tf * idf
 		}
 	}
-	var hits []Hit
-	for doc, s := range scores {
-		if mode == ModeAll && matched[doc] < len(uniq) {
+	for _, doc := range acc.touched {
+		if mode == ModeAll && acc.matched[doc] < len(uniq) {
 			continue
 		}
 		ok := true
@@ -185,15 +321,8 @@ func (ix *Index) Search(query string, mode Mode) []Hit {
 		if !ok {
 			continue
 		}
-		hits = append(hits, Hit{ID: ix.docs[doc], Score: s})
+		emit(Hit{ID: ix.docs[doc], Score: acc.scores[doc]})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].ID < hits[j].ID
-	})
-	return hits
 }
 
 // extractPhrases splits a query into double-quoted phrases and the
@@ -201,12 +330,12 @@ func (ix *Index) Search(query string, mode Mode) []Hit {
 func extractPhrases(query string) (phrases []string, rest string) {
 	var b []byte
 	for {
-		open := indexByte(query, '"')
+		open := strings.IndexByte(query, '"')
 		if open < 0 {
 			b = append(b, query...)
 			break
 		}
-		close := indexByte(query[open+1:], '"')
+		close := strings.IndexByte(query[open+1:], '"')
 		if close < 0 {
 			b = append(b, query...)
 			break
@@ -220,15 +349,6 @@ func extractPhrases(query string) (phrases []string, rest string) {
 		query = query[open+close+2:]
 	}
 	return phrases, string(b)
-}
-
-func indexByte(s string, c byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == c {
-			return i
-		}
-	}
-	return -1
 }
 
 // hasPhraseLocked reports whether the document contains the tokens at
@@ -258,11 +378,12 @@ func (ix *Index) hasPhraseLocked(doc int, tokens []string) bool {
 	return false
 }
 
+// findPosting binary-searches term's doc-sorted posting list.
 func (ix *Index) findPosting(term string, doc int) *posting {
-	for i := range ix.postings[term] {
-		if ix.postings[term][i].doc == doc {
-			return &ix.postings[term][i]
-		}
+	list := ix.postings[term]
+	i := sort.Search(len(list), func(k int) bool { return list[k].doc >= doc })
+	if i < len(list) && list[i].doc == doc {
+		return &list[i]
 	}
 	return nil
 }

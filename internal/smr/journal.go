@@ -1,0 +1,128 @@
+package smr
+
+import "sync"
+
+// ChangeKind classifies one journal entry.
+type ChangeKind uint8
+
+// Journal entry kinds.
+const (
+	// ChangeUpsert records a page create or update.
+	ChangeUpsert ChangeKind = iota
+	// ChangeDelete records a page removal.
+	ChangeDelete
+)
+
+// String returns a human-readable name for the change kind.
+func (k ChangeKind) String() string {
+	if k == ChangeDelete {
+		return "delete"
+	}
+	return "upsert"
+}
+
+// Change is one sequence-numbered repository mutation. Downstream layers
+// (the search engine, the ranking layer) consume runs of changes to update
+// their derived structures incrementally instead of rebuilding from the
+// whole corpus.
+type Change struct {
+	Seq   uint64
+	Kind  ChangeKind
+	Title string // canonical page title
+	// LinksChanged is set when the mutation altered the double link
+	// structure (the page's outgoing page links or semantic links, or the
+	// node set itself). Consumers that only depend on link topology — the
+	// PageRank layer — can skip work for runs where it is false everywhere.
+	LinksChanged bool
+}
+
+// maxJournalEntries bounds journal memory when no consumer trims it. Once
+// exceeded, the oldest entries are dropped and lagging consumers observe a
+// truncated journal (Since reports !ok), forcing a full rebuild.
+const maxJournalEntries = 1 << 16
+
+// Journal is the repository's change log: an append-only, bounded sequence
+// of page mutations. It is safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	seq     uint64
+	trimmed uint64 // every seq <= trimmed has been dropped
+	entries []Change
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal { return &Journal{} }
+
+// Append records a change and returns its sequence number.
+func (j *Journal) Append(kind ChangeKind, title string, linksChanged bool) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	j.entries = append(j.entries, Change{
+		Seq: j.seq, Kind: kind, Title: title, LinksChanged: linksChanged,
+	})
+	if len(j.entries) > maxJournalEntries {
+		drop := len(j.entries) - maxJournalEntries
+		j.trimmed = j.entries[drop-1].Seq
+		j.entries = append([]Change(nil), j.entries[drop:]...)
+	}
+	return j.seq
+}
+
+// LastSeq returns the sequence number of the most recent change (0 when
+// nothing has ever been recorded).
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Since returns a copy of every change with Seq > seq. ok is false when the
+// journal no longer retains that range (the consumer lagged past the
+// retention bound) — the consumer must then rebuild from the full corpus
+// and resume from LastSeq.
+func (j *Journal) Since(seq uint64) (changes []Change, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq < j.trimmed {
+		return nil, false
+	}
+	for i := range j.entries {
+		if j.entries[i].Seq > seq {
+			changes = append(changes, j.entries[i:]...)
+			break
+		}
+	}
+	return changes, true
+}
+
+// TrimTo drops every entry with Seq <= seq, releasing memory once all
+// consumers have caught up past seq.
+func (j *Journal) TrimTo(seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq <= j.trimmed {
+		return
+	}
+	keep := len(j.entries)
+	for i := range j.entries {
+		if j.entries[i].Seq > seq {
+			keep = i
+			break
+		}
+	}
+	j.entries = append([]Change(nil), j.entries[keep:]...)
+	if seq > j.trimmed {
+		j.trimmed = seq
+	}
+	if j.trimmed > j.seq {
+		j.trimmed = j.seq
+	}
+}
+
+// Len returns the number of retained entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}

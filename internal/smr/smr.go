@@ -10,6 +10,8 @@ package smr
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -45,12 +47,15 @@ func TitleFromIRI(t rdf.Term) (string, bool) {
 }
 
 // Repository is the SMR: one wiki, one relational projection, one RDF
-// projection, kept in sync on every page write.
+// projection, kept in sync on every page write. Every mutation is also
+// recorded in a change journal so derived layers (search index, trie,
+// PageRank) can update incrementally instead of rebuilding from scratch.
 type Repository struct {
-	Wiki *wiki.Store
-	DB   *relational.DB
-	RDF  *rdf.Store
-	ACL  *ACL
+	Wiki    *wiki.Store
+	DB      *relational.DB
+	RDF     *rdf.Store
+	ACL     *ACL
+	journal *Journal
 }
 
 // New creates an empty repository with its relational schema in place.
@@ -99,16 +104,61 @@ func New() (*Repository, error) {
 		}
 	}
 	return &Repository{
-		Wiki: wiki.NewStore(),
-		DB:   db,
-		RDF:  rdf.NewStore(),
-		ACL:  NewACL(),
+		Wiki:    wiki.NewStore(),
+		DB:      db,
+		RDF:     rdf.NewStore(),
+		ACL:     NewACL(),
+		journal: NewJournal(),
 	}, nil
 }
 
+// Journal exposes the repository's change log.
+func (r *Repository) Journal() *Journal { return r.journal }
+
+// Changes returns the journal entries after seq; ok is false when the
+// journal has been truncated past seq (consumers must then fully rebuild).
+func (r *Repository) Changes(seq uint64) ([]Change, bool) { return r.journal.Since(seq) }
+
+// LastSeq returns the sequence number of the most recent mutation.
+func (r *Repository) LastSeq() uint64 { return r.journal.LastSeq() }
+
+// linkFingerprint summarizes a page's contribution to the double link
+// structure: its deduplicated outgoing (kind, target) pairs, sorted. Two
+// revisions with equal fingerprints induce the same edges in LinkGraph.
+func linkFingerprint(page *wiki.Page) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(kind, target string) {
+		key := kind + "\x00" + target
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	for _, l := range page.Links {
+		add("page", l.String())
+	}
+	for _, a := range page.Annotations {
+		if looksLikeTitle(a.Value) {
+			add("semantic", wiki.ParseTitle(a.Value).String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // PutPage writes a page and refreshes both projections. This is the single
-// write path of the repository.
+// write path of the repository: bulk loading and the HTTP server both pass
+// through here, so every mutation lands in the change journal exactly once.
 func (r *Repository) PutPage(title, author, text, comment string) (*wiki.Page, error) {
+	// Snapshot the previous link structure before Put replaces the parsed
+	// page in place (the slice headers captured by the fingerprint stay
+	// valid because Put assigns fresh slices).
+	var oldLinks []string
+	old, existed := r.Wiki.Get(title)
+	if existed {
+		oldLinks = linkFingerprint(old)
+	}
 	page, err := r.Wiki.Put(title, author, text, comment)
 	if err != nil {
 		return nil, err
@@ -118,6 +168,10 @@ func (r *Repository) PutPage(title, author, text, comment string) (*wiki.Page, e
 		return nil, fmt.Errorf("smr: relational projection of %s: %w", canonical, err)
 	}
 	r.reprojectRDF(page)
+	// A brand-new page always changes the graph (new node); an update only
+	// does when its outgoing edges differ.
+	linksChanged := !existed || !slices.Equal(oldLinks, linkFingerprint(page))
+	r.journal.Append(ChangeUpsert, canonical, linksChanged)
 	return page, nil
 }
 
@@ -243,6 +297,8 @@ func (r *Repository) DeletePage(title string) bool {
 	for _, t := range r.RDF.Match(&subj, nil, nil) {
 		r.RDF.Remove(t)
 	}
+	// Removing a node always changes the link graph.
+	r.journal.Append(ChangeDelete, canonical, true)
 	return true
 }
 

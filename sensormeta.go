@@ -22,11 +22,37 @@
 //	sys.PutPage("Sensor:W1", "me", "[[measures::wind speed]]", "")
 //	sys.Refresh()
 //	results, _ := sys.Search(search.Query{Keywords: "wind"})
+//
+// # Incremental refresh
+//
+// The paper's system re-ranks continuously as "new metadata pages are
+// continuously created", so Refresh is built around a change journal
+// rather than a rebuild. Every Repository mutation (PutPage, DeletePage —
+// bulk loading and the HTTP server funnel through these) appends a
+// sequence-numbered entry to smr.Journal recording the page touched and
+// whether its outgoing link structure changed. Refresh consumes the
+// journal:
+//
+//   - the search Engine applies the delta in O(changed pages): each index
+//     document records its own term list, posting lists stay doc-sorted,
+//     and the autocomplete trie refcounts its entries, so pages can be
+//     re-indexed or dropped without touching the rest of the corpus;
+//   - PageRank is skipped entirely when no change touched the link graph,
+//     and warm-started from the previous score vector (Gauss–Seidel,
+//     pagerank.GaussSeidelFrom) when it did;
+//   - the recommender's property weights are recomputed only when
+//     something changed.
+//
+// After a successful refresh the consumed journal prefix is trimmed. If a
+// consumer lags past the journal's retention bound the engine falls back
+// to a full rebuild automatically; RefreshFull forces that from-scratch
+// path explicitly.
 package sensormeta
 
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -56,6 +82,13 @@ type System struct {
 	PageRankOptions pagerank.Options
 	// PageRankMethod selects the solver; empty means Gauss–Seidel.
 	PageRankMethod string
+
+	// refreshMu serializes Refresh/RefreshFull: concurrent refreshes (e.g.
+	// two POST /api/refresh) would race on Ranker/Recommender/rankingDirty.
+	refreshMu sync.Mutex
+	// rankingDirty records that a consumed journal delta changed the link
+	// graph but the solve failed, so the next Refresh must not skip it.
+	rankingDirty bool
 }
 
 // New creates an empty system.
@@ -87,22 +120,77 @@ func (s *System) PutPage(title, author, text, comment string) (*wiki.Page, error
 	return s.Repo.PutPage(title, author, text, comment)
 }
 
-// Refresh rebuilds the search index, recomputes PageRank over the double
-// link graph and refreshes the recommender. Call it after (batches of)
-// writes; it is the equivalent of the original system's periodic re-rank
-// ("Pagerank scores need to be updated regularly as new metadata pages are
-// continuously created").
+// Refresh brings every derived structure up to date with the repository —
+// the equivalent of the original system's periodic re-rank ("Pagerank
+// scores need to be updated regularly as new metadata pages are
+// continuously created"). It is incremental: the search index and trie
+// apply only the journalled delta, PageRank is skipped when no change
+// touched the link graph and warm-started from the previous score vector
+// when one did, and the recommender refreshes only when something changed.
+// Cost is O(changed pages), not O(corpus); RefreshFull is the from-scratch
+// equivalent.
 func (s *System) Refresh() error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	stats := s.Engine.Update()
+	switch {
+	case s.Ranker == nil || stats.LinksChanged || s.rankingDirty:
+		// The graph changed (or this is the first refresh, or a previous
+		// solve failed after its delta was consumed): recompute PageRank,
+		// warm-started when the previous scores are usable.
+		s.rankingDirty = true
+		rk, err := s.solveRanking()
+		if err != nil {
+			return fmt.Errorf("sensormeta: refresh: %w", err)
+		}
+		s.installRanking(rk)
+	case stats.Applied > 0:
+		// Pages changed without touching the link graph: PageRank stands,
+		// but annotation edits may have moved the recommender's property
+		// weights.
+		s.Recommender = recommend.New(s.Repo, s.Ranker.Scores())
+	}
+	s.Repo.Journal().TrimTo(stats.Seq)
+	return nil
+}
+
+// RefreshFull rebuilds the search index from scratch and recomputes
+// PageRank cold — the pre-incremental behaviour, kept as the recovery path
+// and as the baseline the incremental benchmarks compare against.
+func (s *System) RefreshFull() error {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
 	s.Engine.Rebuild()
+	// The rebuild consumed the journal; if the solve below fails, the next
+	// Refresh must not treat PageRank as current.
+	s.rankingDirty = true
 	rk, err := ranking.New(s.Repo, s.PageRankMethod, s.PageRankOptions)
 	if err != nil {
 		return fmt.Errorf("sensormeta: refresh: %w", err)
 	}
+	s.installRanking(rk)
+	s.Repo.Journal().TrimTo(s.Engine.Seq())
+	return nil
+}
+
+// solveRanking recomputes PageRank, warm-starting Gauss–Seidel from the
+// previous score vector when the configured method permits it.
+func (s *System) solveRanking() (*ranking.Ranker, error) {
+	gaussSeidel := s.PageRankMethod == "" || s.PageRankMethod == "Gauss-Seidel"
+	if s.Ranker != nil && gaussSeidel {
+		s.Ranker.Opts = s.PageRankOptions
+		return s.Ranker.Update(s.Repo)
+	}
+	return ranking.New(s.Repo, s.PageRankMethod, s.PageRankOptions)
+}
+
+// installRanking pushes a freshly computed ranker into every consumer.
+func (s *System) installRanking(rk *ranking.Ranker) {
+	s.rankingDirty = false
 	s.Ranker = rk
 	rk.Install(s.Engine)
 	s.Recommender = recommend.New(s.Repo, rk.Scores())
 	s.QueryManager.SetScores(rk.Scores())
-	return nil
 }
 
 // Search runs an advanced query.
