@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/pagerank"
+	"repro/internal/recommend"
 	"repro/internal/relational"
 	"repro/internal/search"
 	"repro/internal/tagging"
@@ -544,6 +545,133 @@ func BenchmarkIncrementalRefresh(b *testing.B) {
 			churnOnce(b)
 			b.StartTimer()
 			if err := sys.Refresh(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalRecommend measures the recommender's refresh cost at
+// 10k pages with ~1% metadata churn per round: a from-scratch property-
+// score rebuild (recommend.New, O(corpus)) against the journal delta path
+// (Recommender.Update, O(annotations in changed pages)). Only the refresh
+// is timed; churn happens with the clock stopped.
+func BenchmarkIncrementalRecommend(b *testing.B) {
+	sys := benchSystem(b, 10000)
+	sensors := sys.Repo.Wiki.PagesInNamespace("Sensor")
+	churn := len(sensors) / 100
+	rng := rand.New(rand.NewSource(77))
+	churnOnce := func(b *testing.B) {
+		for i := 0; i < churn; i++ {
+			title := sensors[rng.Intn(len(sensors))]
+			page, ok := sys.Repo.Wiki.Get(title)
+			if !ok {
+				continue
+			}
+			text := page.Text() + fmt.Sprintf("\n[[calibrated::%d]]\n", rng.Intn(1000))
+			if _, err := sys.PutPage(title, "churn", text, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	ranks := sys.Ranker.Scores()
+	b.Run("full-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			churnOnce(b)
+			b.StartTimer()
+			recommend.New(sys.Repo, ranks)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		rec := recommend.New(sys.Repo, ranks)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			churnOnce(b)
+			b.StartTimer()
+			if st := rec.Update(); st.Full {
+				b.Fatal("journal overran; delta path not measured")
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalTagging measures the tagging pipeline's refresh cost
+// at 10k pages with ~1% tag churn per round: the from-scratch Parser fetch
+// + full matrix/clique chain (DisableCache) against the journal delta path
+// with per-component clique caching.
+func BenchmarkIncrementalTagging(b *testing.B) {
+	sys := benchSystem(b, 10000)
+	sensors := sys.Repo.Wiki.PagesInNamespace("Sensor")
+	churn := len(sensors) / 100
+	rng := rand.New(rand.NewSource(78))
+	tagPool := []string{
+		"temperature", "wind speed", "humidity", "snow height", "alpine",
+		"glacier", "hydro", "field", "epfl", "wsl",
+	}
+	churnOnce := func(b *testing.B) {
+		for i := 0; i < churn; i++ {
+			title := sensors[rng.Intn(len(sensors))]
+			if err := sys.Repo.AddTag(title, tagPool[rng.Intn(len(tagPool))], "churn"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	opts := tagging.CloudOptions{UsePivot: true}
+	b.Run("full-rebuild", func(b *testing.B) {
+		p := tagging.NewPipeline(sys.Repo, false)
+		p.DisableCache = true
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			churnOnce(b)
+			b.StartTimer()
+			if _, err := p.Cloud(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		p := tagging.NewPipeline(sys.Repo, false)
+		if _, err := p.Cloud(opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			churnOnce(b)
+			b.StartTimer()
+			if _, err := p.Cloud(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := p.Stats()
+		if st.FullRebuilds > 1 {
+			b.Fatalf("delta path fell back to rebuilds: %+v", st)
+		}
+	})
+}
+
+// BenchmarkFacetCounts compares the materialize-then-count facet path
+// (Search building a full []Result, then Facets) against the streaming
+// FacetCounts accumulation, on the chart-endpoint query shape.
+func BenchmarkFacetCounts(b *testing.B) {
+	sys := benchSystem(b, 5000)
+	q := search.Query{Namespace: "Sensor"}
+	props := []string{"measures", "status"}
+	b.Run("materialize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rs, err := sys.Search(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Engine.Facets(rs, props)
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.Engine.FacetCounts(q, props); err != nil {
 				b.Fatal(err)
 			}
 		}

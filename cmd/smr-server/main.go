@@ -20,6 +20,8 @@ func main() {
 	demo := flag.Bool("demo", false, "pre-load a synthetic demo corpus")
 	sensors := flag.Int("sensors", 900, "demo corpus size (sensors)")
 	snapshot := flag.String("snapshot", "", "load the repository from this snapshot file at startup")
+	autoRefresh := flag.Duration("auto-refresh", 0,
+		"refresh derived structures automatically after writes, debounced by this duration (0 disables)")
 	flag.Parse()
 
 	sys, err := sensormeta.New()
@@ -52,10 +54,13 @@ func main() {
 			stats.Pages, stats.Sites, stats.Deployments, stats.Sensors, stats.Tags, time.Since(start).Round(time.Millisecond))
 	}
 
+	if *autoRefresh > 0 {
+		log.Printf("auto-refresh on write enabled (debounce %v)", *autoRefresh)
+	}
 	log.Printf("sensor metadata search listening on %s", *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(sys),
+		Handler:           server.NewWithOptions(sys, server.Options{AutoRefresh: *autoRefresh}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())

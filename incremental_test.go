@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/recommend"
 	"repro/internal/search"
+	"repro/internal/tagging"
 	"repro/internal/workload"
 )
 
@@ -104,6 +106,105 @@ func TestRefreshIncrementalMatchesFull(t *testing.T) {
 				t.Fatalf("round %d autocomplete %q:\nincremental = %+v\nfull        = %+v", round, prefix, got, want)
 			}
 		}
+	}
+}
+
+// TestRefreshIncrementalRecommenderAndTags drives random churn (page
+// edits, deletes, tag assignments) through Refresh and checks the
+// journal-consuming recommender and tagging pipeline answer exactly like
+// from-scratch rebuilds over the same repository: identical property
+// scores and recommendations (bit-identical floats — both paths sum
+// contributions in sorted page order) and identical tag clouds (modulo
+// RecursionSteps, which counts only work actually performed).
+func TestRefreshIncrementalRecommenderAndTags(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := workload.DefaultCorpus()
+	opts.Sensors = 100
+	opts.Deployments = 10
+	opts.TagsPerSensor = 2
+	if _, err := workload.BuildCorpus(sys.Repo, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	sensors := sys.Repo.Wiki.PagesInNamespace("Sensor")
+	tagPool := []string{"alpine", "glacier", "field", "hydro"}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 8; i++ {
+			title := sensors[rng.Intn(len(sensors))]
+			switch rng.Intn(6) {
+			case 0:
+				sys.Repo.DeletePage(title)
+			case 1: // structural edit
+				text := fmt.Sprintf("[[partOf::Deployment:Moved-%d]]\n[[measures::humidity]]\n", rng.Intn(3))
+				if _, err := sys.PutPage(title, "churn", text, ""); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // tag assignment
+				if _, ok := sys.Repo.Wiki.Get(title); !ok {
+					continue
+				}
+				if err := sys.Repo.AddTag(title, tagPool[rng.Intn(len(tagPool))], "churn"); err != nil {
+					t.Fatal(err)
+				}
+			default: // metadata-only edit
+				page, ok := sys.Repo.Wiki.Get(title)
+				if !ok {
+					continue
+				}
+				text := page.Text() + fmt.Sprintf("\n[[calibrated::%d]]\n", rng.Intn(1000))
+				if _, err := sys.PutPage(title, "churn", text, ""); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := sys.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Recommender: the incremental instance must match a from-scratch
+		// build over the same repository and the same PageRank vector.
+		rebuilt := recommend.New(sys.Repo, sys.Ranker.Scores())
+		for _, k := range []int{3, 10} {
+			if got, want := sys.Recommender.TopProperties(k), rebuilt.TopProperties(k); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: top-%d properties %v vs %v", round, k, got, want)
+			}
+		}
+		seeds := []string{sensors[0], sensors[7], sensors[13]}
+		if got, want := sys.Recommender.Recommend(seeds, "", 10), rebuilt.Recommend(seeds, "", 10); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: recommendations diverge\nincremental = %+v\nrebuild     = %+v", round, got, want)
+		}
+
+		// Tag cloud: the pipeline's incremental cloud must match a
+		// from-scratch Parser → Matrix → Graph → Clique run.
+		got, err := sys.TagCloud(tagging.CloudOptions{UsePivot: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := tagging.NewPipeline(sys.Repo, true)
+		td, err := fresh.FetchTagData()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tagging.BuildCloud(td, tagging.CloudOptions{UsePivot: true})
+		g, w := *got, *want
+		g.RecursionSteps, w.RecursionSteps = 0, 0
+		if !reflect.DeepEqual(g.Cliques, w.Cliques) || !reflect.DeepEqual(g.Entries, w.Entries) {
+			t.Fatalf("round %d: tag cloud diverges from rebuild", round)
+		}
+	}
+	// The whole run must have been served by deltas, not rebuild fallbacks.
+	st := sys.Stats()
+	if st.Recommender.DeltaUpdates == 0 || st.Tagging.DeltaUpdates == 0 {
+		t.Fatalf("deltas not exercised: %+v", st)
+	}
+	if st.Tagging.FullRebuilds > 1 || st.Recommender.FullRebuilds > 1 {
+		t.Fatalf("unexpected rebuild fallbacks: %+v", st)
 	}
 }
 

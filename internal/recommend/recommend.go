@@ -7,11 +7,21 @@
 // pages a query matched, the recommender finds other pages sharing
 // (property, value) pairs with the seed set and scores each candidate by
 // shared-pair property weight × the candidate's own PageRank.
+//
+// The recommender is a consumer of the repository's change journal: it
+// remembers each page's distinct property set and that page's PageRank
+// contribution, so Update adjusts the affected property scores in
+// O(annotations in the changed pages) instead of rescanning the corpus via
+// Wiki.Each. A journal window overrun (smr.Repository.Changes reporting
+// !ok) falls back to a full rebuild. All score sums are accumulated in
+// sorted page-title order on both the incremental and the rebuild path, so
+// the two produce bit-identical floating-point property scores.
 package recommend
 
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/smr"
 	"repro/internal/wiki"
@@ -24,39 +34,269 @@ type Recommendation struct {
 	Shared []string // "property=value" pairs that connected it to the seeds
 }
 
-// Recommender precomputes property importance from PageRank scores.
+// contrib is one page's PageRank contribution to a property's score.
+type contrib struct {
+	page string
+	rank float64
+}
+
+// Stats counts what the recommender's refresh paths have done, for the
+// admin endpoint.
+type Stats struct {
+	Seq          uint64 // journal position the property scores reflect
+	DeltaUpdates int    // Update calls that applied a journal delta
+	FullRebuilds int    // from-scratch rescans (construction, window overrun)
+	Rescores     int    // SetRanks calls (new PageRank, property sets reused)
+	PagesApplied int    // cumulative pages applied by deltas
+}
+
+// Recommender derives property importance from PageRank scores and keeps it
+// current against the repository's change journal. Safe for concurrent use:
+// Update/SetRanks serialize against queries.
 type Recommender struct {
-	repo      *smr.Repository
-	ranks     map[string]float64
+	mu    sync.RWMutex
+	repo  *smr.Repository
+	ranks map[string]float64
+	// pageProps records each page's sorted distinct (lowercased) property
+	// names — the state needed to retract a page's contribution when it
+	// changes or disappears.
+	pageProps map[string][]string
+	// propPages holds, per property, the contributing pages sorted by
+	// title. propScore[p] is always the sum of propPages[p] in slice order,
+	// which keeps incremental recomputation bit-identical to a rebuild.
+	propPages map[string][]contrib
 	propScore map[string]float64
+	seq       uint64
+	stats     Stats
 }
 
 // New builds a recommender from the repository and a PageRank score map
-// (page title → score).
+// (page title → score), scanning the current corpus once.
 func New(repo *smr.Repository, ranks map[string]float64) *Recommender {
-	r := &Recommender{repo: repo, ranks: ranks, propScore: map[string]float64{}}
-	repo.Wiki.Each(func(p *wiki.Page) {
-		pr := ranks[p.Title.String()]
-		seen := map[string]bool{}
-		for _, a := range p.Annotations {
-			key := strings.ToLower(a.Property)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			r.propScore[key] += pr
-		}
-	})
+	r := &Recommender{repo: repo, ranks: ranks}
+	r.mu.Lock()
+	r.rebuildLocked()
+	r.mu.Unlock()
 	return r
 }
 
+// rebuildLocked rescans the corpus from scratch. Caller holds the write
+// lock.
+func (r *Recommender) rebuildLocked() {
+	// Capture the journal position first: changes racing with the scan may
+	// be double-applied by a later Update, which is idempotent.
+	r.seq = r.repo.LastSeq()
+	r.pageProps = make(map[string][]string)
+	r.propPages = make(map[string][]contrib)
+	r.propScore = make(map[string]float64)
+	// Wiki.Each iterates in sorted title order, so appends build the
+	// per-property contribution lists already title-sorted.
+	r.repo.Wiki.Each(func(p *wiki.Page) {
+		title := p.Title.String()
+		props := distinctProps(p)
+		if len(props) == 0 {
+			return
+		}
+		r.pageProps[title] = props
+		pr := r.ranks[title]
+		for _, key := range props {
+			r.propPages[key] = append(r.propPages[key], contrib{page: title, rank: pr})
+		}
+	})
+	for key, list := range r.propPages {
+		r.propScore[key] = sumContribs(list)
+	}
+	r.stats.FullRebuilds++
+	r.stats.Seq = r.seq
+}
+
+// distinctProps returns the page's distinct lowercased property names,
+// sorted.
+func distinctProps(p *wiki.Page) []string {
+	seen := map[string]bool{}
+	var props []string
+	for _, a := range p.Annotations {
+		key := strings.ToLower(a.Property)
+		if !seen[key] {
+			seen[key] = true
+			props = append(props, key)
+		}
+	}
+	sort.Strings(props)
+	return props
+}
+
+// sumContribs folds a title-sorted contribution list into a score. The
+// deterministic order makes incremental and rebuilt sums bit-identical.
+func sumContribs(list []contrib) float64 {
+	var s float64
+	for _, c := range list {
+		s += c.rank
+	}
+	return s
+}
+
+// UpdateStats reports what one Update call did.
+type UpdateStats struct {
+	Full    bool   // journal window overrun: a full rebuild ran
+	Applied int    // pages whose contributions were adjusted
+	Seq     uint64 // journal position the recommender now reflects
+}
+
+// Update consumes the repository's change journal since the recommender's
+// last position and adjusts the affected property scores — O(annotations in
+// the changed pages) instead of New's O(corpus) rescan. Tag assignments
+// (smr.ChangeTag) carry no annotations and only advance the position. When
+// the journal no longer retains the position, it falls back to a full
+// rebuild.
+func (r *Recommender) Update() UpdateStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changes, ok := r.repo.Changes(r.seq)
+	if !ok {
+		r.rebuildLocked()
+		return UpdateStats{Full: true, Seq: r.seq}
+	}
+	if len(changes) == 0 {
+		return UpdateStats{Seq: r.seq}
+	}
+	stats := UpdateStats{Seq: changes[len(changes)-1].Seq}
+	seen := make(map[string]bool, len(changes))
+	dirty := map[string]bool{}
+	for _, c := range changes {
+		if c.Kind == smr.ChangeTag || seen[c.Title] {
+			continue
+		}
+		seen[c.Title] = true
+		stats.Applied++
+		oldProps := r.pageProps[c.Title]
+		var newProps []string
+		if page, exists := r.repo.Wiki.Get(c.Title); exists {
+			newProps = distinctProps(page)
+		}
+		pr := r.ranks[c.Title]
+		// Merge-walk the sorted old and new property sets: properties the
+		// page kept only touch their sum when the contribution moved
+		// (annotation edits usually keep the property set and the rank, so
+		// the common case adjusts nothing at all); gained and lost
+		// properties insert or retract one contribution.
+		i, j := 0, 0
+		for i < len(oldProps) || j < len(newProps) {
+			switch {
+			case j >= len(newProps) || (i < len(oldProps) && oldProps[i] < newProps[j]):
+				r.removeContrib(oldProps[i], c.Title)
+				dirty[oldProps[i]] = true
+				i++
+			case i >= len(oldProps) || newProps[j] < oldProps[i]:
+				r.insertContrib(newProps[j], contrib{page: c.Title, rank: pr})
+				dirty[newProps[j]] = true
+				j++
+			default:
+				if k := r.findContrib(oldProps[i], c.Title); k >= 0 && r.propPages[oldProps[i]][k].rank != pr {
+					r.propPages[oldProps[i]][k].rank = pr
+					dirty[oldProps[i]] = true
+				}
+				i++
+				j++
+			}
+		}
+		if len(newProps) == 0 {
+			delete(r.pageProps, c.Title)
+		} else {
+			r.pageProps[c.Title] = newProps
+		}
+	}
+	for key := range dirty {
+		if list := r.propPages[key]; len(list) == 0 {
+			delete(r.propPages, key)
+			delete(r.propScore, key)
+		} else {
+			r.propScore[key] = sumContribs(list)
+		}
+	}
+	r.seq = stats.Seq
+	r.stats.DeltaUpdates++
+	r.stats.PagesApplied += stats.Applied
+	r.stats.Seq = r.seq
+	return stats
+}
+
+// SetRanks installs a freshly computed PageRank score map and rescores
+// every property from the retained per-page property sets — O(total
+// property carriers), with no corpus rescan. Callers must bring the
+// recommender up to date (Update) before or after installing new ranks;
+// System.Refresh does both.
+func (r *Recommender) SetRanks(ranks map[string]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ranks = ranks
+	for key, list := range r.propPages {
+		for i := range list {
+			list[i].rank = ranks[list[i].page]
+		}
+		r.propScore[key] = sumContribs(list)
+	}
+	r.stats.Rescores++
+}
+
+// insertContrib places c into key's title-sorted contribution list.
+func (r *Recommender) insertContrib(key string, c contrib) {
+	list := r.propPages[key]
+	i := sort.Search(len(list), func(k int) bool { return list[k].page >= c.page })
+	list = append(list, contrib{})
+	copy(list[i+1:], list[i:])
+	list[i] = c
+	r.propPages[key] = list
+}
+
+// findContrib returns the index of the page's entry in key's contribution
+// list, or -1.
+func (r *Recommender) findContrib(key, page string) int {
+	list := r.propPages[key]
+	i := sort.Search(len(list), func(k int) bool { return list[k].page >= page })
+	if i < len(list) && list[i].page == page {
+		return i
+	}
+	return -1
+}
+
+// removeContrib deletes the page's entry from key's contribution list.
+func (r *Recommender) removeContrib(key, page string) {
+	list := r.propPages[key]
+	i := sort.Search(len(list), func(k int) bool { return list[k].page >= page })
+	if i >= len(list) || list[i].page != page {
+		return
+	}
+	copy(list[i:], list[i+1:])
+	r.propPages[key] = list[:len(list)-1]
+}
+
+// Seq returns the journal position the property scores reflect.
+func (r *Recommender) Seq() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seq
+}
+
+// Stats returns refresh counters for the admin endpoint.
+func (r *Recommender) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stats
+}
+
 // PropertyScore returns the PageRank-derived importance of a property.
+// Property names are matched case-insensitively.
 func (r *Recommender) PropertyScore(property string) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.propScore[strings.ToLower(property)]
 }
 
 // TopProperties returns the k highest-scored properties.
 func (r *Recommender) TopProperties(k int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	type kv struct {
 		name  string
 		score float64
@@ -93,6 +333,8 @@ func (r *Recommender) Recommend(seeds []string, user string, k int) []Recommenda
 	if k <= 0 || len(seeds) == 0 {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	seedSet := make(map[string]bool, len(seeds))
 	// Weight of each (property, value) pair across the seed set: the
 	// property's global importance, counted once per seed page carrying it.
@@ -105,7 +347,7 @@ func (r *Recommender) Recommend(seeds []string, user string, k int) []Recommenda
 			continue
 		}
 		for _, a := range page.Annotations {
-			pairWeight[pairKey(a.Property, a.Value)] += r.PropertyScore(a.Property)
+			pairWeight[pairKey(a.Property, a.Value)] += r.propScore[strings.ToLower(a.Property)]
 		}
 	}
 	if len(pairWeight) == 0 {

@@ -215,10 +215,14 @@ func (e *Engine) Update() UpdateStats {
 	stats := UpdateStats{Seq: changes[len(changes)-1].Seq}
 	// Coalesce to one application per title: the page is re-read from the
 	// repository's current state, so the latest revision wins regardless of
-	// how many journal entries it accumulated.
+	// how many journal entries it accumulated. Tag assignments don't touch
+	// the indexed text, so ChangeTag entries only advance the position.
 	seen := make(map[string]bool, len(changes))
 	titles := make([]string, 0, len(changes))
 	for _, c := range changes {
+		if c.Kind == smr.ChangeTag {
+			continue
+		}
 		if c.LinksChanged {
 			stats.LinksChanged = true
 		}
@@ -269,21 +273,12 @@ func (e *Engine) Autocomplete(prefix string, k int) []Completion {
 	return trie.Complete(prefix, k)
 }
 
-// Search runs an advanced query. When the query carries a Limit, candidates
-// stream through a bounded top-(Limit+Offset) selector instead of being
-// materialized and fully sorted.
-func (e *Engine) Search(q Query) ([]Result, error) {
-	e.mu.RLock()
-	ix, ranks := e.index, e.ranks
-	e.mu.RUnlock()
-
-	less := resultLess(q)
-	var sel *topK[Result]
-	var out []Result
-	if q.Limit > 0 {
-		sel = newTopK(q.Limit+q.Offset, less)
-	}
-
+// forEachMatch streams every page satisfying the query's keyword and
+// structural constraints (namespace, category, ACL, property filters) to
+// visit, in unspecified order. Limit, Offset and sort options are ignored —
+// callers that present pages apply them afterwards; callers that aggregate
+// (FacetCounts) want the whole matching set anyway.
+func (e *Engine) forEachMatch(q Query, ix *Index, visit func(page *wiki.Page, title string, score float64, matched map[string]string)) error {
 	var filterErr error
 	examine := func(title string, score float64) {
 		page, ok := e.repo.Wiki.Get(title)
@@ -307,12 +302,7 @@ func (e *Engine) Search(q Query) ([]Result, error) {
 		if !ok {
 			return
 		}
-		r := Result{Title: title, Relevance: score, Rank: ranks[title], Matched: matched}
-		if sel != nil {
-			sel.push(r)
-		} else {
-			out = append(out, r)
-		}
+		visit(page, title, score, matched)
 	}
 
 	// Candidate set: keyword hits, or the whole corpus for pure-filter
@@ -320,15 +310,64 @@ func (e *Engine) Search(q Query) ([]Result, error) {
 	if strings.TrimSpace(q.Keywords) != "" {
 		for _, h := range ix.Hits(q.Keywords, q.Mode) {
 			if examine(h.ID, h.Score); filterErr != nil {
-				return nil, filterErr
+				return filterErr
 			}
 		}
 	} else {
 		for _, t := range e.repo.Wiki.Titles() {
 			if examine(t, 0); filterErr != nil {
-				return nil, filterErr
+				return filterErr
 			}
 		}
+	}
+	return nil
+}
+
+// Search runs an advanced query. When the query carries a Limit, candidates
+// stream through a bounded top-(Limit+Offset) selector instead of being
+// materialized and fully sorted.
+func (e *Engine) Search(q Query) ([]Result, error) {
+	rs, _, _, err := e.SearchWithFacets(q, nil)
+	return rs, err
+}
+
+// SearchWithFacets runs an advanced query and, in the same pass over the
+// matching set, accumulates per-property value counts for the given
+// properties (deduplicated case-insensitively) — the one-enumeration path
+// behind faceted search responses. The facets and matched count cover
+// every matching page regardless of Limit/Offset; with no properties it
+// behaves exactly like Search plus the matched total.
+func (e *Engine) SearchWithFacets(q Query, properties []string) ([]Result, map[string]map[string]int, int, error) {
+	e.mu.RLock()
+	ix, ranks := e.index, e.ranks
+	e.mu.RUnlock()
+
+	props, facets := facetAccumulators(properties)
+
+	less := resultLess(q)
+	var sel *topK[Result]
+	var out []Result
+	if q.Limit > 0 {
+		sel = newTopK(q.Limit+q.Offset, less)
+	}
+
+	matched := 0
+	err := e.forEachMatch(q, ix, func(page *wiki.Page, title string, score float64, matchedProps map[string]string) {
+		matched++
+		for _, key := range props {
+			for _, v := range page.PropertyValues(key) {
+				facets[key][v]++
+			}
+		}
+		r := Result{Title: title, Relevance: score, Rank: ranks[title], Matched: matchedProps}
+		if sel != nil {
+			sel.push(r)
+		} else {
+			out = append(out, r)
+		}
+	})
+	if err != nil {
+		return nil, nil, 0, err
 	}
 
 	if sel != nil {
@@ -347,7 +386,24 @@ func (e *Engine) Search(q Query) ([]Result, error) {
 	if q.Limit > 0 && q.Limit < len(out) {
 		out = out[:q.Limit]
 	}
-	return out, nil
+	return out, facets, matched, nil
+}
+
+// facetAccumulators prepares the count maps for a property list,
+// deduplicated case-insensitively so repeated or differently-cased
+// parameters cannot double-count.
+func facetAccumulators(properties []string) ([]string, map[string]map[string]int) {
+	props := make([]string, 0, len(properties))
+	facets := make(map[string]map[string]int, len(properties))
+	for _, prop := range properties {
+		key := strings.ToLower(prop)
+		if _, ok := facets[key]; ok {
+			continue
+		}
+		facets[key] = make(map[string]int)
+		props = append(props, key)
+	}
+	return props, facets
 }
 
 func hasCategory(p *wiki.Page, category string) bool {
@@ -478,8 +534,38 @@ func resultLess(q Query) func(a, b Result) bool {
 	return natural
 }
 
+// FacetCounts computes value counts per property over every page matching
+// the query, streaming counts directly from the candidate enumeration
+// without materializing a []Result — the O(matches) allocation-free path
+// behind the bar/pie charts and the dynamic drop-down drill-downs. The
+// query's Limit, Offset and sort options are ignored: facets describe the
+// whole matching set. It returns the counts (property names lowercased)
+// and the number of matching pages.
+func (e *Engine) FacetCounts(q Query, properties []string) (map[string]map[string]int, int, error) {
+	e.mu.RLock()
+	ix := e.index
+	e.mu.RUnlock()
+
+	props, out := facetAccumulators(properties)
+	matched := 0
+	err := e.forEachMatch(q, ix, func(page *wiki.Page, _ string, _ float64, _ map[string]string) {
+		matched++
+		for _, key := range props {
+			for _, v := range page.PropertyValues(key) {
+				out[key][v]++
+			}
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, matched, nil
+}
+
 // Facets computes value counts per property over a result set — the data
-// behind the bar/pie charts and the faceted drill-down menus.
+// behind the bar/pie charts when the caller has already materialized (and
+// possibly truncated) results. For counts over the full matching set
+// without building []Result, use FacetCounts.
 func (e *Engine) Facets(results []Result, properties []string) map[string]map[string]int {
 	out := make(map[string]map[string]int, len(properties))
 	for _, prop := range properties {

@@ -402,6 +402,54 @@ func TestEngineFacets(t *testing.T) {
 	}
 }
 
+// TestEngineFacetCounts checks the streaming facet path agrees with the
+// materialize-then-count path over the full matching set, honours query
+// constraints, and ignores Limit/Offset.
+func TestEngineFacetCounts(t *testing.T) {
+	_, e := engineFixture(t)
+	rs, _ := e.Search(Query{})
+	want := e.Facets(rs, []string{"canton", "measures"})
+	got, matched, err := e.FacetCounts(Query{}, []string{"canton", "measures"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != len(rs) {
+		t.Errorf("matched = %d, want %d", matched, len(rs))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FacetCounts = %v, want %v", got, want)
+	}
+	// Limit must not truncate the counted set.
+	limited, matchedLim, err := e.FacetCounts(Query{Limit: 1}, []string{"canton"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchedLim != matched || !reflect.DeepEqual(limited["canton"], want["canton"]) {
+		t.Errorf("limited FacetCounts = %v (matched %d), want %v (matched %d)",
+			limited["canton"], matchedLim, want["canton"], matched)
+	}
+	// Repeated or differently-cased properties must not double-count.
+	dup, _, err := e.FacetCounts(Query{}, []string{"canton", "CANTON", "canton"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dup["canton"], want["canton"]) {
+		t.Errorf("duplicate properties double-counted: %v, want %v", dup["canton"], want["canton"])
+	}
+	// Constraints apply: keyword scope narrows the counts.
+	kw, _, err := e.FacetCounts(Query{Keywords: "anemometer"}, []string{"measures"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw["measures"]["wind speed"] != 1 || len(kw["measures"]) != 1 {
+		t.Errorf("keyword-scoped facet = %v", kw["measures"])
+	}
+	// Filter errors surface.
+	if _, _, err := e.FacetCounts(Query{Filters: []PropertyFilter{{Property: "x", Op: "zz", Value: "1"}}}, []string{"canton"}); err == nil {
+		t.Error("invalid filter op accepted")
+	}
+}
+
 func TestEngineRebuildPicksUpChanges(t *testing.T) {
 	repo, e := engineFixture(t)
 	if _, err := repo.PutPage("Sensor:New-01", "tester", "[[measures::radiation]] pyranometer", ""); err != nil {

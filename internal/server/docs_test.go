@@ -1,0 +1,81 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	sensormeta "repro"
+)
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestDocsCoverRoutes checks docs/API.md documents every registered route:
+// the route list in internal/server.New is the source of truth, so adding
+// an endpoint without documenting it fails CI.
+func TestDocsCoverRoutes(t *testing.T) {
+	sys, err := sensormeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys)
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("docs/API.md missing: %v", err)
+	}
+	doc := string(raw)
+	for _, route := range srv.Routes() {
+		probe := route
+		switch route {
+		case "/":
+			probe = "`GET /`"
+		case "/page/":
+			probe = "/page/"
+		}
+		if !strings.Contains(doc, probe) {
+			t.Errorf("route %s not documented in docs/API.md", route)
+		}
+	}
+}
+
+// TestDocsLinksResolve checks that relative markdown links in the
+// top-level documentation point at files that exist.
+func TestDocsLinksResolve(t *testing.T) {
+	root := repoRoot(t)
+	linkRe := regexp.MustCompile(`\]\(([^)#]+)(#[^)]*)?\)`)
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md", filepath.Join("docs", "API.md")} {
+		raw, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatalf("%s missing: %v", doc, err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "localhost") {
+				continue // external URL
+			}
+			resolved := filepath.Join(root, filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %s, which does not exist", doc, target)
+			}
+		}
+	}
+}

@@ -9,9 +9,13 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -21,44 +25,160 @@ import (
 	"repro/internal/viz"
 )
 
-// Server is the HTTP application. It implements http.Handler.
-type Server struct {
-	sys *sensormeta.System
-	mux *http.ServeMux
+// Options configures optional server behaviour.
+type Options struct {
+	// AutoRefresh, when positive, refreshes the system automatically after
+	// write endpoints (/api/pages, /api/tags), debounced by this duration:
+	// a burst of writes triggers one refresh that runs AutoRefresh after
+	// the last write of the burst. Zero disables (writes require an
+	// explicit POST /api/refresh, as before).
+	AutoRefresh time.Duration
 }
 
-// New wires all routes for a system.
-func New(sys *sensormeta.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/", s.handleHome)
-	s.mux.HandleFunc("/page/", s.handlePage)
-	s.mux.HandleFunc("/api/search", s.handleSearch)
-	s.mux.HandleFunc("/api/autocomplete", s.handleAutocomplete)
-	s.mux.HandleFunc("/api/properties", s.handleProperties)
-	s.mux.HandleFunc("/api/values", s.handleValues)
-	s.mux.HandleFunc("/api/recommend", s.handleRecommend)
-	s.mux.HandleFunc("/api/tagcloud", s.handleTagCloudJSON)
-	s.mux.HandleFunc("/api/pages", s.handlePutPage)
-	s.mux.HandleFunc("/api/tags", s.handleAddTag)
-	s.mux.HandleFunc("/api/refresh", s.handleRefresh)
-	s.mux.HandleFunc("/api/sql", s.handleSQL)
-	s.mux.HandleFunc("/api/sparql", s.handleSPARQL)
-	s.mux.HandleFunc("/api/combined", s.handleCombined)
-	s.mux.HandleFunc("/bulkload", s.handleBulkLoad)
-	s.mux.HandleFunc("/viz/bar.svg", s.handleBarChart)
-	s.mux.HandleFunc("/viz/pie.svg", s.handlePieChart)
-	s.mux.HandleFunc("/viz/map.svg", s.handleMap)
-	s.mux.HandleFunc("/viz/graph.svg", s.handleGraphSVG)
-	s.mux.HandleFunc("/viz/graph.dot", s.handleGraphDOT)
-	s.mux.HandleFunc("/viz/hypergraph.svg", s.handleHypergraph)
-	s.mux.HandleFunc("/viz/tagcloud.html", s.handleTagCloudHTML)
-	s.mux.HandleFunc("/viz/taggraph.svg", s.handleTagGraph)
+// Server is the HTTP application. It implements http.Handler.
+type Server struct {
+	sys    *sensormeta.System
+	mux    *http.ServeMux
+	opts   Options
+	deb    *debouncer
+	routes []string
+}
+
+// New wires all routes for a system with default options.
+func New(sys *sensormeta.System) *Server { return NewWithOptions(sys, Options{}) }
+
+// NewWithOptions wires all routes for a system.
+func NewWithOptions(sys *sensormeta.System, opts Options) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), opts: opts}
+	if opts.AutoRefresh > 0 {
+		s.deb = newDebouncer(opts.AutoRefresh, func() {
+			// Background path: the error cannot reach a response, so make
+			// it visible the way the explicit POST /api/refresh would.
+			if err := sys.Refresh(); err != nil {
+				log.Printf("server: auto-refresh: %v", err)
+			}
+		})
+	}
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.routes = append(s.routes, pattern)
+		s.mux.HandleFunc(pattern, h)
+	}
+	handle("/", s.handleHome)
+	handle("/page/", s.handlePage)
+	handle("/api/search", s.handleSearch)
+	handle("/api/autocomplete", s.handleAutocomplete)
+	handle("/api/properties", s.handleProperties)
+	handle("/api/values", s.handleValues)
+	handle("/api/recommend", s.handleRecommend)
+	handle("/api/tagcloud", s.handleTagCloudJSON)
+	handle("/api/pages", s.handlePutPage)
+	handle("/api/tags", s.handleAddTag)
+	handle("/api/refresh", s.handleRefresh)
+	handle("/api/admin/stats", s.handleAdminStats)
+	handle("/api/sql", s.handleSQL)
+	handle("/api/sparql", s.handleSPARQL)
+	handle("/api/combined", s.handleCombined)
+	handle("/bulkload", s.handleBulkLoad)
+	handle("/viz/bar.svg", s.handleBarChart)
+	handle("/viz/pie.svg", s.handlePieChart)
+	handle("/viz/map.svg", s.handleMap)
+	handle("/viz/graph.svg", s.handleGraphSVG)
+	handle("/viz/graph.dot", s.handleGraphDOT)
+	handle("/viz/hypergraph.svg", s.handleHypergraph)
+	handle("/viz/tagcloud.html", s.handleTagCloudHTML)
+	handle("/viz/taggraph.svg", s.handleTagGraph)
+	sort.Strings(s.routes)
 	return s
+}
+
+// Routes returns the registered route patterns, sorted — the source of
+// truth the documentation coverage test checks docs/API.md against.
+func (s *Server) Routes() []string { return append([]string(nil), s.routes...) }
+
+// Close stops the auto-refresh debouncer, if any.
+func (s *Server) Close() {
+	if s.deb != nil {
+		s.deb.stop()
+	}
 }
 
 // ServeHTTP dispatches to the router.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// debouncer coalesces a burst of triggers into one trailing-edge call,
+// with a max-wait bound so a sustained write stream (triggers arriving
+// faster than the debounce interval forever) cannot starve the callback.
+type debouncer struct {
+	mu       sync.Mutex
+	d        time.Duration
+	f        func()
+	timer    *time.Timer
+	deadline time.Time // latest time the pending burst may fire
+	stopped  bool
+}
+
+// debounceMaxWaitFactor bounds how long back-to-back triggers can keep
+// postponing the callback: at most factor × the debounce interval after
+// the first trigger of a burst.
+const debounceMaxWaitFactor = 4
+
+func newDebouncer(d time.Duration, f func()) *debouncer {
+	return &debouncer{d: d, f: f}
+}
+
+// trigger (re)arms the timer: f runs d after the last trigger of a burst,
+// but no later than debounceMaxWaitFactor·d after its first trigger.
+func (db *debouncer) trigger() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.stopped {
+		return
+	}
+	if db.timer != nil {
+		delay := db.d
+		if remaining := time.Until(db.deadline); remaining < delay {
+			delay = max(remaining, 0)
+		}
+		db.timer.Reset(delay)
+		return
+	}
+	db.deadline = time.Now().Add(debounceMaxWaitFactor * db.d)
+	db.timer = time.AfterFunc(db.d, func() {
+		db.mu.Lock()
+		db.timer = nil
+		stopped := db.stopped
+		db.mu.Unlock()
+		if !stopped {
+			db.f()
+		}
+	})
+}
+
+func (db *debouncer) stop() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stopped = true
+	if db.timer != nil {
+		db.timer.Stop()
+		db.timer = nil
+	}
+}
+
+// wrote notifies the auto-refresh debouncer (when enabled) that a write
+// endpoint mutated the repository.
+func (s *Server) wrote() {
+	if s.deb != nil {
+		s.deb.trigger()
+	}
+}
+
+// normalizeProperty canonicalizes a user-supplied property name once, at
+// the API boundary: the repository's relational projection, the
+// recommender's scores and the facet maps all key properties lowercased.
+func normalizeProperty(p string) string {
+	return strings.ToLower(strings.TrimSpace(p))
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -136,7 +256,7 @@ func parseQuery(r *http.Request) (search.Query, error) {
 			return q, fmt.Errorf("unknown filter op %q", parts[1])
 		}
 		q.Filters = append(q.Filters, search.PropertyFilter{
-			Property: parts[0], Op: op, Value: parts[2],
+			Property: normalizeProperty(parts[0]), Op: op, Value: parts[2],
 		})
 	}
 	if lim := v.Get("limit"); lim != "" {
@@ -157,31 +277,45 @@ func parseQuery(r *http.Request) (search.Query, error) {
 }
 
 func (s *Server) runSearch(r *http.Request) ([]search.Result, search.Query, error) {
-	q, err := parseQuery(r)
+	rs, _, _, q, err := s.runSearchFacets(r, nil)
+	return rs, q, err
+}
+
+// runSearchFacets executes the request's query, accumulating facet counts
+// for facetProps in the same pass over the matching set (no second
+// enumeration, no extra materialization).
+func (s *Server) runSearchFacets(r *http.Request, facetProps []string) (rs []search.Result, facets map[string]map[string]int, matched int, q search.Query, err error) {
+	q, err = parseQuery(r)
 	if err != nil {
-		return nil, q, err
+		return nil, nil, 0, q, err
 	}
-	var rs []search.Result
+	alpha, fuse := 0.0, false
 	if alphaStr := r.URL.Query().Get("alpha"); alphaStr != "" {
-		alpha, err := strconv.ParseFloat(alphaStr, 64)
+		alpha, err = strconv.ParseFloat(alphaStr, 64)
 		if err != nil {
-			return nil, q, fmt.Errorf("bad alpha %q", alphaStr)
+			return nil, nil, 0, q, fmt.Errorf("bad alpha %q", alphaStr)
 		}
-		rs, err = s.sys.SearchFused(q, alpha)
-		if err != nil {
-			return nil, q, err
-		}
-	} else {
-		rs, err = s.sys.Search(q)
-		if err != nil {
-			return nil, q, err
-		}
+		fuse = true
 	}
-	return rs, q, nil
+	rs, facets, matched, err = s.sys.Engine.SearchWithFacets(q, facetProps)
+	if err != nil {
+		return nil, nil, 0, q, err
+	}
+	if fuse {
+		rs = s.sys.Fuse(rs, alpha)
+	}
+	return rs, facets, matched, q, nil
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	rs, _, err := s.runSearch(r)
+	// Repeated facet=<property> parameters stream per-property value counts
+	// over the whole matching set (not just the returned page), accumulated
+	// in the same pass as the results.
+	facetProps := r.URL.Query()["facet"]
+	for i := range facetProps {
+		facetProps[i] = normalizeProperty(facetProps[i])
+	}
+	rs, facets, matched, _, err := s.runSearchFacets(r, facetProps)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "search: %v", err)
 		return
@@ -195,8 +329,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	keywords := r.URL.Query().Get("q")
 	out := struct {
-		Count   int    `json:"count"`
-		Results []item `json:"results"`
+		Count   int                       `json:"count"`
+		Matched int                       `json:"matched,omitempty"`
+		Results []item                    `json:"results"`
+		Facets  map[string]map[string]int `json:"facets,omitempty"`
 	}{Count: len(rs)}
 	for _, res := range rs {
 		it := item{Title: res.Title, Relevance: res.Relevance, Rank: res.Rank, Matched: res.Matched}
@@ -204,6 +340,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			it.Snippet = s.sys.Engine.SnippetFor(res.Title, keywords, 160)
 		}
 		out.Results = append(out.Results, it)
+	}
+	if len(facetProps) > 0 {
+		out.Facets, out.Matched = facets, matched
 	}
 	writeJSON(w, out)
 }
@@ -219,27 +358,62 @@ func (s *Server) handleAutocomplete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.sys.Autocomplete(prefix, k))
 }
 
+// handleProperties lists the distinct property names for the first-level
+// dynamic drop-down — alphabetically, or by PageRank-derived importance
+// with by=score (the recommendation mechanism's property scores).
 func (s *Server) handleProperties(w http.ResponseWriter, r *http.Request) {
 	props, err := s.sys.Repo.Properties()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "properties: %v", err)
 		return
 	}
+	if r.URL.Query().Get("by") == "score" {
+		props = s.sys.TopProperties(len(props))
+	}
 	writeJSON(w, props)
 }
 
+// handleValues serves the second-level dynamic drop-down: the distinct
+// values of one property. With counts=1 the response becomes
+// [{value, count}] pairs computed over the pages matching the usual search
+// parameters (q, filter, namespace, …) via the streaming facet path, so a
+// drill-down menu can show result counts without materializing results.
 func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
-	prop := r.URL.Query().Get("property")
+	prop := normalizeProperty(r.URL.Query().Get("property"))
 	if prop == "" {
 		httpError(w, http.StatusBadRequest, "values: property parameter required")
 		return
 	}
-	vals, err := s.sys.Repo.PropertyValues(prop)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "values: %v", err)
+	if r.URL.Query().Get("counts") == "" {
+		vals, err := s.sys.Repo.PropertyValues(prop)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "values: %v", err)
+			return
+		}
+		writeJSON(w, vals)
 		return
 	}
-	writeJSON(w, vals)
+	q, err := parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "values: %v", err)
+		return
+	}
+	facets, _, err := s.sys.Engine.FacetCounts(q, []string{prop})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "values: %v", err)
+		return
+	}
+	type vc struct {
+		Value string `json:"value"`
+		Count int    `json:"count"`
+	}
+	counts := facets[prop]
+	out := make([]vc, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, vc{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	writeJSON(w, out)
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -321,6 +495,7 @@ func (s *Server) handlePutPage(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "pages: %v", err)
 		return
 	}
+	s.wrote()
 	writeJSON(w, map[string]interface{}{
 		"title":     page.Title.String(),
 		"revisions": len(page.Revisions),
@@ -345,7 +520,21 @@ func (s *Server) handleAddTag(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "tags: %v", err)
 		return
 	}
+	s.wrote()
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleAdminStats reports refresh observability: journal positions of
+// every consumer, PageRank skip/warm/cold counts, recommender and tagging
+// delta-vs-rebuild counters, and the server's auto-refresh configuration.
+func (s *Server) handleAdminStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Refresh       sensormeta.RefreshStats `json:"refresh"`
+		AutoRefreshMs int64                   `json:"autoRefreshMs"`
+	}{
+		Refresh:       s.sys.Stats(),
+		AutoRefreshMs: s.opts.AutoRefresh.Milliseconds(),
+	})
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
@@ -485,9 +674,27 @@ func (s *Server) handlePieChart(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) facetChart(w http.ResponseWriter, r *http.Request, render func(string, []viz.Datum) string) {
-	prop := r.URL.Query().Get("property")
+	prop := normalizeProperty(r.URL.Query().Get("property"))
 	if prop == "" {
 		httpError(w, http.StatusBadRequest, "chart: property parameter required")
+		return
+	}
+	// Default path: stream counts over the whole matching set without
+	// materializing results. An explicit limit keeps the old behaviour of
+	// charting only the returned result page.
+	if r.URL.Query().Get("limit") == "" {
+		q, err := parseQuery(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "chart: %v", err)
+			return
+		}
+		facets, matched, err := s.sys.Engine.FacetCounts(q, []string{prop})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "chart: %v", err)
+			return
+		}
+		data := viz.DataFromCounts(facets[prop])
+		writeSVG(w, render(fmt.Sprintf("%s over %d result(s)", prop, matched), data))
 		return
 	}
 	rs, _, err := s.runSearch(r)
@@ -496,7 +703,7 @@ func (s *Server) facetChart(w http.ResponseWriter, r *http.Request, render func(
 		return
 	}
 	facets := s.sys.Engine.Facets(rs, []string{prop})
-	data := viz.DataFromCounts(facets[strings.ToLower(prop)])
+	data := viz.DataFromCounts(facets[prop])
 	writeSVG(w, render(fmt.Sprintf("%s over %d result(s)", prop, len(rs)), data))
 }
 

@@ -2,11 +2,15 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	sensormeta "repro"
 	"repro/internal/workload"
@@ -375,5 +379,197 @@ func TestUnknownPathIs404(t *testing.T) {
 	_, ts := newTestServer(t)
 	if code, _ := get(t, ts.URL+"/definitely/not/here"); code != http.StatusNotFound {
 		t.Error("unknown path not 404")
+	}
+}
+
+func TestSearchFacetsParam(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out struct {
+		Count   int                       `json:"count"`
+		Matched int                       `json:"matched"`
+		Facets  map[string]map[string]int `json:"facets"`
+	}
+	// Facets cover the full matching set even when limit truncates results.
+	getJSON(t, ts.URL+"/api/search?namespace=Sensor&limit=3&facet=measures&facet=STATUS", &out)
+	if out.Count != 3 {
+		t.Errorf("count = %d, want 3", out.Count)
+	}
+	if out.Matched <= 3 {
+		t.Errorf("matched = %d, want full namespace size", out.Matched)
+	}
+	total := 0
+	for _, c := range out.Facets["measures"] {
+		total += c
+	}
+	if total != out.Matched {
+		t.Errorf("measures facet counts %d pages, matched %d", total, out.Matched)
+	}
+	// Mixed-case facet param is normalized at the boundary.
+	if len(out.Facets["status"]) == 0 {
+		t.Errorf("status facet missing: %v", out.Facets)
+	}
+}
+
+func TestValuesWithCounts(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out []struct {
+		Value string `json:"value"`
+		Count int    `json:"count"`
+	}
+	getJSON(t, ts.URL+"/api/values?property=MEASURES&counts=1&namespace=Sensor", &out)
+	if len(out) == 0 {
+		t.Fatal("no value counts")
+	}
+	for _, vc := range out {
+		if vc.Count <= 0 {
+			t.Errorf("value %q has count %d", vc.Value, vc.Count)
+		}
+	}
+}
+
+// TestPropertyCaseNormalization is the regression test for normalizing
+// user-supplied property names once at the API boundary: mixed-case
+// property parameters and filter properties must behave exactly like their
+// lowercase forms everywhere they are accepted.
+func TestPropertyCaseNormalization(t *testing.T) {
+	_, ts := newTestServer(t)
+	var lower, upper []string
+	getJSON(t, ts.URL+"/api/values?property=measures", &lower)
+	getJSON(t, ts.URL+"/api/values?property=MeAsUrEs", &upper)
+	if len(lower) == 0 || !reflect.DeepEqual(lower, upper) {
+		t.Errorf("values differ by case: %v vs %v", lower, upper)
+	}
+	var a, b struct {
+		Count int `json:"count"`
+	}
+	getJSON(t, ts.URL+"/api/search?filter=measures:eq:temperature", &a)
+	getJSON(t, ts.URL+"/api/search?filter=MEASURES:eq:temperature", &b)
+	if a.Count == 0 || a.Count != b.Count {
+		t.Errorf("filter counts differ by case: %d vs %d", a.Count, b.Count)
+	}
+	code, _ := get(t, ts.URL+"/viz/bar.svg?property=MEASURES")
+	if code != http.StatusOK {
+		t.Errorf("mixed-case chart property rejected: %d", code)
+	}
+}
+
+func TestPropertiesByScore(t *testing.T) {
+	_, ts := newTestServer(t)
+	var plain, scored []string
+	getJSON(t, ts.URL+"/api/properties", &plain)
+	getJSON(t, ts.URL+"/api/properties?by=score", &scored)
+	if len(plain) != len(scored) {
+		t.Fatalf("by=score changed the property set: %d vs %d", len(plain), len(scored))
+	}
+	sortedA := append([]string(nil), plain...)
+	sortedB := append([]string(nil), scored...)
+	sort.Strings(sortedA)
+	sort.Strings(sortedB)
+	if !reflect.DeepEqual(sortedA, sortedB) {
+		t.Errorf("property sets differ: %v vs %v", plain, scored)
+	}
+}
+
+func TestAdminStats(t *testing.T) {
+	sys, ts := newTestServer(t)
+	var out struct {
+		Refresh struct {
+			JournalSeq      uint64 `json:"journalSeq"`
+			EngineSeq       uint64 `json:"engineSeq"`
+			RecommenderSeq  uint64 `json:"recommenderSeq"`
+			TaggingSeq      uint64 `json:"taggingSeq"`
+			Refreshes       int    `json:"refreshes"`
+			PagerankSkipped int    `json:"pagerankSkipped"`
+			PagerankWarm    int    `json:"pagerankWarm"`
+			PagerankCold    int    `json:"pagerankCold"`
+			Recommender     struct {
+				FullRebuilds int `json:"FullRebuilds"`
+			} `json:"recommender"`
+			Tagging struct {
+				Seq uint64 `json:"Seq"`
+			} `json:"tagging"`
+		} `json:"refresh"`
+		AutoRefreshMs int64 `json:"autoRefreshMs"`
+	}
+	getJSON(t, ts.URL+"/api/admin/stats", &out)
+	if out.Refresh.Refreshes == 0 {
+		t.Error("no refreshes recorded")
+	}
+	if out.Refresh.EngineSeq != out.Refresh.JournalSeq {
+		t.Errorf("engine behind journal: %d vs %d", out.Refresh.EngineSeq, out.Refresh.JournalSeq)
+	}
+	if out.Refresh.RecommenderSeq != out.Refresh.JournalSeq || out.Refresh.TaggingSeq != out.Refresh.JournalSeq {
+		t.Errorf("consumers behind journal: rec=%d tag=%d journal=%d",
+			out.Refresh.RecommenderSeq, out.Refresh.TaggingSeq, out.Refresh.JournalSeq)
+	}
+	if out.Refresh.Recommender.FullRebuilds == 0 {
+		t.Error("recommender rebuild not recorded")
+	}
+	// A metadata-only write + refresh must show up as a skipped PageRank.
+	if _, err := sys.PutPage("Sensor:Stats-01", "t", "plain prose, no links", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	// New page = link-structure change → warm-started PageRank.
+	warmBefore := out.Refresh.PagerankWarm
+	getJSON(t, ts.URL+"/api/admin/stats", &out)
+	if out.Refresh.PagerankWarm != warmBefore+1 {
+		t.Errorf("warm starts = %d, want %d", out.Refresh.PagerankWarm, warmBefore+1)
+	}
+	if _, err := sys.PutPage("Sensor:Stats-01", "t", "plain prose edited, still no links", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	skippedBefore := out.Refresh.PagerankSkipped
+	getJSON(t, ts.URL+"/api/admin/stats", &out)
+	if out.Refresh.PagerankSkipped != skippedBefore+1 {
+		t.Errorf("skips = %d, want %d", out.Refresh.PagerankSkipped, skippedBefore+1)
+	}
+}
+
+// TestAutoRefreshDebounce checks the optional auto-refresh mode: a burst of
+// writes produces one (debounced) refresh, and the written page becomes
+// searchable without an explicit POST /api/refresh.
+func TestAutoRefreshDebounce(t *testing.T) {
+	sys, err := sensormeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(sys, Options{AutoRefresh: 20 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	refreshesBefore := sys.Stats().Refreshes
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/api/pages", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"title":"Sensor:Auto-%02d","author":"t","text":"[[measures::auto refresh probe]]"}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var out struct {
+			Count int `json:"count"`
+		}
+		getJSON(t, ts.URL+"/api/search?q=auto+refresh+probe", &out)
+		if out.Count == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-refresh never indexed the writes: count=%d", out.Count)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The burst should have been debounced into very few refreshes, not one
+	// per write.
+	if n := sys.Stats().Refreshes - refreshesBefore; n > 3 {
+		t.Errorf("burst of 5 writes caused %d refreshes", n)
 	}
 }

@@ -11,24 +11,52 @@ const (
 	ChangeUpsert ChangeKind = iota
 	// ChangeDelete records a page removal.
 	ChangeDelete
+	// ChangeTag records a user-tag assignment on a page. The page content
+	// itself is untouched, so consumers that derive state only from page
+	// text and annotations (the search index, the recommender) skip these;
+	// the tagging pipeline consumes them to refresh the affected tag sets.
+	ChangeTag
 )
 
 // String returns a human-readable name for the change kind.
 func (k ChangeKind) String() string {
-	if k == ChangeDelete {
+	switch k {
+	case ChangeDelete:
 		return "delete"
+	case ChangeTag:
+		return "tag"
+	default:
+		return "upsert"
 	}
-	return "upsert"
 }
 
 // Change is one sequence-numbered repository mutation. Downstream layers
-// (the search engine, the ranking layer) consume runs of changes to update
-// their derived structures incrementally instead of rebuilding from the
-// whole corpus.
+// (the search engine, the recommender, the tagging pipeline, the ranking
+// layer) consume runs of changes to update their derived structures
+// incrementally instead of rebuilding from the whole corpus.
+//
+// The contract every consumer follows:
+//
+//   - remember the Seq of the last change applied (the consumer's
+//     "position"), starting from 0 for a consumer born over an empty
+//     repository;
+//   - on refresh, call Repository.Changes(position): when ok, apply the
+//     returned run (coalescing by Title and re-reading the repository's
+//     current state, so re-applying a change is idempotent) and advance to
+//     the run's last Seq;
+//   - when !ok the journal's bounded window (65 536 entries) has been
+//     trimmed past the position: rebuild from the full corpus and resume
+//     from Repository.LastSeq — the from-scratch fallbacks (Engine.Rebuild,
+//     System.RefreshFull, and the equivalent paths in the recommender and
+//     tagging pipeline) all follow this rule.
 type Change struct {
 	Seq   uint64
 	Kind  ChangeKind
 	Title string // canonical page title
+	// Tag carries the (normalized) tag text of a ChangeTag entry, so the
+	// tagging pipeline can apply the assignment without re-reading the
+	// page's tag rows. Empty for page changes.
+	Tag string
 	// LinksChanged is set when the mutation altered the double link
 	// structure (the page's outgoing page links or semantic links, or the
 	// node set itself). Consumers that only depend on link topology — the
@@ -53,14 +81,22 @@ type Journal struct {
 // NewJournal returns an empty journal.
 func NewJournal() *Journal { return &Journal{} }
 
-// Append records a change and returns its sequence number.
+// Append records a page change and returns its sequence number.
 func (j *Journal) Append(kind ChangeKind, title string, linksChanged bool) uint64 {
+	return j.append(Change{Kind: kind, Title: title, LinksChanged: linksChanged})
+}
+
+// AppendTag records a tag assignment on a page.
+func (j *Journal) AppendTag(title, tag string) uint64 {
+	return j.append(Change{Kind: ChangeTag, Title: title, Tag: tag})
+}
+
+func (j *Journal) append(c Change) uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.seq++
-	j.entries = append(j.entries, Change{
-		Seq: j.seq, Kind: kind, Title: title, LinksChanged: linksChanged,
-	})
+	c.Seq = j.seq
+	j.entries = append(j.entries, c)
 	if len(j.entries) > maxJournalEntries {
 		drop := len(j.entries) - maxJournalEntries
 		j.trimmed = j.entries[drop-1].Seq

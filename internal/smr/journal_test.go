@@ -39,6 +39,52 @@ func TestJournalAppendSince(t *testing.T) {
 	}
 }
 
+func TestJournalTagEntries(t *testing.T) {
+	j := NewJournal()
+	j.Append(ChangeUpsert, "Sensor:S1", true)
+	j.AppendTag("Sensor:S1", "alpine")
+	cs, ok := j.Since(0)
+	if !ok || len(cs) != 2 {
+		t.Fatalf("Since(0) = %v, %v", cs, ok)
+	}
+	tag := cs[1]
+	if tag.Kind != ChangeTag || tag.Title != "Sensor:S1" || tag.Tag != "alpine" || tag.LinksChanged {
+		t.Errorf("tag entry = %+v", tag)
+	}
+	for kind, want := range map[ChangeKind]string{
+		ChangeUpsert: "upsert", ChangeDelete: "delete", ChangeTag: "tag",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestRepositoryJournalsTags(t *testing.T) {
+	repo, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.PutPage("Sensor:J1", "t", "prose", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.AddTag("Sensor:J1", "  ALpine  ", "t"); err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := repo.Changes(0)
+	if !ok || len(cs) != 2 {
+		t.Fatalf("changes = %v, %v", cs, ok)
+	}
+	// The journalled tag is normalized exactly like the stored row.
+	if cs[1].Kind != ChangeTag || cs[1].Tag != "alpine" {
+		t.Errorf("tag change = %+v", cs[1])
+	}
+	tags, err := repo.PageTags("Sensor:J1")
+	if err != nil || len(tags) != 1 || tags[0] != "alpine" {
+		t.Errorf("stored tags = %v (%v)", tags, err)
+	}
+}
+
 func TestJournalTrim(t *testing.T) {
 	j := NewJournal()
 	for i := 0; i < 5; i++ {

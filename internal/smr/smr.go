@@ -6,6 +6,15 @@
 // double linking structure (page links + semantic links) that Section III's
 // PageRank variant ranks, the access-control filter of the query interface,
 // and the bulk-loading path of Section V.
+//
+// Every mutation — PutPage, DeletePage, AddTag — is recorded once in a
+// bounded, sequence-numbered change Journal. Derived layers (the search
+// index and trie, PageRank, the recommender's property scores, the tagging
+// pipeline's similarity structures) each remember the last sequence number
+// they applied and consume Changes(seq) to stay current in O(changed pages)
+// instead of rescanning the corpus; when the bounded window has been
+// trimmed past a consumer's position, Changes reports !ok and the consumer
+// rebuilds from scratch. See the Change type for the full contract.
 package smr
 
 import (
@@ -364,15 +373,21 @@ func (r *Repository) PropertyValues(property string) ([]string, error) {
 	return out, nil
 }
 
-// AddTag records a user tag on a page (Section IV's tagging input).
+// AddTag records a user tag on a page (Section IV's tagging input). The
+// assignment is journalled as a ChangeTag entry so the tagging pipeline can
+// refresh the page's tag set incrementally; link structure is untouched.
 func (r *Repository) AddTag(page, tag, author string) error {
 	if _, ok := r.Wiki.Get(page); !ok {
 		return fmt.Errorf("smr: tagging unknown page %q", page)
 	}
 	canonical := wiki.ParseTitle(page).String()
+	normalized := strings.ToLower(strings.TrimSpace(tag))
 	_, err := r.DB.Exec(fmt.Sprintf(
 		"INSERT INTO tags (page, tag, author) VALUES (%s, %s, %s)",
-		sqlQuote(canonical), sqlQuote(strings.ToLower(strings.TrimSpace(tag))), sqlQuote(author)))
+		sqlQuote(canonical), sqlQuote(normalized), sqlQuote(author)))
+	if err == nil {
+		r.journal.AppendTag(canonical, normalized)
+	}
 	return err
 }
 

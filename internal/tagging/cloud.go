@@ -19,7 +19,9 @@ type CloudOptions struct {
 }
 
 func (o CloudOptions) withDefaults() CloudOptions {
-	if o.Threshold == 0 {
+	// NaN is rejected too: as a cache key it never equals itself, so it
+	// would mint fresh similarity state on every call.
+	if o.Threshold == 0 || math.IsNaN(o.Threshold) {
 		o.Threshold = DefaultSimilarityThreshold
 	}
 	if o.MaxFontSize == 0 {
@@ -72,9 +74,14 @@ func BuildCloud(td *TagData, opts CloudOptions) *Cloud {
 	g := td.Graph(opts.Threshold)
 
 	var cr *CliqueResult
-	if opts.UsePivot {
+	switch {
+	case g.N() == 0:
+		// Bron–Kerbosch on the empty graph would emit the empty set as a
+		// "maximal clique"; an empty vocabulary has no cliques.
+		cr = &CliqueResult{}
+	case opts.UsePivot:
 		cr = BronKerboschPivot(g)
-	} else {
+	default:
 		cr = BronKerboschBasic(g)
 	}
 	member := CliqueMembership(g.N(), cr.Cliques)

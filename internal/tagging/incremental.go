@@ -1,0 +1,570 @@
+package tagging
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/smr"
+)
+
+// tagStore is the journal-maintained mirror of the Parser module's output:
+// tag → sorted page list and page → sorted tag list, kept current against
+// the repository's change journal so a refresh costs O(changed pages)
+// instead of a full SQL scan plus a corpus walk.
+type tagStore struct {
+	repo               *smr.Repository
+	includeAnnotations bool
+	seq                uint64
+	byPage             map[string][]string // page -> sorted distinct tags
+	pages              map[string][]string // tag -> sorted page titles
+	tags               []string            // sorted tag names
+}
+
+func newTagStore(repo *smr.Repository, includeAnnotations bool) *tagStore {
+	return &tagStore{
+		repo:               repo,
+		includeAnnotations: includeAnnotations,
+		byPage:             map[string][]string{},
+		pages:              map[string][]string{},
+	}
+}
+
+// tagsForPage reads the page's current distinct tag set from the
+// repository: user tags from the tags table plus (optionally) lowercased
+// annotation values, exactly the merge FetchTagData performs. A deleted
+// page yields nil.
+func (s *tagStore) tagsForPage(title string) ([]string, error) {
+	userTags, err := s.repo.PageTags(title)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, len(userTags))
+	for _, t := range userTags {
+		if t != "" {
+			set[t] = true
+		}
+	}
+	if s.includeAnnotations {
+		if page, ok := s.repo.Wiki.Get(title); ok {
+			for _, a := range page.Annotations {
+				if t := strings.ToLower(a.Value); t != "" {
+					set[t] = true
+				}
+			}
+		}
+	}
+	if len(set) == 0 {
+		return nil, nil
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// setPageTags replaces one page's tag set and returns the tags whose page
+// lists changed (the dirty set for similarity maintenance).
+func (s *tagStore) setPageTags(title string, next []string) []string {
+	prev := s.byPage[title]
+	var dirty []string
+	i, j := 0, 0
+	for i < len(prev) || j < len(next) {
+		switch {
+		case j >= len(next) || (i < len(prev) && prev[i] < next[j]):
+			s.removePage(prev[i], title)
+			dirty = append(dirty, prev[i])
+			i++
+		case i >= len(prev) || next[j] < prev[i]:
+			s.addPage(next[j], title)
+			dirty = append(dirty, next[j])
+			j++
+		default: // equal: unchanged
+			i++
+			j++
+		}
+	}
+	if len(next) == 0 {
+		delete(s.byPage, title)
+	} else {
+		s.byPage[title] = next
+	}
+	return dirty
+}
+
+func (s *tagStore) addPage(tag, title string) {
+	list := s.pages[tag]
+	if len(list) == 0 {
+		i := sort.SearchStrings(s.tags, tag)
+		if i == len(s.tags) || s.tags[i] != tag {
+			s.tags = append(s.tags, "")
+			copy(s.tags[i+1:], s.tags[i:])
+			s.tags[i] = tag
+		}
+	}
+	i := sort.SearchStrings(list, title)
+	if i < len(list) && list[i] == title {
+		return
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = title
+	s.pages[tag] = list
+}
+
+func (s *tagStore) removePage(tag, title string) {
+	list := s.pages[tag]
+	i := sort.SearchStrings(list, title)
+	if i >= len(list) || list[i] != title {
+		return
+	}
+	copy(list[i:], list[i+1:])
+	list = list[:len(list)-1]
+	if len(list) == 0 {
+		delete(s.pages, tag)
+		if k := sort.SearchStrings(s.tags, tag); k < len(s.tags) && s.tags[k] == tag {
+			s.tags = append(s.tags[:k], s.tags[k+1:]...)
+		}
+	} else {
+		s.pages[tag] = list
+	}
+}
+
+// rebuild reloads the store from scratch via the Parser module's full
+// fetch — the fallback when the journal window has been trimmed past the
+// store's position. On a fetch error the store is left untouched (old
+// mirror, old position), so a later retry still sees the lag and rebuilds.
+func (s *tagStore) rebuild(fetch func() (*TagData, error)) error {
+	// Capture the position before the scan; replaying a racing change is
+	// idempotent. It is only installed once the fetch succeeds.
+	seq := s.repo.LastSeq()
+	td, err := fetch()
+	if err != nil {
+		return err
+	}
+	s.seq = seq
+	s.tags = append([]string(nil), td.Tags...)
+	s.pages = make(map[string][]string, len(td.Pages))
+	s.byPage = map[string][]string{}
+	for tag, ps := range td.Pages {
+		s.pages[tag] = append([]string(nil), ps...)
+		for _, p := range ps {
+			s.byPage[p] = append(s.byPage[p], tag)
+		}
+	}
+	for p := range s.byPage {
+		sort.Strings(s.byPage[p])
+	}
+	return nil
+}
+
+// addTagAssignment applies one journalled tag assignment directly — no
+// SQL round-trip — and reports whether the page's tag set actually grew
+// (repeat assignments are idempotent).
+func (s *tagStore) addTagAssignment(title, tag string) bool {
+	if tag == "" {
+		return false
+	}
+	list := s.byPage[title]
+	i := sort.SearchStrings(list, tag)
+	if i < len(list) && list[i] == tag {
+		return false
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = tag
+	s.byPage[title] = list
+	s.addPage(tag, title)
+	return true
+}
+
+// apply consumes the journal since the store's position, in order: tag
+// assignments carry their tag and apply directly; page upserts/deletes
+// re-read the page's full tag set (once per title — the re-read sees the
+// repository's current state, so it is idempotent). It returns the tags
+// whose page sets changed, the number of changes applied, and whether a
+// full rebuild was forced by a journal window overrun. On a mid-run error
+// the position is NOT advanced (the retry reprocesses the run, which is
+// idempotent) but the dirty set accumulated so far IS returned: the store
+// already absorbed those diffs, so a retry cannot re-derive them and the
+// caller must invalidate similarity rows now.
+func (s *tagStore) apply(fetch func() (*TagData, error)) (dirty []string, applied int, full bool, err error) {
+	changes, ok := s.repo.Changes(s.seq)
+	if !ok {
+		if err := s.rebuild(fetch); err != nil {
+			return nil, 0, true, err
+		}
+		return nil, 0, true, nil
+	}
+	if len(changes) == 0 {
+		return nil, 0, false, nil
+	}
+	reread := make(map[string]bool, len(changes))
+	dirtySet := map[string]bool{}
+	for _, c := range changes {
+		if c.Kind == smr.ChangeTag {
+			if s.addTagAssignment(c.Title, c.Tag) {
+				dirtySet[c.Tag] = true
+			}
+			applied++
+			continue
+		}
+		if reread[c.Title] {
+			continue
+		}
+		reread[c.Title] = true
+		next, tagsErr := s.tagsForPage(c.Title)
+		if tagsErr != nil {
+			err = tagsErr
+			break
+		}
+		for _, t := range s.setPageTags(c.Title, next) {
+			dirtySet[t] = true
+		}
+		applied++
+	}
+	if err == nil {
+		s.seq = changes[len(changes)-1].Seq
+	}
+	for t := range dirtySet {
+		dirty = append(dirty, t)
+	}
+	sort.Strings(dirty)
+	return dirty, applied, false, err
+}
+
+// simGraph is the incrementally maintained Matrix Transformation + Graph
+// module output for one similarity threshold: an adjacency map over tag
+// names. Only rows of dirty tags are recomputed, and only against tags they
+// co-occur with (cosine similarity is zero without a shared page).
+type simGraph struct {
+	threshold float64
+	neighbors map[string]map[string]bool // only tags with >= 1 edge appear
+	dirty     map[string]bool
+	dirtyAll  bool
+	// cliques caches Bron–Kerbosch results per connected component,
+	// keyed by a content hash of the component's adjacency (see
+	// componentSignature); untouched components are reused across refreshes.
+	cliques map[uint64]cachedCliques
+}
+
+type cachedCliques struct {
+	cliques [][]string
+	steps   int
+}
+
+func newSimGraph(threshold float64) *simGraph {
+	return &simGraph{
+		threshold: threshold,
+		neighbors: map[string]map[string]bool{},
+		dirty:     map[string]bool{},
+		dirtyAll:  true, // a fresh graph computes every row on first use
+		cliques:   map[uint64]cachedCliques{},
+	}
+}
+
+func (g *simGraph) markDirty(tags []string) {
+	if g.dirtyAll {
+		return
+	}
+	for _, t := range tags {
+		g.dirty[t] = true
+	}
+}
+
+func (g *simGraph) markAllDirty() {
+	g.dirtyAll = true
+	g.dirty = map[string]bool{}
+}
+
+// settle brings the adjacency up to date with the store.
+func (g *simGraph) settle(s *tagStore) {
+	if g.dirtyAll {
+		g.neighbors = map[string]map[string]bool{}
+		for _, t := range s.tags {
+			g.recomputeRow(s, t)
+		}
+		g.dirtyAll = false
+		g.dirty = map[string]bool{}
+		return
+	}
+	if len(g.dirty) == 0 {
+		return
+	}
+	rows := make([]string, 0, len(g.dirty))
+	for t := range g.dirty {
+		rows = append(rows, t)
+	}
+	sort.Strings(rows)
+	for _, t := range rows {
+		g.recomputeRow(s, t)
+	}
+	g.dirty = map[string]bool{}
+}
+
+// recomputeRow rebuilds tag t's edge set from its co-occurring tags,
+// adjusting the reverse entries of gained and lost neighbours. Instead of
+// intersecting page lists pairwise, one walk over t's pages counts the
+// shared-page overlap with every co-occurring tag — O(Σ |tags(p)|) for
+// p ∈ pages(t) — and the cosine is derived from the counts with the exact
+// arithmetic of TagData.CosineSimilarity (tags sharing no page have
+// similarity 0 and never form an edge).
+func (g *simGraph) recomputeRow(s *tagStore, t string) {
+	old := g.neighbors[t]
+	pages, exists := s.pages[t]
+	var next map[string]bool
+	if exists {
+		inter := map[string]int{}
+		for _, p := range pages {
+			for _, u := range s.byPage[p] {
+				if u != t {
+					inter[u]++
+				}
+			}
+		}
+		for u, shared := range inter {
+			sim := float64(shared) / math.Sqrt(float64(len(pages))*float64(len(s.pages[u])))
+			if sim > g.threshold {
+				if next == nil {
+					next = map[string]bool{}
+				}
+				next[u] = true
+			}
+		}
+	}
+	for u := range old {
+		if !next[u] {
+			delete(g.neighbors[u], t)
+			if len(g.neighbors[u]) == 0 {
+				delete(g.neighbors, u)
+			}
+		}
+	}
+	for u := range next {
+		if !old[u] {
+			nu := g.neighbors[u]
+			if nu == nil {
+				nu = map[string]bool{}
+				g.neighbors[u] = nu
+			}
+			nu[t] = true
+		}
+	}
+	if len(next) == 0 {
+		delete(g.neighbors, t)
+	} else {
+		g.neighbors[t] = next
+	}
+}
+
+// components returns the connected components of the tag graph as sorted
+// name lists, ordered by first member — singletons included.
+func (g *simGraph) components(s *tagStore) [][]string {
+	visited := map[string]bool{}
+	var comps [][]string
+	for _, t := range s.tags { // sorted, so components come out ordered
+		if visited[t] {
+			continue
+		}
+		comp := []string{t}
+		visited[t] = true
+		stack := []string{t}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for u := range g.neighbors[v] {
+				if !visited[u] {
+					visited[u] = true
+					comp = append(comp, u)
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// componentSignature hashes a component's full adjacency (member tags plus
+// each member's sorted neighbour list) and the solver choice, so a cached
+// clique set is reused exactly when nothing inside the component changed.
+func (g *simGraph) componentSignature(comp []string, usePivot bool) uint64 {
+	h := fnv.New64a()
+	if usePivot {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	for _, t := range comp {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+		ns := make([]string, 0, len(g.neighbors[t]))
+		for u := range g.neighbors[t] {
+			ns = append(ns, u)
+		}
+		sort.Strings(ns)
+		for _, u := range ns {
+			h.Write([]byte(u))
+			h.Write([]byte{1})
+		}
+		h.Write([]byte{2})
+	}
+	return h.Sum64()
+}
+
+// compSingleton/compReused/compComputed classify how one component's
+// cliques were obtained, for the reuse counters in Stats.
+const (
+	compSingleton = iota
+	compReused
+	compComputed
+)
+
+// componentCliques returns the maximal cliques of one component, from the
+// cache when its signature is unchanged. The live map collects the
+// signatures still in use so stale entries can be dropped afterwards.
+func (g *simGraph) componentCliques(comp []string, usePivot bool, live map[uint64]bool) (cliques [][]string, steps, kind int) {
+	if len(comp) == 1 && len(g.neighbors[comp[0]]) == 0 {
+		// Isolated tag: its only maximal clique is itself; not worth
+		// caching or counting as clique work.
+		return [][]string{{comp[0]}}, 0, compSingleton
+	}
+	sig := g.componentSignature(comp, usePivot)
+	live[sig] = true
+	if c, ok := g.cliques[sig]; ok {
+		return c.cliques, 0, compReused
+	}
+	// Build the dense subgraph. comp is sorted, so vertex order matches
+	// name order and the solver's canonical clique order carries over.
+	idx := make(map[string]int, len(comp))
+	for i, t := range comp {
+		idx[t] = i
+	}
+	sub := graph.NewUndirected(len(comp))
+	for i, t := range comp {
+		for u := range g.neighbors[t] {
+			if j, ok := idx[u]; ok && i < j {
+				sub.AddEdge(i, j)
+			}
+		}
+	}
+	var cr *CliqueResult
+	if usePivot {
+		cr = BronKerboschPivot(sub)
+	} else {
+		cr = BronKerboschBasic(sub)
+	}
+	named := make([][]string, len(cr.Cliques))
+	for ci, c := range cr.Cliques {
+		names := make([]string, len(c))
+		for k, v := range c {
+			names[k] = comp[v]
+		}
+		named[ci] = names
+	}
+	g.cliques[sig] = cachedCliques{cliques: named, steps: cr.RecursionSteps}
+	return named, cr.RecursionSteps, compComputed
+}
+
+// pruneCliqueCache drops cached components whose signature was not used in
+// the latest assembly, bounding the cache to the live component set.
+func (g *simGraph) pruneCliqueCache(live map[uint64]bool) {
+	for sig := range g.cliques {
+		if !live[sig] {
+			delete(g.cliques, sig)
+		}
+	}
+}
+
+// lessStrings orders string slices lexicographically (prefix first), the
+// name-space image of sortCliques' vertex order.
+func lessStrings(a, b []string) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// assembleCloud builds a Cloud from the store and a settled similarity
+// graph: per-component cliques (cached where possible) merged into the
+// canonical global clique order, then the Eq.-6 font sizes — exactly the
+// output BuildCloud produces on the same data, except that RecursionSteps
+// counts only the clique work actually performed on this call.
+func assembleCloud(s *tagStore, g *simGraph, opts CloudOptions) (cloud *Cloud, reusedComps, computedComps int) {
+	opts = opts.withDefaults()
+	live := map[uint64]bool{}
+	var all [][]string
+	steps := 0
+	for _, comp := range g.components(s) {
+		cliques, st, kind := g.componentCliques(comp, opts.UsePivot, live)
+		switch kind {
+		case compReused:
+			reusedComps++
+		case compComputed:
+			computedComps++
+		}
+		steps += st
+		all = append(all, cliques...)
+	}
+	g.pruneCliqueCache(live)
+	sort.Slice(all, func(i, j int) bool { return lessStrings(all[i], all[j]) })
+
+	member := map[string][]int{}
+	for ci, c := range all {
+		for _, t := range c {
+			member[t] = append(member[t], ci)
+		}
+	}
+
+	tmin, tmax := maxInt32, 0
+	for _, tag := range s.tags {
+		f := len(s.pages[tag])
+		if f < opts.MinFrequency {
+			continue
+		}
+		if f < tmin {
+			tmin = f
+		}
+		if f > tmax {
+			tmax = f
+		}
+	}
+
+	cloud = &Cloud{Cliques: all, RecursionSteps: steps}
+	totalCliques := len(all)
+	if totalCliques < 1 {
+		totalCliques = 1 // Eq. 6: C is "always ≥ 1"
+	}
+	for _, tag := range s.tags {
+		f := len(s.pages[tag])
+		if f < opts.MinFrequency {
+			continue
+		}
+		cliques := member[tag]
+		maxOrder := 0
+		for _, ci := range cliques {
+			if n := len(all[ci]); n > maxOrder {
+				maxOrder = n
+			}
+		}
+		size := FontSize(f, tmin, tmax, len(cliques), maxOrder, totalCliques, opts.MaxFontSize)
+		cloud.Entries = append(cloud.Entries, Entry{
+			Tag:            tag,
+			Frequency:      f,
+			Cliques:        len(cliques),
+			MaxCliqueOrder: maxOrder,
+			CliqueIDs:      append([]int(nil), cliques...),
+			FontSize:       size,
+		})
+	}
+	return cloud, reusedComps, computedComps
+}
+
+const maxInt32 = 1<<31 - 1

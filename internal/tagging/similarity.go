@@ -1,10 +1,21 @@
 // Package tagging implements the dynamic tagging system of Section IV: tags
-// fetched from the SMR (the Parser module), a cache to avoid recomputation,
-// the Matrix Transformation module that turns tag co-occurrence into a 0/1
-// similarity matrix via cosine similarity with a 50 % threshold, the Graph
-// module that reads the matrix as an undirected tag graph, the Max Clique
-// module (Bron–Kerbosch, with and without pivoting), and the Font Size
-// Calculation module implementing the paper's Eq. 6.
+// fetched from the SMR (the Parser module), the Matrix Transformation
+// module that turns tag co-occurrence into a 0/1 similarity matrix via
+// cosine similarity with a 50 % threshold, the Graph module that reads the
+// matrix as an undirected tag graph, the Max Clique module (Bron–Kerbosch,
+// with and without pivoting), and the Font Size Calculation module
+// implementing the paper's Eq. 6.
+//
+// The Pipeline is a consumer of the repository's change journal
+// (smr.Change): instead of refetching all tag data per request, it mirrors
+// tag→page assignments incrementally (smr.ChangeTag entries carry the tag,
+// page changes re-read only that page's tag set), recomputes similarity
+// rows only for tags whose page sets moved, and caches Bron–Kerbosch
+// results per connected component of the tag graph so an edit invalidates
+// only the cliques it touched. When the journal's bounded window has been
+// trimmed past the pipeline's position it falls back to the from-scratch
+// FetchTagData path; the incremental and from-scratch paths produce
+// identical clouds (modulo CliqueResult recursion accounting).
 package tagging
 
 import (

@@ -40,13 +40,20 @@
 //   - PageRank is skipped entirely when no change touched the link graph,
 //     and warm-started from the previous score vector (Gauss–Seidel,
 //     pagerank.GaussSeidelFrom) when it did;
-//   - the recommender's property weights are recomputed only when
-//     something changed.
+//   - the Recommender retracts and re-adds only the changed pages'
+//     property-score contributions (recommend.Recommender.Update), and a
+//     new PageRank vector rescores the retained property sets without a
+//     corpus rescan (SetRanks);
+//   - the tagging Pipeline re-reads only the changed pages' tag sets,
+//     recomputes similarity rows only for tags whose page sets moved, and
+//     reuses Bron–Kerbosch results for untouched graph components
+//     (tagging.Pipeline.Update).
 //
-// After a successful refresh the consumed journal prefix is trimmed. If a
-// consumer lags past the journal's retention bound the engine falls back
-// to a full rebuild automatically; RefreshFull forces that from-scratch
-// path explicitly.
+// After a successful refresh the journal prefix every consumer has applied
+// is trimmed. If a consumer lags past the journal's retention bound it
+// falls back to a full rebuild automatically; RefreshFull forces that
+// from-scratch path explicitly for all of them. Stats reports where each
+// consumer stands and how often each path ran.
 package sensormeta
 
 import (
@@ -86,9 +93,80 @@ type System struct {
 	// refreshMu serializes Refresh/RefreshFull: concurrent refreshes (e.g.
 	// two POST /api/refresh) would race on Ranker/Recommender/rankingDirty.
 	refreshMu sync.Mutex
+	// ptrMu guards cross-goroutine loads of the Ranker and Recommender
+	// pointers (request handlers read them while a background refresh —
+	// e.g. the server's auto-refresh — installs replacements). Writers
+	// additionally hold refreshMu.
+	ptrMu sync.RWMutex
 	// rankingDirty records that a consumed journal delta changed the link
 	// graph but the solve failed, so the next Refresh must not skip it.
 	rankingDirty bool
+	// stats accumulates refresh observability counters (also guarded by
+	// refreshMu), surfaced by Stats and the server's /api/admin/stats.
+	stats refreshCounters
+}
+
+// refreshCounters are the System-level refresh statistics; consumer-level
+// counters live in the recommender and tagging pipeline themselves.
+type refreshCounters struct {
+	Refreshes       int
+	FullRefreshes   int
+	PagesApplied    int
+	EngineRebuilds  int
+	PageRankSkipped int
+	PageRankWarm    int
+	PageRankCold    int
+}
+
+// RefreshStats is the observability snapshot reported by Stats: where every
+// journal consumer stands, what the refresh paths have done so far, and the
+// per-consumer delta-vs-rebuild counters.
+type RefreshStats struct {
+	// Journal positions.
+	JournalSeq      uint64 `json:"journalSeq"`      // latest repository mutation
+	JournalRetained int    `json:"journalRetained"` // entries not yet trimmed
+	EngineSeq       uint64 `json:"engineSeq"`
+	RecommenderSeq  uint64 `json:"recommenderSeq"`
+	TaggingSeq      uint64 `json:"taggingSeq"`
+
+	// Refresh path counters.
+	Refreshes       int `json:"refreshes"`
+	FullRefreshes   int `json:"fullRefreshes"`
+	PagesApplied    int `json:"pagesApplied"`
+	EngineRebuilds  int `json:"engineRebuilds"`
+	PageRankSkipped int `json:"pagerankSkipped"`
+	PageRankWarm    int `json:"pagerankWarm"`
+	PageRankCold    int `json:"pagerankCold"`
+
+	Recommender recommend.Stats `json:"recommender"`
+	Tagging     tagging.Stats   `json:"tagging"`
+}
+
+// Stats reports the current refresh observability counters.
+func (s *System) Stats() RefreshStats {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	st := RefreshStats{
+		JournalSeq:      s.Repo.LastSeq(),
+		JournalRetained: s.Repo.Journal().Len(),
+		EngineSeq:       s.Engine.Seq(),
+		Refreshes:       s.stats.Refreshes,
+		FullRefreshes:   s.stats.FullRefreshes,
+		PagesApplied:    s.stats.PagesApplied,
+		EngineRebuilds:  s.stats.EngineRebuilds,
+		PageRankSkipped: s.stats.PageRankSkipped,
+		PageRankWarm:    s.stats.PageRankWarm,
+		PageRankCold:    s.stats.PageRankCold,
+	}
+	if s.Tags != nil {
+		st.Tagging = s.Tags.Stats()
+		st.TaggingSeq = st.Tagging.Seq
+	}
+	if s.Recommender != nil {
+		st.Recommender = s.Recommender.Stats()
+		st.RecommenderSeq = st.Recommender.Seq
+	}
+	return st
 }
 
 // New creates an empty system.
@@ -133,25 +211,59 @@ func (s *System) Refresh() error {
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
 	stats := s.Engine.Update()
-	switch {
-	case s.Ranker == nil || stats.LinksChanged || s.rankingDirty:
+	s.stats.Refreshes++
+	s.stats.PagesApplied += stats.Applied
+	if stats.Full {
+		s.stats.EngineRebuilds++
+	}
+	if s.Ranker == nil || stats.LinksChanged || s.rankingDirty {
 		// The graph changed (or this is the first refresh, or a previous
 		// solve failed after its delta was consumed): recompute PageRank,
 		// warm-started when the previous scores are usable.
 		s.rankingDirty = true
-		rk, err := s.solveRanking()
+		rk, warm, err := s.solveRanking()
 		if err != nil {
 			return fmt.Errorf("sensormeta: refresh: %w", err)
 		}
-		s.installRanking(rk)
-	case stats.Applied > 0:
-		// Pages changed without touching the link graph: PageRank stands,
-		// but annotation edits may have moved the recommender's property
-		// weights.
-		s.Recommender = recommend.New(s.Repo, s.Ranker.Scores())
+		if warm {
+			s.stats.PageRankWarm++
+		} else {
+			s.stats.PageRankCold++
+		}
+		s.installRanking(rk, false)
+	} else {
+		// PageRank stands; annotation edits may still have moved the
+		// recommender's property weights — applied as a journal delta.
+		s.stats.PageRankSkipped++
+		s.Recommender.Update()
 	}
-	s.Repo.Journal().TrimTo(stats.Seq)
+	// The tagging pipeline consumes the same delta so tag clouds served
+	// between refreshes stay O(changed pages).
+	if s.Tags != nil {
+		if _, err := s.Tags.Update(); err != nil {
+			return fmt.Errorf("sensormeta: refresh: %w", err)
+		}
+	}
+	s.trimJournal()
 	return nil
+}
+
+// trimJournal releases the journal prefix every consumer has applied.
+// Caller holds refreshMu. Consumers a hand-built System never wired (nil
+// Tags/Recommender) don't hold the journal back.
+func (s *System) trimJournal() {
+	seq := s.Engine.Seq()
+	if s.Recommender != nil {
+		if rs := s.Recommender.Seq(); rs < seq {
+			seq = rs
+		}
+	}
+	if s.Tags != nil {
+		if ts := s.Tags.Seq(); ts < seq {
+			seq = ts
+		}
+	}
+	s.Repo.Journal().TrimTo(seq)
 }
 
 // RefreshFull rebuilds the search index from scratch and recomputes
@@ -161,6 +273,8 @@ func (s *System) RefreshFull() error {
 	s.refreshMu.Lock()
 	defer s.refreshMu.Unlock()
 	s.Engine.Rebuild()
+	s.stats.Refreshes++
+	s.stats.FullRefreshes++
 	// The rebuild consumed the journal; if the solve below fails, the next
 	// Refresh must not treat PageRank as current.
 	s.rankingDirty = true
@@ -168,34 +282,76 @@ func (s *System) RefreshFull() error {
 	if err != nil {
 		return fmt.Errorf("sensormeta: refresh: %w", err)
 	}
-	s.installRanking(rk)
-	s.Repo.Journal().TrimTo(s.Engine.Seq())
+	s.stats.PageRankCold++
+	// From-scratch consumers, not delta application: this is the baseline
+	// path the incremental benchmarks compare against.
+	s.installRanking(rk, true)
+	if s.Tags != nil {
+		if err := s.Tags.Rebuild(); err != nil {
+			return fmt.Errorf("sensormeta: refresh: %w", err)
+		}
+	}
+	s.trimJournal()
 	return nil
 }
 
 // solveRanking recomputes PageRank, warm-starting Gauss–Seidel from the
-// previous score vector when the configured method permits it.
-func (s *System) solveRanking() (*ranking.Ranker, error) {
+// previous score vector when the configured method permits it. warm reports
+// whether the previous scores seeded the solve.
+func (s *System) solveRanking() (rk *ranking.Ranker, warm bool, err error) {
 	gaussSeidel := s.PageRankMethod == "" || s.PageRankMethod == "Gauss-Seidel"
 	if s.Ranker != nil && gaussSeidel {
 		s.Ranker.Opts = s.PageRankOptions
-		return s.Ranker.Update(s.Repo)
+		rk, err = s.Ranker.Update(s.Repo)
+		return rk, true, err
 	}
-	return ranking.New(s.Repo, s.PageRankMethod, s.PageRankOptions)
+	rk, err = ranking.New(s.Repo, s.PageRankMethod, s.PageRankOptions)
+	return rk, false, err
 }
 
 // installRanking pushes a freshly computed ranker into every consumer.
-func (s *System) installRanking(rk *ranking.Ranker) {
+// With rebuildRecommender false (the incremental path) the recommender's
+// per-page property sets are brought up to date with the journal and
+// rescored against the new PageRank vector — no corpus rescan; with true
+// (RefreshFull, first refresh) it is rebuilt from scratch. The new
+// pointers are swapped in under ptrMu so concurrent readers never observe
+// a half-installed state. Caller holds refreshMu.
+func (s *System) installRanking(rk *ranking.Ranker, rebuildRecommender bool) {
 	s.rankingDirty = false
+	rec := s.Recommender
+	if rebuildRecommender || rec == nil {
+		rec = recommend.New(s.Repo, rk.Scores())
+	} else {
+		rec.Update()
+		rec.SetRanks(rk.Scores())
+	}
+	s.ptrMu.Lock()
 	s.Ranker = rk
+	s.Recommender = rec
+	s.ptrMu.Unlock()
 	rk.Install(s.Engine)
-	s.Recommender = recommend.New(s.Repo, rk.Scores())
 	s.QueryManager.SetScores(rk.Scores())
 }
 
 // Search runs an advanced query.
 func (s *System) Search(q search.Query) ([]search.Result, error) {
 	return s.Engine.Search(q)
+}
+
+// ranker loads the current Ranker pointer safely against a concurrent
+// refresh installing a replacement.
+func (s *System) ranker() *ranking.Ranker {
+	s.ptrMu.RLock()
+	defer s.ptrMu.RUnlock()
+	return s.Ranker
+}
+
+// recommender loads the current Recommender pointer safely against a
+// concurrent refresh installing a replacement.
+func (s *System) recommender() *recommend.Recommender {
+	s.ptrMu.RLock()
+	defer s.ptrMu.RUnlock()
+	return s.Recommender
 }
 
 // SearchFused runs a query and re-orders results by the PageRank/relevance
@@ -205,7 +361,14 @@ func (s *System) SearchFused(q search.Query, alpha float64) ([]search.Result, er
 	if err != nil {
 		return nil, err
 	}
-	return s.Ranker.Fuse(rs, alpha), nil
+	return s.ranker().Fuse(rs, alpha), nil
+}
+
+// Fuse re-orders already-materialized results by the PageRank/relevance
+// fusion (see SearchFused) — for callers that produced the results
+// elsewhere, e.g. the single-pass faceted search path.
+func (s *System) Fuse(rs []search.Result, alpha float64) []search.Result {
+	return s.ranker().Fuse(rs, alpha)
 }
 
 // Autocomplete suggests query completions.
@@ -215,7 +378,13 @@ func (s *System) Autocomplete(prefix string, k int) []search.Completion {
 
 // Recommend proposes pages related to a seed set for a user.
 func (s *System) Recommend(seeds []string, user string, k int) []recommend.Recommendation {
-	return s.Recommender.Recommend(seeds, user, k)
+	return s.recommender().Recommend(seeds, user, k)
+}
+
+// TopProperties returns the k properties with the highest PageRank-derived
+// importance — the ranked variant of the dynamic property drop-down.
+func (s *System) TopProperties(k int) []string {
+	return s.recommender().TopProperties(k)
 }
 
 // TagCloud computes the current dynamic tag cloud.
