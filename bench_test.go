@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/pagerank"
+	"repro/internal/query"
 	"repro/internal/recommend"
 	"repro/internal/relational"
 	"repro/internal/search"
@@ -676,6 +677,86 @@ func BenchmarkFacetCounts(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFilterPushdown measures the executor's candidate pruning on a
+// selective-filter keyword query (the filter matches well under 5% of the
+// corpus): the score-then-filter baseline scores every "sensor" posting
+// before filtering, the pruned path intersects the (property, value)
+// posting set first and scores keywords only over the survivors.
+func BenchmarkFilterPushdown(b *testing.B) {
+	sys := benchSystem(b, 5000)
+	sensors := sys.Repo.Wiki.PagesInNamespace("Sensor")
+	page, ok := sys.Repo.Wiki.Get(sensors[0])
+	if !ok {
+		b.Fatal("missing sensor page")
+	}
+	dep := page.PropertyValues("partOf")[0]
+	expr := query.And{Children: []query.Expr{
+		query.Keyword{Text: "sensor", Any: true},
+		query.Property{Name: "partof", Op: query.OpEq, Value: dep},
+	}}
+	sel, err := sys.Engine.Execute(expr, search.ExecOptions{CountOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if hi := len(sensors) / 20; sel.Matched == 0 || sel.Matched > hi {
+		b.Fatalf("filter matches %d of %d sensors; want selective (<%d)", sel.Matched, len(sensors), hi)
+	}
+	for _, c := range []struct {
+		name    string
+		noPrune bool
+	}{{"score-then-filter", true}, {"pruned", false}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportMetric(float64(sel.Matched), "matches")
+			for i := 0; i < b.N; i++ {
+				res, err := sys.Engine.Execute(expr, search.ExecOptions{
+					Limit: 20, DisablePruning: c.noPrune,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Matched != sel.Matched {
+					b.Fatalf("matched %d, want %d", res.Matched, sel.Matched)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecommendIndexVsScan compares the recommendation paths at 5k
+// pages: the corpus-scan baseline against the journal-maintained inverted
+// (property, value) → pages index, which is O(candidate pages sharing a
+// seed pair) per query. Two seed profiles: deployment seeds share only
+// low-frequency pairs (few candidates — the index's win), sensor seeds
+// share status/samplingRate pairs carried by most of the corpus
+// (candidates ≈ corpus — the index's worst case, where it must not regress
+// below the scan by more than its bookkeeping).
+func BenchmarkRecommendIndexVsScan(b *testing.B) {
+	sys := benchSystem(b, 5000)
+	profiles := []struct {
+		name  string
+		seeds []string
+	}{
+		{"selective", sys.Repo.Wiki.PagesInNamespace("Deployment")[:3]},
+		{"dense", sys.Repo.Wiki.PagesInNamespace("Sensor")[:5]},
+	}
+	rec := sys.Recommender
+	for _, p := range profiles {
+		if len(rec.RecommendScan(p.seeds, "", 10)) == 0 {
+			b.Fatalf("%s seeds give no recommendations; corpus too weak", p.name)
+		}
+		b.Run(p.name+"/scan", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec.RecommendScan(p.seeds, "", 10)
+			}
+		})
+		b.Run(p.name+"/indexed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec.Recommend(p.seeds, "", 10)
+			}
+		})
+	}
 }
 
 // BenchmarkTopKSearch compares materialize-and-fully-sort result execution

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	sensormeta "repro"
+	"repro/internal/query"
 	"repro/internal/search"
 	"repro/internal/workload"
 )
@@ -19,9 +20,11 @@ func main() {
 	log.SetFlags(0)
 	keywords := flag.String("q", "", "keyword query")
 	filters := flag.String("filter", "", "comma-separated property:op:value filters (op: eq,ne,lt,le,gt,ge,contains)")
+	expr := flag.String("expr", "", `query AST as JSON (the /api/v1/query encoding, e.g. '{"and":[{"keyword":{"text":"wind"}},{"property":{"name":"measures","op":"eq","value":"wind speed"}}]}'); overrides -q/-filter/-namespace`)
 	namespace := flag.String("namespace", "", "restrict to a namespace")
 	sortBy := flag.String("sort", "relevance", "sort key: relevance, title, rank")
 	limit := flag.Int("limit", 10, "maximum results")
+	pageSize := flag.Int("page", 0, "with -expr: walk the result set with keyset cursors, this many per page")
 	alpha := flag.Float64("alpha", -1, "fuse relevance and PageRank with this alpha (0..1); negative disables")
 	load := flag.String("load", "", "bulk-load a CSV file instead of the demo corpus")
 	sensors := flag.Int("sensors", 300, "demo corpus size")
@@ -52,6 +55,38 @@ func main() {
 	}
 	if err := sys.Refresh(); err != nil {
 		log.Fatal(err)
+	}
+
+	// Structured mode: execute a query AST with the shared executor,
+	// optionally walking the matching set through keyset cursors.
+	if *expr != "" {
+		e, err := query.Unmarshal([]byte(*expr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := search.ExecOptions{SortBy: search.SortKey(*sortBy), Limit: *limit}
+		if *pageSize > 0 {
+			opts.Limit = *pageSize
+		}
+		page := 0
+		for {
+			res, err := sys.Query(e, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if page == 0 {
+				fmt.Printf("%d match(es)\n", res.Matched)
+				fmt.Printf("%-40s %10s %12s\n", "page", "relevance", "rank")
+			}
+			for _, r := range res.Results {
+				fmt.Printf("%-40s %10.4f %12.8f\n", r.Title, r.Relevance, r.Rank)
+			}
+			if *pageSize <= 0 || res.NextCursor == "" {
+				return
+			}
+			page++
+			opts.Cursor = res.NextCursor
+		}
 	}
 
 	q := search.Query{

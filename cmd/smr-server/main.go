@@ -57,7 +57,7 @@ func main() {
 	if *autoRefresh > 0 {
 		log.Printf("auto-refresh on write enabled (debounce %v)", *autoRefresh)
 	}
-	log.Printf("sensor metadata search listening on %s", *addr)
+	log.Printf("sensor metadata search listening on %s (legacy GET APIs + POST /api/v1/query)", *addr)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.NewWithOptions(sys, server.Options{AutoRefresh: *autoRefresh}),

@@ -18,12 +18,13 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/query"
 	"repro/internal/search"
 	"repro/internal/smr"
 )
 
 // CombinedQuery is one request through the Query Management module. Any
-// subset of the three parts may be present; absent parts do not constrain
+// subset of the four parts may be present; absent parts do not constrain
 // the result. The parts AND together.
 type CombinedQuery struct {
 	// SPARQL is a SELECT whose PageVar variable binds page IRIs
@@ -36,6 +37,11 @@ type CombinedQuery struct {
 	SQL string
 	// Keywords restricts to full-text matches.
 	Keywords string
+	// Filter is an optional structured filter expression (the shared query
+	// AST) applied during the join: only pages it matches survive. When it
+	// is the only part present, its candidate-pruned execution drives the
+	// whole query.
+	Filter query.Expr
 	// User is the ACL principal.
 	User string
 	// Limit caps the joined result (0 = unlimited).
@@ -91,10 +97,16 @@ func (m *Manager) SetScores(scores map[string]float64) {
 
 // Execute runs a combined query: each present part produces a candidate
 // set (and attribute columns); candidates intersect; rows join on title;
+// the structured Filter expression — if any — is applied during the join;
 // ordering is PageRank-descending with title tie-breaks.
 func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
-	if q.SPARQL == "" && q.SQL == "" && strings.TrimSpace(q.Keywords) == "" {
-		return nil, fmt.Errorf("core: combined query needs at least one of SPARQL, SQL, keywords")
+	if q.SPARQL == "" && q.SQL == "" && strings.TrimSpace(q.Keywords) == "" && q.Filter == nil {
+		return nil, fmt.Errorf("core: combined query needs at least one of SPARQL, SQL, keywords, filter")
+	}
+	if q.Filter != nil {
+		if err := query.Validate(q.Filter); err != nil {
+			return nil, fmt.Errorf("core: filter part: %w", err)
+		}
 	}
 	pageVar := q.PageVar
 	if pageVar == "" {
@@ -195,6 +207,26 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 		sets = append(sets, set)
 	}
 
+	// The structured filter: when it is the only part, its candidate-pruned
+	// execution produces the candidate set outright; otherwise it is
+	// applied as a per-title predicate during the join below.
+	filterInJoin := false
+	if q.Filter != nil {
+		if len(sets) == 0 {
+			res, err := m.engine.Execute(q.Filter, search.ExecOptions{User: q.User})
+			if err != nil {
+				return nil, fmt.Errorf("core: filter part: %w", err)
+			}
+			set := map[string]attrs{}
+			for _, r := range res.Results {
+				set[r.Title] = attrs{}
+			}
+			sets = append(sets, set)
+		} else {
+			filterInJoin = true
+		}
+	}
+
 	// Intersect candidate sets, merging attribute maps.
 	joined := sets[0]
 	for _, set := range sets[1:] {
@@ -214,12 +246,21 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 		joined = next
 	}
 
-	// ACL filter, order by PageRank then title.
+	// ACL and structured filter, order by PageRank then title. The
+	// filter's keyword matchers are compiled once for the whole join.
+	var filterMatch func(string) bool
+	if filterInJoin {
+		filterMatch = m.engine.CompileMatcher(q.Filter)
+	}
 	titles := make([]string, 0, len(joined))
 	for title := range joined {
-		if m.repo.ACL.CanRead(q.User, title) {
-			titles = append(titles, title)
+		if !m.repo.ACL.CanRead(q.User, title) {
+			continue
 		}
+		if filterMatch != nil && !filterMatch(title) {
+			continue
+		}
+		titles = append(titles, title)
 	}
 	sort.Slice(titles, func(i, j int) bool {
 		si, sj := m.scores[titles[i]], m.scores[titles[j]]

@@ -1,0 +1,147 @@
+package query
+
+import "strings"
+
+// Doc is the page view an evaluator needs: one leaf predicate per leaf
+// type. Implementations adapt a concrete page store (the search engine
+// adapts wiki.Page plus its inverted index; tests use in-memory fakes).
+type Doc interface {
+	// Title returns the canonical page title.
+	Title() string
+	// Namespace returns the page's namespace ("" for the main namespace).
+	Namespace() string
+	// Categories returns the page's categories.
+	Categories() []string
+	// PropertyValues returns the page's values for one property
+	// (case-insensitive property match), in annotation order.
+	PropertyValues(name string) []string
+	// Keyword reports whether the page matches the free-text query (any
+	// selects OR semantics over terms) and its relevance score when it
+	// does.
+	Keyword(text string, any bool) (score float64, ok bool)
+}
+
+// Match is the outcome of evaluating an expression against one page.
+type Match struct {
+	// OK reports whether the page satisfies the expression.
+	OK bool
+	// Score is the summed relevance of every positively-occurring keyword
+	// leaf that matched, zero for keyword-free expressions.
+	Score float64
+	// Matched maps lowercased property names to the value that satisfied a
+	// positively-occurring Property or Range leaf — the display pairs the
+	// legacy filter path surfaced. Nil when the page does not match.
+	Matched map[string]string
+}
+
+// Eval evaluates an expression against one page. The expression must be
+// valid (see Validate); evaluation itself cannot fail.
+//
+// Score and Matched accumulate only from leaves in positive (non-negated)
+// positions: a page matching ¬keyword contributes no relevance, and a
+// negated property filter surfaces no matched pair. Every positive leaf is
+// evaluated even when its branch's outcome is already decided, so the
+// score is independent of operand order. The Matched map is NOT: when two
+// leaves on the same property both match with different values, the later
+// operand's value wins — callers wanting deterministic display pairs (the
+// executor) must evaluate a deterministically-ordered tree, not one
+// reordered by live index statistics.
+func Eval(e Expr, d Doc) Match {
+	ev := evaluator{doc: d, accumulate: true}
+	ok := ev.eval(e, false)
+	if !ok {
+		return Match{}
+	}
+	return Match{OK: true, Score: ev.score, Matched: ev.matched}
+}
+
+// Matches reports whether the page satisfies the expression, without
+// accumulating score or matched pairs.
+func Matches(e Expr, d Doc) bool {
+	ev := evaluator{doc: d}
+	return ev.eval(e, false)
+}
+
+type evaluator struct {
+	doc        Doc
+	accumulate bool
+	score      float64
+	matched    map[string]string // allocated lazily on the first matched pair
+}
+
+func (ev *evaluator) addMatched(name, value string) {
+	if ev.matched == nil {
+		ev.matched = map[string]string{}
+	}
+	ev.matched[strings.ToLower(name)] = value
+}
+
+// eval returns the plain truth value of e against the page. negated
+// tracks the enclosing negation parity; it only gates accumulation —
+// leaves under an odd number of Nots contribute neither score nor matched
+// pairs. Composites never short-circuit, so positive keyword leaves always
+// accumulate and the score is independent of operand order.
+func (ev *evaluator) eval(e Expr, negated bool) bool {
+	switch v := e.(type) {
+	case And:
+		ok := true
+		for _, c := range v.Children {
+			if !ev.eval(c, negated) {
+				ok = false
+			}
+		}
+		return ok
+	case Or:
+		ok := false
+		for _, c := range v.Children {
+			if ev.eval(c, negated) {
+				ok = true
+			}
+		}
+		return ok
+	case Not:
+		return !ev.eval(v.Child, !negated)
+	case All:
+		return true
+	case Keyword:
+		score, ok := ev.doc.Keyword(v.Text, v.Any)
+		if ok && !negated && ev.accumulate {
+			ev.score += score
+		}
+		return ok
+	case Property:
+		for _, value := range ev.doc.PropertyValues(v.Name) {
+			if MatchValue(v.Op, value, v.Value) {
+				if !negated && ev.accumulate {
+					ev.addMatched(v.Name, value)
+				}
+				return true
+			}
+		}
+		return false
+	case Range:
+		for _, value := range ev.doc.PropertyValues(v.Name) {
+			if v.Contains(value) {
+				if !negated && ev.accumulate {
+					ev.addMatched(v.Name, value)
+				}
+				return true
+			}
+		}
+		return false
+	case Category:
+		for _, c := range ev.doc.Categories() {
+			if strings.EqualFold(c, v.Name) {
+				return true
+			}
+		}
+		return false
+	case HasProperty:
+		return len(ev.doc.PropertyValues(v.Name)) > 0
+	case TitlePrefix:
+		return strings.HasPrefix(ev.doc.Title(), v.Prefix)
+	case Namespace:
+		return strings.EqualFold(ev.doc.Namespace(), v.Name)
+	}
+	return false
+}

@@ -1,0 +1,247 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The canonical JSON encoding maps every node to a single-key object whose
+// key names the node type:
+//
+//	{"and": [e, …]}                 {"or": [e, …]}            {"not": e}
+//	{"all": {}}
+//	{"keyword": {"text": "wind speed", "mode": "any"}}
+//	{"property": {"name": "measures", "op": "eq", "value": "temperature"}}
+//	{"range": {"name": "altitude", "min": "1000", "max": "2000",
+//	           "minExclusive": false, "maxExclusive": false}}
+//	{"category": {"name": "Sensors"}}
+//	{"hasProperty": {"name": "latitude"}}
+//	{"titlePrefix": {"prefix": "Sensor:"}}
+//	{"namespace": {"name": "Sensor"}}
+//
+// Marshal emits exactly this shape (omitting default-false/empty fields),
+// so marshal∘unmarshal is the identity on every valid tree.
+
+type keywordJSON struct {
+	Text string `json:"text"`
+	Mode string `json:"mode,omitempty"` // "any"; empty or "all" means all-terms
+}
+
+type propertyJSON struct {
+	Name  string `json:"name"`
+	Op    string `json:"op"`
+	Value string `json:"value"`
+}
+
+type rangeJSON struct {
+	Name         string `json:"name"`
+	Min          string `json:"min,omitempty"`
+	Max          string `json:"max,omitempty"`
+	ExclusiveMin bool   `json:"minExclusive,omitempty"`
+	ExclusiveMax bool   `json:"maxExclusive,omitempty"`
+}
+
+type nameJSON struct {
+	Name string `json:"name"`
+}
+
+type prefixJSON struct {
+	Prefix string `json:"prefix"`
+}
+
+// node is the decode envelope: exactly one field must be present.
+type node struct {
+	And         []json.RawMessage `json:"and"`
+	Or          []json.RawMessage `json:"or"`
+	Not         json.RawMessage   `json:"not"`
+	All         *struct{}         `json:"all"`
+	Keyword     *keywordJSON      `json:"keyword"`
+	Property    *propertyJSON     `json:"property"`
+	Range       *rangeJSON        `json:"range"`
+	Category    *nameJSON         `json:"category"`
+	HasProperty *nameJSON         `json:"hasProperty"`
+	TitlePrefix *prefixJSON       `json:"titlePrefix"`
+	Namespace   *nameJSON         `json:"namespace"`
+}
+
+// Marshal renders the tree in the canonical JSON encoding.
+func Marshal(e Expr) ([]byte, error) {
+	if e == nil {
+		return nil, errf("invalid_query", "query", "missing expression")
+	}
+	var buf bytes.Buffer
+	if err := marshalInto(&buf, e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func marshalInto(buf *bytes.Buffer, e Expr) error {
+	writeField := func(key string, v interface{}) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(buf, `{%q:%s}`, key, raw)
+		return nil
+	}
+	writeList := func(key string, children []Expr) error {
+		fmt.Fprintf(buf, `{%q:[`, key)
+		for i, c := range children {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := marshalInto(buf, c); err != nil {
+				return err
+			}
+		}
+		buf.WriteString("]}")
+		return nil
+	}
+	switch v := e.(type) {
+	case And:
+		return writeList("and", v.Children)
+	case Or:
+		return writeList("or", v.Children)
+	case Not:
+		buf.WriteString(`{"not":`)
+		if err := marshalInto(buf, v.Child); err != nil {
+			return err
+		}
+		buf.WriteByte('}')
+		return nil
+	case All:
+		buf.WriteString(`{"all":{}}`)
+		return nil
+	case Keyword:
+		mode := ""
+		if v.Any {
+			mode = "any"
+		}
+		return writeField("keyword", keywordJSON{Text: v.Text, Mode: mode})
+	case Property:
+		return writeField("property", propertyJSON{Name: v.Name, Op: string(v.Op), Value: v.Value})
+	case Range:
+		return writeField("range", rangeJSON{
+			Name: v.Name, Min: v.Min, Max: v.Max,
+			ExclusiveMin: v.ExclusiveMin, ExclusiveMax: v.ExclusiveMax,
+		})
+	case Category:
+		return writeField("category", nameJSON{Name: v.Name})
+	case HasProperty:
+		return writeField("hasProperty", nameJSON{Name: v.Name})
+	case TitlePrefix:
+		return writeField("titlePrefix", prefixJSON{Prefix: v.Prefix})
+	case Namespace:
+		return writeField("namespace", nameJSON{Name: v.Name})
+	}
+	return errf("invalid_query", "query", "unknown expression type %T", e)
+}
+
+// Unmarshal parses the canonical JSON encoding. The result is validated.
+func Unmarshal(data []byte) (Expr, error) {
+	e, err := unmarshal(data, "query")
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func unmarshal(data []byte, path string) (Expr, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var n node
+	if err := dec.Decode(&n); err != nil {
+		return nil, errf("invalid_query", path, "bad expression JSON: %v", err)
+	}
+	var out Expr
+	set := 0
+	if n.And != nil {
+		set++
+		children, err := unmarshalList(n.And, path+".and")
+		if err != nil {
+			return nil, err
+		}
+		out = And{Children: children}
+	}
+	if n.Or != nil {
+		set++
+		children, err := unmarshalList(n.Or, path+".or")
+		if err != nil {
+			return nil, err
+		}
+		out = Or{Children: children}
+	}
+	if n.Not != nil {
+		set++
+		child, err := unmarshal(n.Not, path+".not")
+		if err != nil {
+			return nil, err
+		}
+		out = Not{Child: child}
+	}
+	if n.All != nil {
+		set++
+		out = All{}
+	}
+	if n.Keyword != nil {
+		set++
+		switch n.Keyword.Mode {
+		case "", "all", "any":
+		default:
+			return nil, errf("invalid_query", path+".keyword.mode",
+				"unknown keyword mode %q (want \"all\" or \"any\")", n.Keyword.Mode)
+		}
+		out = Keyword{Text: n.Keyword.Text, Any: n.Keyword.Mode == "any"}
+	}
+	if n.Property != nil {
+		set++
+		out = Property{Name: n.Property.Name, Op: Op(n.Property.Op), Value: n.Property.Value}
+	}
+	if n.Range != nil {
+		set++
+		out = Range{
+			Name: n.Range.Name, Min: n.Range.Min, Max: n.Range.Max,
+			ExclusiveMin: n.Range.ExclusiveMin, ExclusiveMax: n.Range.ExclusiveMax,
+		}
+	}
+	if n.Category != nil {
+		set++
+		out = Category{Name: n.Category.Name}
+	}
+	if n.HasProperty != nil {
+		set++
+		out = HasProperty{Name: n.HasProperty.Name}
+	}
+	if n.TitlePrefix != nil {
+		set++
+		out = TitlePrefix{Prefix: n.TitlePrefix.Prefix}
+	}
+	if n.Namespace != nil {
+		set++
+		out = Namespace{Name: n.Namespace.Name}
+	}
+	switch {
+	case set == 0:
+		return nil, errf("invalid_query", path, "expression object must have exactly one of and, or, not, all, keyword, property, range, category, hasProperty, titlePrefix, namespace")
+	case set > 1:
+		return nil, errf("invalid_query", path, "expression object sets %d node types, want exactly one", set)
+	}
+	return out, nil
+}
+
+func unmarshalList(raw []json.RawMessage, path string) ([]Expr, error) {
+	out := make([]Expr, len(raw))
+	for i, r := range raw {
+		c, err := unmarshal(r, fmt.Sprintf("%s[%d]", path, i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package query
+
+import "sort"
+
+// Normalize rewrites the tree into negation normal form and flattens it:
+//
+//   - double negations are eliminated (¬¬x → x);
+//   - De Morgan pushes Not below And/Or (¬(a∧b) → ¬a∨¬b, ¬(a∨b) → ¬a∧¬b),
+//     so negations end up directly over leaves;
+//   - ¬All becomes a contradiction marker (None is not expressible, so it
+//     stays as Not{All{}} — executors treat it as matching nothing);
+//   - nested same-type composites are flattened (a∧(b∧c) → a∧b∧c);
+//   - single-child composites collapse to the child;
+//   - All operands are dropped from And (x∧⊤ → x). They are kept inside
+//     Or: absorbing x∨⊤ to ⊤ would discard keyword leaves and change the
+//     relevance score Eval accumulates.
+//
+// Normalization never changes the match set of the expression — nor the
+// score or matched pairs Eval reports — and is idempotent:
+// Normalize(Normalize(e)) == Normalize(e).
+func Normalize(e Expr) Expr {
+	return normalize(e, false)
+}
+
+// normalize rewrites e under an enclosing negation parity.
+func normalize(e Expr, negated bool) Expr {
+	switch v := e.(type) {
+	case Not:
+		return normalize(v.Child, !negated)
+	case And:
+		if negated {
+			return normalize(Or{Children: negateAll(v.Children)}, false)
+		}
+		return flatten(v.Children, true)
+	case Or:
+		if negated {
+			return normalize(And{Children: negateAll(v.Children)}, false)
+		}
+		return flatten(v.Children, false)
+	default:
+		if negated {
+			return Not{Child: e}
+		}
+		return e
+	}
+}
+
+func negateAll(children []Expr) []Expr {
+	out := make([]Expr, len(children))
+	for i, c := range children {
+		out[i] = Not{Child: c}
+	}
+	return out
+}
+
+// flatten normalizes a composite's children, splices same-type children in,
+// applies the All identities, and collapses trivial composites.
+func flatten(children []Expr, isAnd bool) Expr {
+	var flat []Expr
+	for _, c := range children {
+		n := normalize(c, false)
+		switch w := n.(type) {
+		case And:
+			if isAnd {
+				flat = append(flat, w.Children...)
+				continue
+			}
+		case Or:
+			if !isAnd {
+				flat = append(flat, w.Children...)
+				continue
+			}
+		case All:
+			if isAnd {
+				continue // ⊤ is the And identity
+			}
+		}
+		flat = append(flat, n)
+	}
+	if len(flat) == 0 {
+		if isAnd {
+			return All{} // every operand was ⊤
+		}
+		return Or{} // unreachable on validated input
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	if isAnd {
+		return And{Children: flat}
+	}
+	return Or{Children: flat}
+}
+
+// Estimator supplies cardinality estimates for predicate reordering. Leaf
+// estimates are upper bounds on the number of matching pages; Universe is
+// the corpus size (the estimate of an unknown or negated predicate).
+type Estimator interface {
+	// EstimateLeaf returns an upper bound on the match count of a leaf
+	// expression (never And/Or/Not). Implementations return Universe()
+	// for leaves they cannot bound.
+	EstimateLeaf(leaf Expr) int
+	// Universe returns the total number of pages.
+	Universe() int
+}
+
+// Estimate bounds the match count of an arbitrary expression using est's
+// leaf estimates: And takes the minimum over children, Or the (capped) sum,
+// Not and unknown leaves the universe.
+func Estimate(e Expr, est Estimator) int {
+	switch v := e.(type) {
+	case And:
+		min := est.Universe()
+		for _, c := range v.Children {
+			if n := Estimate(c, est); n < min {
+				min = n
+			}
+		}
+		return min
+	case Or:
+		sum := 0
+		u := est.Universe()
+		for _, c := range v.Children {
+			sum += Estimate(c, est)
+			if sum >= u {
+				return u
+			}
+		}
+		return sum
+	case Not:
+		return est.Universe()
+	case All:
+		return est.Universe()
+	default:
+		n := est.EstimateLeaf(e)
+		if u := est.Universe(); n > u {
+			return u
+		}
+		return n
+	}
+}
+
+// Reorder sorts the operands of every And ascending by estimated match
+// count, so executors test (and prune on) the most selective predicates
+// first. The sort is stable, keeping the author's order among predicates
+// with equal estimates; Or operands keep their order (every one must be
+// tried anyway). Reordering never changes the match set or the score, but
+// Eval's matched display pairs follow operand order — and the estimates
+// follow live index statistics — so executors use the reordered tree for
+// candidate planning only, evaluating (and cursor-fingerprinting) the
+// deterministic Normalize output.
+func Reorder(e Expr, est Estimator) Expr {
+	switch v := e.(type) {
+	case And:
+		// Estimates are computed once per operand, not inside the sort
+		// comparator — Estimate recurses and takes index locks per leaf.
+		type operand struct {
+			e    Expr
+			cost int
+		}
+		kids := make([]operand, len(v.Children))
+		for i, c := range v.Children {
+			r := Reorder(c, est)
+			kids[i] = operand{e: r, cost: Estimate(r, est)}
+		}
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].cost < kids[j].cost })
+		children := make([]Expr, len(kids))
+		for i, k := range kids {
+			children[i] = k.e
+		}
+		return And{Children: children}
+	case Or:
+		children := make([]Expr, len(v.Children))
+		for i, c := range v.Children {
+			children[i] = Reorder(c, est)
+		}
+		return Or{Children: children}
+	case Not:
+		return Not{Child: Reorder(v.Child, est)}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,323 @@
+// Package query defines the backend-neutral compositional query model of
+// the advanced search interface: a boolean expression tree (And/Or/Not)
+// over typed leaves — keyword match, property comparison, property range,
+// category and namespace scope, has-property and page-title prefix — with
+// a canonical JSON encoding, validation, normalization (negation normal
+// form plus flattening) and selectivity-based predicate reordering.
+//
+// The paper's interface combines keyword, property-filter, SQL and SPARQL
+// querying behind one form; related sensor-search systems expose exactly
+// this kind of structured, composable query representation so that
+// heterogeneous backends can share one request shape. Every execution
+// layer consumes the same tree: search.Engine evaluates it with
+// filter-aware candidate pruning, core.Manager applies it during the
+// combined-query join, and the HTTP server's /api/v1/query endpoint (and
+// the legacy GET parameters, translated) speak its JSON form.
+//
+// Evaluation semantics exactly mirror the legacy flat filter path:
+// property comparisons are case-insensitive, ordered operators compare
+// numerically when both sides parse as numbers and lexically (lowercased)
+// otherwise, and a property leaf matches when at least one of the page's
+// values for that property satisfies the comparison.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Op is a property comparison operator.
+type Op string
+
+// Property comparison operators. They match the legacy `filter` URL
+// parameter vocabulary.
+const (
+	OpEq       Op = "eq"
+	OpNe       Op = "ne"
+	OpLt       Op = "lt"
+	OpLe       Op = "le"
+	OpGt       Op = "gt"
+	OpGe       Op = "ge"
+	OpContains Op = "contains"
+)
+
+var validOps = map[Op]bool{
+	OpEq: true, OpNe: true, OpLt: true, OpLe: true,
+	OpGt: true, OpGe: true, OpContains: true,
+}
+
+// Expr is one node of the query tree. The concrete types are And, Or, Not
+// and the leaves All, Keyword, Property, Range, Category, HasProperty,
+// TitlePrefix and Namespace.
+type Expr interface{ isExpr() }
+
+// And matches pages satisfying every child.
+type And struct{ Children []Expr }
+
+// Or matches pages satisfying at least one child.
+type Or struct{ Children []Expr }
+
+// Not matches pages its child does not match.
+type Not struct{ Child Expr }
+
+// All matches every page — the empty query.
+type All struct{}
+
+// Keyword matches pages whose indexed text matches the free-text query.
+// Double-quoted spans are phrase constraints. Any selects OR semantics
+// over the terms; the default requires every term (AND).
+type Keyword struct {
+	Text string
+	Any  bool
+}
+
+// Property compares one annotation property against a value. The leaf
+// matches when at least one of the page's values for Name satisfies the
+// comparison.
+type Property struct {
+	Name  string
+	Op    Op
+	Value string
+}
+
+// Range restricts a property to an interval. Empty Min or Max leaves that
+// side unbounded; bounds are inclusive unless the corresponding Exclusive
+// flag is set. The leaf matches when at least one of the page's values for
+// Name lies inside the interval.
+type Range struct {
+	Name         string
+	Min, Max     string
+	ExclusiveMin bool
+	ExclusiveMax bool
+}
+
+// Category matches pages in a category (case-insensitive).
+type Category struct{ Name string }
+
+// HasProperty matches pages carrying at least one value for the property.
+type HasProperty struct{ Name string }
+
+// TitlePrefix matches pages whose canonical title starts with Prefix
+// (case-sensitive, as titles are canonical).
+type TitlePrefix struct{ Prefix string }
+
+// Namespace matches pages in one namespace (case-insensitive).
+type Namespace struct{ Name string }
+
+func (And) isExpr()         {}
+func (Or) isExpr()          {}
+func (Not) isExpr()         {}
+func (All) isExpr()         {}
+func (Keyword) isExpr()     {}
+func (Property) isExpr()    {}
+func (Range) isExpr()       {}
+func (Category) isExpr()    {}
+func (HasProperty) isExpr() {}
+func (TitlePrefix) isExpr() {}
+func (Namespace) isExpr()   {}
+
+// Error is a structured query error: a stable machine-readable code, the
+// JSON path of the offending field (empty when the error is not tied to
+// one), and a human-readable message. The HTTP layer maps it onto the v1
+// error envelope verbatim.
+type Error struct {
+	Code    string
+	Field   string
+	Message string
+}
+
+func (e *Error) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("query: %s at %s: %s", e.Code, e.Field, e.Message)
+	}
+	return fmt.Sprintf("query: %s: %s", e.Code, e.Message)
+}
+
+func errf(code, field, format string, args ...interface{}) *Error {
+	return &Error{Code: code, Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// Validation bounds: a request cannot smuggle in a pathological tree.
+const (
+	maxDepth = 32
+	maxNodes = 256
+)
+
+// Validate checks the tree is well-formed: no nil nodes, no empty
+// composites, known operators, non-empty leaf fields, and bounded size.
+func Validate(e Expr) error {
+	n := 0
+	return validate(e, "query", 1, &n)
+}
+
+func validate(e Expr, path string, depth int, nodes *int) error {
+	if e == nil {
+		return errf("invalid_query", path, "missing expression")
+	}
+	if depth > maxDepth {
+		return errf("query_too_deep", path, "expression nests deeper than %d levels", maxDepth)
+	}
+	*nodes++
+	if *nodes > maxNodes {
+		return errf("query_too_large", path, "expression has more than %d nodes", maxNodes)
+	}
+	switch v := e.(type) {
+	case And:
+		if len(v.Children) == 0 {
+			return errf("invalid_query", path+".and", "and needs at least one operand")
+		}
+		for i, c := range v.Children {
+			if err := validate(c, fmt.Sprintf("%s.and[%d]", path, i), depth+1, nodes); err != nil {
+				return err
+			}
+		}
+	case Or:
+		if len(v.Children) == 0 {
+			return errf("invalid_query", path+".or", "or needs at least one operand")
+		}
+		for i, c := range v.Children {
+			if err := validate(c, fmt.Sprintf("%s.or[%d]", path, i), depth+1, nodes); err != nil {
+				return err
+			}
+		}
+	case Not:
+		if v.Child == nil {
+			return errf("invalid_query", path+".not", "not needs an operand")
+		}
+		return validate(v.Child, path+".not", depth+1, nodes)
+	case All:
+	case Keyword:
+		if strings.TrimSpace(v.Text) == "" {
+			return errf("invalid_query", path+".keyword.text", "keyword text must not be empty")
+		}
+	case Property:
+		if v.Name == "" {
+			return errf("invalid_query", path+".property.name", "property name must not be empty")
+		}
+		if !validOps[v.Op] {
+			return errf("invalid_query", path+".property.op", "unknown operator %q", string(v.Op))
+		}
+	case Range:
+		if v.Name == "" {
+			return errf("invalid_query", path+".range.name", "range property name must not be empty")
+		}
+		if v.Min == "" && v.Max == "" {
+			return errf("invalid_query", path+".range", "range needs min or max")
+		}
+	case Category:
+		if v.Name == "" {
+			return errf("invalid_query", path+".category.name", "category name must not be empty")
+		}
+	case HasProperty:
+		if v.Name == "" {
+			return errf("invalid_query", path+".hasProperty.name", "property name must not be empty")
+		}
+	case TitlePrefix:
+		if v.Prefix == "" {
+			return errf("invalid_query", path+".titlePrefix.prefix", "title prefix must not be empty")
+		}
+	case Namespace:
+		if v.Name == "" {
+			return errf("invalid_query", path+".namespace.name", "namespace name must not be empty")
+		}
+	default:
+		return errf("invalid_query", path, "unknown expression type %T", e)
+	}
+	return nil
+}
+
+// MatchValue reports whether one stored property value satisfies the
+// comparison against the filter value — the exact semantics of the legacy
+// flat filter path: equality folds case, contains lowercases both sides,
+// and ordered operators compare numerically when both sides parse as
+// floats and lexically (lowercased) otherwise.
+func MatchValue(op Op, value, filterValue string) bool {
+	switch op {
+	case OpEq:
+		return strings.EqualFold(value, filterValue)
+	case OpNe:
+		return !strings.EqualFold(value, filterValue)
+	case OpContains:
+		return strings.Contains(strings.ToLower(value), strings.ToLower(filterValue))
+	case OpLt:
+		return CompareValues(value, filterValue) < 0
+	case OpLe:
+		return CompareValues(value, filterValue) <= 0
+	case OpGt:
+		return CompareValues(value, filterValue) > 0
+	case OpGe:
+		return CompareValues(value, filterValue) >= 0
+	}
+	return false
+}
+
+// Fold canonicalizes a string under Unicode simple case folding: two
+// strings satisfy strings.EqualFold exactly when their Fold forms are
+// byte-identical. Index layers that key case-insensitive lookups
+// (candidate posting sets) use this instead of strings.ToLower, whose
+// mapping diverges from EqualFold for fold-cycle runes like U+017F ſ —
+// keys built with ToLower would silently miss fold-equal matches.
+func Fold(s string) string {
+	for i, r := range s {
+		if foldRune(r) == r {
+			continue
+		}
+		var b strings.Builder
+		b.Grow(len(s))
+		b.WriteString(s[:i])
+		for _, r2 := range s[i:] {
+			b.WriteRune(foldRune(r2))
+		}
+		return b.String()
+	}
+	return s // already canonical
+}
+
+// foldRune returns the canonical representative of a rune's SimpleFold
+// cycle: its minimum member.
+func foldRune(r rune) rune {
+	min := r
+	for f := unicode.SimpleFold(r); f != r; f = unicode.SimpleFold(f) {
+		if f < min {
+			min = f
+		}
+	}
+	return min
+}
+
+// CompareValues orders two property values: numerically when both parse as
+// floats, lexically over the lowercased text otherwise.
+func CompareValues(a, b string) int {
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(strings.ToLower(a), strings.ToLower(b))
+}
+
+// Contains reports whether a value lies inside the range bounds.
+func (r Range) Contains(value string) bool {
+	if r.Min != "" {
+		c := CompareValues(value, r.Min)
+		if c < 0 || (c == 0 && r.ExclusiveMin) {
+			return false
+		}
+	}
+	if r.Max != "" {
+		c := CompareValues(value, r.Max)
+		if c > 0 || (c == 0 && r.ExclusiveMax) {
+			return false
+		}
+	}
+	return true
+}

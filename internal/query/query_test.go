@@ -1,0 +1,378 @@
+package query
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fakeDoc is an in-memory page for evaluator tests.
+type fakeDoc struct {
+	title      string
+	namespace  string
+	categories []string
+	props      map[string][]string // lowercased name -> values
+	text       string              // whitespace-separated terms
+}
+
+func (d fakeDoc) Title() string        { return d.title }
+func (d fakeDoc) Namespace() string    { return d.namespace }
+func (d fakeDoc) Categories() []string { return d.categories }
+func (d fakeDoc) PropertyValues(name string) []string {
+	return d.props[strings.ToLower(name)]
+}
+func (d fakeDoc) Keyword(text string, any bool) (float64, bool) {
+	terms := strings.Fields(strings.ToLower(text))
+	if len(terms) == 0 {
+		return 0, false
+	}
+	have := map[string]bool{}
+	for _, t := range strings.Fields(strings.ToLower(d.text)) {
+		have[t] = true
+	}
+	n := 0
+	for _, t := range terms {
+		if have[t] {
+			n++
+		}
+	}
+	if any {
+		return float64(n), n > 0
+	}
+	return float64(n), n == len(terms)
+}
+
+func mustMarshal(t *testing.T, e Expr) []byte {
+	t.Helper()
+	raw, err := Marshal(e)
+	if err != nil {
+		t.Fatalf("Marshal(%#v): %v", e, err)
+	}
+	return raw
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	exprs := []Expr{
+		All{},
+		Keyword{Text: "wind speed"},
+		Keyword{Text: `"wind speed" ridge`, Any: true},
+		Property{Name: "measures", Op: OpEq, Value: "temperature"},
+		Property{Name: "altitude", Op: OpGt, Value: "2000"},
+		Range{Name: "samplingRate", Min: "10", Max: "60"},
+		Range{Name: "altitude", Min: "1000", ExclusiveMin: true},
+		Category{Name: "Sensors"},
+		HasProperty{Name: "latitude"},
+		TitlePrefix{Prefix: "Sensor:"},
+		Namespace{Name: "Sensor"},
+		Not{Child: Category{Name: "Retired"}},
+		And{Children: []Expr{
+			Namespace{Name: "Sensor"},
+			Or{Children: []Expr{
+				Property{Name: "measures", Op: OpEq, Value: "wind speed"},
+				Property{Name: "measures", Op: OpEq, Value: "temperature"},
+			}},
+			Not{Child: HasProperty{Name: "decommissioned"}},
+			Keyword{Text: "alpine"},
+		}},
+	}
+	for _, e := range exprs {
+		raw := mustMarshal(t, e)
+		back, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("Unmarshal(%s): %v", raw, err)
+		}
+		again := mustMarshal(t, back)
+		if !bytes.Equal(raw, again) {
+			t.Errorf("round trip changed encoding:\n  first  %s\n  second %s", raw, again)
+		}
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{}`,                        // no node type
+		`{"and": [], "or": []}`,     // two node types
+		`{"and": []}`,               // empty composite
+		`{"not": {}}`,               // empty child object
+		`{"keyword": {"text": ""}}`, // empty keyword
+		`{"keyword": {"text": "x", "mode": "z"}}`,              // bad mode
+		`{"property": {"name": "p", "op": "~", "value": "v"}}`, // bad op
+		`{"property": {"name": "", "op": "eq", "value": "v"}}`, // empty name
+		`{"range": {"name": "p"}}`,                             // no bounds
+		`{"titlePrefix": {"prefix": ""}}`,                      // empty prefix
+		`{"bogus": {}}`,                                        // unknown field
+		`[1,2]`,                                                // not an object
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("Unmarshal(%s) accepted malformed input", c)
+		}
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	deep := Expr(All{})
+	for i := 0; i < maxDepth+1; i++ {
+		deep = Not{Child: deep}
+	}
+	if err := Validate(deep); err == nil {
+		t.Error("over-deep expression accepted")
+	}
+	var wide []Expr
+	for i := 0; i < maxNodes+1; i++ {
+		wide = append(wide, All{})
+	}
+	if err := Validate(And{Children: wide}); err == nil {
+		t.Error("over-wide expression accepted")
+	}
+}
+
+func TestNormalizeShapes(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want string
+	}{
+		{Not{Child: Not{Child: Category{Name: "x"}}}, `{"category":{"name":"x"}}`},
+		{
+			Not{Child: And{Children: []Expr{Category{Name: "a"}, Category{Name: "b"}}}},
+			`{"or":[{"not":{"category":{"name":"a"}}},{"not":{"category":{"name":"b"}}}]}`,
+		},
+		{
+			Not{Child: Or{Children: []Expr{Category{Name: "a"}, Category{Name: "b"}}}},
+			`{"and":[{"not":{"category":{"name":"a"}}},{"not":{"category":{"name":"b"}}}]}`,
+		},
+		{
+			And{Children: []Expr{
+				Category{Name: "a"},
+				And{Children: []Expr{Category{Name: "b"}, Category{Name: "c"}}},
+			}},
+			`{"and":[{"category":{"name":"a"}},{"category":{"name":"b"}},{"category":{"name":"c"}}]}`,
+		},
+		{And{Children: []Expr{Category{Name: "a"}}}, `{"category":{"name":"a"}}`},
+		{And{Children: []Expr{All{}, Category{Name: "a"}}}, `{"category":{"name":"a"}}`},
+		{Or{Children: []Expr{All{}, Category{Name: "a"}}}, `{"or":[{"all":{}},{"category":{"name":"a"}}]}`},
+		{And{Children: []Expr{All{}, All{}}}, `{"all":{}}`},
+	}
+	for _, c := range cases {
+		got := string(mustMarshal(t, Normalize(c.in)))
+		if got != c.want {
+			t.Errorf("Normalize(%s) = %s, want %s", mustMarshal(t, c.in), got, c.want)
+		}
+	}
+}
+
+// randomExpr builds a random expression over a small vocabulary.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(8) {
+		case 0:
+			return All{}
+		case 1:
+			return Keyword{Text: []string{"wind", "snow", "wind snow", "ridge"}[rng.Intn(4)], Any: rng.Intn(2) == 0}
+		case 2:
+			return Property{
+				Name:  []string{"measures", "altitude", "canton"}[rng.Intn(3)],
+				Op:    []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpContains}[rng.Intn(7)],
+				Value: []string{"wind", "2000", "GR", "temperature"}[rng.Intn(4)],
+			}
+		case 3:
+			return Range{Name: "altitude", Min: "1000", Max: fmt.Sprint(1500 + rng.Intn(1500)), ExclusiveMax: rng.Intn(2) == 0}
+		case 4:
+			return Category{Name: []string{"Sensors", "Fieldsites"}[rng.Intn(2)]}
+		case 5:
+			return HasProperty{Name: []string{"measures", "altitude", "latitude"}[rng.Intn(3)]}
+		case 6:
+			return TitlePrefix{Prefix: []string{"Sensor:", "Fieldsite:", "S"}[rng.Intn(3)]}
+		default:
+			return Namespace{Name: []string{"Sensor", "Fieldsite"}[rng.Intn(2)]}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return Not{Child: randomExpr(rng, depth-1)}
+	case 1:
+		n := 1 + rng.Intn(3)
+		children := make([]Expr, n)
+		for i := range children {
+			children[i] = randomExpr(rng, depth-1)
+		}
+		return And{Children: children}
+	default:
+		n := 1 + rng.Intn(3)
+		children := make([]Expr, n)
+		for i := range children {
+			children[i] = randomExpr(rng, depth-1)
+		}
+		return Or{Children: children}
+	}
+}
+
+func randomDocs(rng *rand.Rand, n int) []fakeDoc {
+	measures := []string{"wind", "temperature", "humidity"}
+	cantons := []string{"GR", "VS", "BE"}
+	docs := make([]fakeDoc, n)
+	for i := range docs {
+		ns := []string{"Sensor", "Fieldsite", ""}[rng.Intn(3)]
+		title := fmt.Sprintf("%s%d", "Page-", i)
+		if ns != "" {
+			title = fmt.Sprintf("%s:%s%d", ns, "P-", i)
+		}
+		props := map[string][]string{
+			"measures": {measures[rng.Intn(len(measures))]},
+			"altitude": {fmt.Sprint(500 + rng.Intn(2500))},
+		}
+		if rng.Intn(2) == 0 {
+			props["canton"] = []string{cantons[rng.Intn(len(cantons))]}
+		}
+		if rng.Intn(3) == 0 {
+			props["latitude"] = []string{"46.5"}
+		}
+		docs[i] = fakeDoc{
+			title:      title,
+			namespace:  ns,
+			categories: []string{[]string{"Sensors", "Fieldsites"}[rng.Intn(2)]},
+			props:      props,
+			text:       []string{"wind ridge", "snow field", "wind snow", "ridge"}[rng.Intn(4)],
+		}
+	}
+	return docs
+}
+
+type fixedEstimator map[string]int
+
+func (f fixedEstimator) EstimateLeaf(leaf Expr) int {
+	raw, err := Marshal(leaf)
+	if err != nil {
+		return 1 << 20
+	}
+	if n, ok := f[string(raw)]; ok {
+		return n
+	}
+	return 1 << 20
+}
+func (f fixedEstimator) Universe() int { return 1 << 20 }
+
+// TestNormalizePreservesMatchSetProperty is the core safety property of the
+// rewriter: for random expressions over random corpora, Normalize and
+// Reorder never change which pages match, Normalize is idempotent, and the
+// canonical JSON encoding round-trips losslessly.
+func TestNormalizePreservesMatchSetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	docs := randomDocs(rng, 60)
+	est := fixedEstimator{}
+	for trial := 0; trial < 300; trial++ {
+		e := randomExpr(rng, 3)
+		if Validate(e) != nil {
+			t.Fatalf("random expression invalid: %#v", e)
+		}
+		norm := Normalize(e)
+		if Validate(norm) != nil {
+			t.Fatalf("normalized expression invalid: %#v", norm)
+		}
+		again := Normalize(norm)
+		a, b := mustMarshal(t, norm), mustMarshal(t, again)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("Normalize not idempotent:\n  once  %s\n  twice %s", a, b)
+		}
+		reordered := Reorder(norm, est)
+		raw := mustMarshal(t, e)
+		back, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("Unmarshal(Marshal(e)): %v", err)
+		}
+		for _, d := range docs {
+			want := Matches(e, d)
+			if got := Matches(norm, d); got != want {
+				t.Fatalf("Normalize changed match for %s:\n  expr %s\n  norm %s",
+					d.title, raw, mustMarshal(t, norm))
+			}
+			if got := Matches(reordered, d); got != want {
+				t.Fatalf("Reorder changed match for %s: expr %s", d.title, raw)
+			}
+			if got := Matches(back, d); got != want {
+				t.Fatalf("JSON round trip changed match for %s: expr %s", d.title, raw)
+			}
+			wantEval, gotEval := Eval(e, d), Eval(norm, d)
+			if wantEval.OK != gotEval.OK || wantEval.Score != gotEval.Score {
+				t.Fatalf("Normalize changed Eval outcome for %s: expr %s (%v vs %v)",
+					d.title, raw, wantEval, gotEval)
+			}
+		}
+	}
+}
+
+func TestEvalScoreAndMatched(t *testing.T) {
+	d := fakeDoc{
+		title: "Sensor:W-1", namespace: "Sensor",
+		categories: []string{"Sensors"},
+		props:      map[string][]string{"measures": {"Wind Speed"}, "altitude": {"2440"}},
+		text:       "wind ridge",
+	}
+	e := And{Children: []Expr{
+		Keyword{Text: "wind"},
+		Property{Name: "Measures", Op: OpContains, Value: "speed"},
+		Range{Name: "altitude", Min: "2000"},
+		Not{Child: Property{Name: "altitude", Op: OpLt, Value: "100"}},
+	}}
+	m := Eval(e, d)
+	if !m.OK || m.Score != 1 {
+		t.Fatalf("Eval = %+v", m)
+	}
+	if m.Matched["measures"] != "Wind Speed" || m.Matched["altitude"] != "2440" {
+		t.Errorf("Matched = %v", m.Matched)
+	}
+	// Negated leaves never contribute matched pairs or score.
+	neg := Not{Child: Or{Children: []Expr{Keyword{Text: "snow"}, Property{Name: "canton", Op: OpEq, Value: "GR"}}}}
+	if m := Eval(neg, d); !m.OK || m.Score != 0 || m.Matched != nil {
+		t.Errorf("negated Eval = %+v", m)
+	}
+	// Not(All) matches nothing.
+	if Matches(Not{Child: All{}}, d) {
+		t.Error("¬⊤ matched")
+	}
+}
+
+func TestEstimateAndReorder(t *testing.T) {
+	a := Property{Name: "measures", Op: OpEq, Value: "wind"}
+	b := Category{Name: "Sensors"}
+	est := fixedEstimator{
+		string(mustMarshal(t, a)): 5,
+		string(mustMarshal(t, b)): 500,
+	}
+	e := And{Children: []Expr{b, a}}
+	got := Reorder(e, est)
+	and, ok := got.(And)
+	if !ok || len(and.Children) != 2 {
+		t.Fatalf("Reorder = %#v", got)
+	}
+	if _, ok := and.Children[0].(Property); !ok {
+		t.Errorf("most selective predicate not first: %#v", and.Children)
+	}
+	if n := Estimate(e, est); n != 5 {
+		t.Errorf("Estimate(And) = %d, want 5", n)
+	}
+	if n := Estimate(Or{Children: []Expr{a, b}}, est); n != 505 {
+		t.Errorf("Estimate(Or) = %d, want 505", n)
+	}
+}
+
+// TestFoldMatchesEqualFold pins Fold's contract: byte-equal Fold forms
+// exactly when strings.EqualFold holds.
+func TestFoldMatchesEqualFold(t *testing.T) {
+	samples := []string{
+		"", "abc", "ABC", "aBc", "Straße", "ſpecial", "special", "SPECIAL",
+		"K", "K" /* Kelvin sign folds with k */, "k", "温度", "Ωmega", "ωmega",
+		"mixed ſ and S", "123", "Sensor:Wind-01",
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			want := strings.EqualFold(a, b)
+			got := Fold(a) == Fold(b)
+			if got != want {
+				t.Errorf("Fold equivalence diverges for %q vs %q: fold=%v equalfold=%v", a, b, got, want)
+			}
+		}
+	}
+}

@@ -132,3 +132,57 @@ func TestSetRanksRescoresWithoutRescan(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestRecommendIndexMatchesScan checks the inverted (property, value) →
+// pages index path returns exactly the corpus-scan baseline's
+// recommendations — after construction and after journal-driven churn —
+// and that the incrementally maintained pair index matches a rebuild.
+func TestRecommendIndexMatchesScan(t *testing.T) {
+	repo := churnRepo(t, 80)
+	rk, err := ranking.New(repo, "", pagerank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := New(repo, rk.Scores())
+	rng := rand.New(rand.NewSource(21))
+	seedSets := [][]string{
+		{"Sensor:C001"},
+		{"Sensor:C002", "Sensor:C010", "Sensor:C033"},
+		{"Sensor:C005", "missing page"},
+	}
+	for round := 0; round < 5; round++ {
+		for _, seeds := range seedSets {
+			got := rec.Recommend(seeds, "", 15)
+			want := rec.RecommendScan(seeds, "", 15)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d seeds %v: index path diverges from scan\nindex = %+v\nscan  = %+v",
+					round, seeds, got, want)
+			}
+			if round == 0 && len(got) == 0 && len(seeds) == 1 {
+				t.Fatalf("seeds %v produced no recommendations; fixture too weak", seeds)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			title := fmt.Sprintf("Sensor:C%03d", rng.Intn(80))
+			if rng.Intn(5) == 0 {
+				repo.DeletePage(title)
+				continue
+			}
+			text := fmt.Sprintf("[[partOf::Deployment:D%d]] [[measures::m%d]] [[owner::u%d]]",
+				rng.Intn(5), rng.Intn(7), rng.Intn(4))
+			if _, err := repo.PutPage(title, "churn", text, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := rec.Update(); st.Full {
+			t.Fatalf("round %d: journal overran", round)
+		}
+		want := New(repo, rk.Scores())
+		if !reflect.DeepEqual(rec.pairPages, want.pairPages) {
+			t.Fatalf("round %d: pair index diverges from rebuild", round)
+		}
+		if !reflect.DeepEqual(rec.pagePairs, want.pagePairs) {
+			t.Fatalf("round %d: page pair sets diverge from rebuild", round)
+		}
+	}
+}

@@ -66,6 +66,14 @@ type Recommender struct {
 	// which keeps incremental recomputation bit-identical to a rebuild.
 	propPages map[string][]contrib
 	propScore map[string]float64
+	// pagePairs records each page's sorted distinct (property, value)
+	// pair keys, and pairPages inverts it: pair key → sorted page titles.
+	// This is the inverted index that makes Recommend O(candidates) — the
+	// pages sharing at least one pair with the seed set — instead of a
+	// corpus scan. Both are maintained from the same journal deltas as the
+	// property scores.
+	pagePairs map[string][]string
+	pairPages map[string][]string
 	seq       uint64
 	stats     Stats
 }
@@ -89,8 +97,11 @@ func (r *Recommender) rebuildLocked() {
 	r.pageProps = make(map[string][]string)
 	r.propPages = make(map[string][]contrib)
 	r.propScore = make(map[string]float64)
+	r.pagePairs = make(map[string][]string)
+	r.pairPages = make(map[string][]string)
 	// Wiki.Each iterates in sorted title order, so appends build the
-	// per-property contribution lists already title-sorted.
+	// per-property contribution lists (and pair postings) already
+	// title-sorted.
 	r.repo.Wiki.Each(func(p *wiki.Page) {
 		title := p.Title.String()
 		props := distinctProps(p)
@@ -102,12 +113,33 @@ func (r *Recommender) rebuildLocked() {
 		for _, key := range props {
 			r.propPages[key] = append(r.propPages[key], contrib{page: title, rank: pr})
 		}
+		pairs := distinctPairs(p)
+		r.pagePairs[title] = pairs
+		for _, pair := range pairs {
+			r.pairPages[pair] = append(r.pairPages[pair], title)
+		}
 	})
 	for key, list := range r.propPages {
 		r.propScore[key] = sumContribs(list)
 	}
 	r.stats.FullRebuilds++
 	r.stats.Seq = r.seq
+}
+
+// distinctPairs returns the page's distinct (property, value) pair keys,
+// sorted.
+func distinctPairs(p *wiki.Page) []string {
+	seen := map[string]bool{}
+	var pairs []string
+	for _, a := range p.Annotations {
+		key := pairKey(a.Property, a.Value)
+		if !seen[key] {
+			seen[key] = true
+			pairs = append(pairs, key)
+		}
+	}
+	sort.Strings(pairs)
+	return pairs
 }
 
 // distinctProps returns the page's distinct lowercased property names,
@@ -205,6 +237,32 @@ func (r *Recommender) Update() UpdateStats {
 		} else {
 			r.pageProps[c.Title] = newProps
 		}
+		// Merge-walk the sorted old and new pair sets the same way, keeping
+		// the inverted (property, value) → pages index current.
+		oldPairs := r.pagePairs[c.Title]
+		var newPairs []string
+		if page, exists := r.repo.Wiki.Get(c.Title); exists {
+			newPairs = distinctPairs(page)
+		}
+		i, j = 0, 0
+		for i < len(oldPairs) || j < len(newPairs) {
+			switch {
+			case j >= len(newPairs) || (i < len(oldPairs) && oldPairs[i] < newPairs[j]):
+				r.removePairPage(oldPairs[i], c.Title)
+				i++
+			case i >= len(oldPairs) || newPairs[j] < oldPairs[i]:
+				r.insertPairPage(newPairs[j], c.Title)
+				j++
+			default:
+				i++
+				j++
+			}
+		}
+		if len(newPairs) == 0 {
+			delete(r.pagePairs, c.Title)
+		} else {
+			r.pagePairs[c.Title] = newPairs
+		}
 	}
 	for key := range dirty {
 		if list := r.propPages[key]; len(list) == 0 {
@@ -237,6 +295,35 @@ func (r *Recommender) SetRanks(ranks map[string]float64) {
 		r.propScore[key] = sumContribs(list)
 	}
 	r.stats.Rescores++
+}
+
+// insertPairPage places a title into a pair's sorted page list.
+func (r *Recommender) insertPairPage(pair, page string) {
+	list := r.pairPages[pair]
+	i := sort.SearchStrings(list, page)
+	if i < len(list) && list[i] == page {
+		return
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = page
+	r.pairPages[pair] = list
+}
+
+// removePairPage deletes a title from a pair's sorted page list.
+func (r *Recommender) removePairPage(pair, page string) {
+	list := r.pairPages[pair]
+	i := sort.SearchStrings(list, page)
+	if i >= len(list) || list[i] != page {
+		return
+	}
+	copy(list[i:], list[i+1:])
+	list = list[:len(list)-1]
+	if len(list) == 0 {
+		delete(r.pairPages, pair)
+	} else {
+		r.pairPages[pair] = list
+	}
 }
 
 // insertContrib places c into key's title-sorted contribution list.
@@ -329,15 +416,88 @@ func pairKey(property, value string) string {
 // Recommend proposes up to k pages related to the seed titles (typically
 // the current search results). Seeds themselves are never recommended, and
 // the ACL of the repository is honoured for the requesting user.
+//
+// Candidates come from the journal-maintained inverted (property, value) →
+// pages index: only pages sharing at least one annotation pair with the
+// seed set are scored — O(candidates), not a corpus scan. Each candidate
+// is then scored with exactly the arithmetic of the scan path
+// (RecommendScan), so the two orderings are identical.
 func (r *Recommender) Recommend(seeds []string, user string, k int) []Recommendation {
 	if k <= 0 || len(seeds) == 0 {
 		return nil
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	seedSet, pairWeight := r.seedPairWeights(seeds)
+	if len(pairWeight) == 0 {
+		return nil
+	}
+
+	// Union the candidate lists of every positive-weight seed pair
+	// (zero-weight pairs can never contribute score). Enumeration order is
+	// irrelevant: the final ordering is a strict total order (score
+	// descending, unique-title tie-break), so the output is identical to
+	// the scan path's regardless of how candidates are discovered.
+	seen := make(map[string]bool)
+	var out []Recommendation
+	for pair, w := range pairWeight {
+		if w <= 0 {
+			continue
+		}
+		for _, title := range r.pairPages[pair] {
+			if seen[title] {
+				continue
+			}
+			seen[title] = true
+			if seedSet[title] || !r.repo.ACL.CanRead(user, title) {
+				continue
+			}
+			page, ok := r.repo.Wiki.Get(title)
+			if !ok {
+				continue
+			}
+			if rec, ok := scorePage(page, title, pairWeight, r.ranks[title]); ok {
+				out = append(out, rec)
+			}
+		}
+	}
+	return topRecommendations(out, k)
+}
+
+// RecommendScan is the pre-index corpus-scan implementation, kept as the
+// baseline the recommendation benchmark compares the inverted index
+// against (and as an oracle in tests: both paths must return identical
+// recommendations).
+func (r *Recommender) RecommendScan(seeds []string, user string, k int) []Recommendation {
+	if k <= 0 || len(seeds) == 0 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seedSet, pairWeight := r.seedPairWeights(seeds)
+	if len(pairWeight) == 0 {
+		return nil
+	}
+
+	var out []Recommendation
+	r.repo.Wiki.Each(func(p *wiki.Page) {
+		title := p.Title.String()
+		if seedSet[title] || !r.repo.ACL.CanRead(user, title) {
+			return
+		}
+		if rec, ok := scorePage(p, title, pairWeight, r.ranks[title]); ok {
+			out = append(out, rec)
+		}
+	})
+	return topRecommendations(out, k)
+}
+
+// seedPairWeights resolves the seed set and the weight of each
+// (property, value) pair across it: the property's global importance,
+// counted once per seed page carrying it. Caller holds at least the read
+// lock.
+func (r *Recommender) seedPairWeights(seeds []string) (map[string]bool, map[string]float64) {
 	seedSet := make(map[string]bool, len(seeds))
-	// Weight of each (property, value) pair across the seed set: the
-	// property's global importance, counted once per seed page carrying it.
 	pairWeight := map[string]float64{}
 	for _, s := range seeds {
 		canonical := wiki.ParseTitle(s).String()
@@ -350,39 +510,40 @@ func (r *Recommender) Recommend(seeds []string, user string, k int) []Recommenda
 			pairWeight[pairKey(a.Property, a.Value)] += r.propScore[strings.ToLower(a.Property)]
 		}
 	}
-	if len(pairWeight) == 0 {
-		return nil
-	}
+	return seedSet, pairWeight
+}
 
-	var out []Recommendation
-	r.repo.Wiki.Each(func(p *wiki.Page) {
-		title := p.Title.String()
-		if seedSet[title] || !r.repo.ACL.CanRead(user, title) {
-			return
+// scorePage scores one candidate page against the seed pair weights, in
+// annotation order — the floating-point accumulation order both Recommend
+// paths share.
+func scorePage(p *wiki.Page, title string, pairWeight map[string]float64, rank float64) (Recommendation, bool) {
+	var score float64
+	var shared []string
+	seenPair := map[string]bool{}
+	for _, a := range p.Annotations {
+		key := pairKey(a.Property, a.Value)
+		if seenPair[key] {
+			continue
 		}
-		var score float64
-		var shared []string
-		seenPair := map[string]bool{}
-		for _, a := range p.Annotations {
-			key := pairKey(a.Property, a.Value)
-			if seenPair[key] {
-				continue
-			}
-			seenPair[key] = true
-			if w, ok := pairWeight[key]; ok && w > 0 {
-				score += w
-				shared = append(shared, key)
-			}
+		seenPair[key] = true
+		if w, ok := pairWeight[key]; ok && w > 0 {
+			score += w
+			shared = append(shared, key)
 		}
-		if score == 0 {
-			return
-		}
-		// Candidates are boosted by their own importance so that, among
-		// equally-connected pages, the popular one is proposed first.
-		score *= 1 + r.ranks[title]
-		sort.Strings(shared)
-		out = append(out, Recommendation{Title: title, Score: score, Shared: shared})
-	})
+	}
+	if score == 0 {
+		return Recommendation{}, false
+	}
+	// Candidates are boosted by their own importance so that, among
+	// equally-connected pages, the popular one is proposed first.
+	score *= 1 + rank
+	sort.Strings(shared)
+	return Recommendation{Title: title, Score: score, Shared: shared}, true
+}
+
+// topRecommendations sorts by descending score (title tie-break) and caps
+// at k.
+func topRecommendations(out []Recommendation, k int) []Recommendation {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score

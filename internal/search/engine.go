@@ -1,9 +1,6 @@
 package search
 
 import (
-	"fmt"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -96,6 +93,7 @@ type Engine struct {
 	repo  *smr.Repository
 	index *Index
 	trie  *Trie
+	meta  *metaIndex
 	ranks map[string]float64
 	seq   uint64 // journal position the index reflects
 
@@ -130,9 +128,10 @@ func buildDocText(p *wiki.Page) string {
 	return b.String()
 }
 
-// upsertPage (re)indexes one page and keeps the trie's refcounts in step:
-// one title reference per live page, one term reference per (page, term).
-func upsertPage(ix *Index, tr *Trie, p *wiki.Page) {
+// upsertPage (re)indexes one page and keeps the trie's refcounts and the
+// structural metaIndex in step: one title reference per live page, one
+// term reference per (page, term), one posting per structural key.
+func upsertPage(ix *Index, tr *Trie, mi *metaIndex, p *wiki.Page) {
 	title := p.Title.String()
 	isNew := !ix.Has(title)
 	added, removed := ix.Add(title, buildDocText(p))
@@ -145,10 +144,12 @@ func upsertPage(ix *Index, tr *Trie, p *wiki.Page) {
 	for _, t := range added {
 		tr.Insert(t, termWeight)
 	}
+	mi.upsert(title, pageMetaKeys(p))
 }
 
-// deletePage drops one page from the index and releases its trie entries.
-func deletePage(ix *Index, tr *Trie, title string) {
+// deletePage drops one page from the index and releases its trie entries
+// and structural postings.
+func deletePage(ix *Index, tr *Trie, mi *metaIndex, title string) {
 	if !ix.Has(title) {
 		return
 	}
@@ -156,6 +157,7 @@ func deletePage(ix *Index, tr *Trie, title string) {
 		tr.Remove(t, termWeight)
 	}
 	tr.Remove(title, titleWeight)
+	mi.remove(title)
 }
 
 // Rebuild re-indexes every page from scratch and swaps the fresh structures
@@ -173,11 +175,12 @@ func (e *Engine) rebuildLocked() {
 	seq := e.repo.LastSeq()
 	index := NewIndex()
 	trie := NewTrie()
+	meta := newMetaIndex()
 	e.repo.Wiki.Each(func(p *wiki.Page) {
-		upsertPage(index, trie, p)
+		upsertPage(index, trie, meta, p)
 	})
 	e.mu.Lock()
-	e.index, e.trie, e.seq = index, trie, seq
+	e.index, e.trie, e.meta, e.seq = index, trie, meta, seq
 	e.mu.Unlock()
 }
 
@@ -232,13 +235,13 @@ func (e *Engine) Update() UpdateStats {
 		}
 	}
 	e.mu.RLock()
-	ix, tr := e.index, e.trie
+	ix, tr, mi := e.index, e.trie, e.meta
 	e.mu.RUnlock()
 	for _, title := range titles {
 		if page, ok := e.repo.Wiki.Get(title); ok {
-			upsertPage(ix, tr, page)
+			upsertPage(ix, tr, mi, page)
 		} else {
-			deletePage(ix, tr, title)
+			deletePage(ix, tr, mi, title)
 		}
 		stats.Applied++
 	}
@@ -273,59 +276,12 @@ func (e *Engine) Autocomplete(prefix string, k int) []Completion {
 	return trie.Complete(prefix, k)
 }
 
-// forEachMatch streams every page satisfying the query's keyword and
-// structural constraints (namespace, category, ACL, property filters) to
-// visit, in unspecified order. Limit, Offset and sort options are ignored —
-// callers that present pages apply them afterwards; callers that aggregate
-// (FacetCounts) want the whole matching set anyway.
-func (e *Engine) forEachMatch(q Query, ix *Index, visit func(page *wiki.Page, title string, score float64, matched map[string]string)) error {
-	var filterErr error
-	examine := func(title string, score float64) {
-		page, ok := e.repo.Wiki.Get(title)
-		if !ok {
-			return
-		}
-		if q.Namespace != "" && !strings.EqualFold(string(page.Title.Namespace), q.Namespace) {
-			return
-		}
-		if q.Category != "" && !hasCategory(page, q.Category) {
-			return
-		}
-		if !e.repo.ACL.CanRead(q.User, title) {
-			return
-		}
-		matched, ok, err := applyFilters(page, q.Filters)
-		if err != nil {
-			filterErr = err
-			return
-		}
-		if !ok {
-			return
-		}
-		visit(page, title, score, matched)
-	}
-
-	// Candidate set: keyword hits, or the whole corpus for pure-filter
-	// queries.
-	if strings.TrimSpace(q.Keywords) != "" {
-		for _, h := range ix.Hits(q.Keywords, q.Mode) {
-			if examine(h.ID, h.Score); filterErr != nil {
-				return filterErr
-			}
-		}
-	} else {
-		for _, t := range e.repo.Wiki.Titles() {
-			if examine(t, 0); filterErr != nil {
-				return filterErr
-			}
-		}
-	}
-	return nil
-}
-
-// Search runs an advanced query. When the query carries a Limit, candidates
-// stream through a bounded top-(Limit+Offset) selector instead of being
-// materialized and fully sorted.
+// Search runs an advanced query. The flat legacy Query is translated onto
+// the compositional AST (LegacyExpr) and executed by Execute, so the
+// legacy parameter surface and the /api/v1 expression surface share one
+// executor — candidate pruning included. When the query carries a Limit,
+// candidates stream through a bounded top-(Limit+Offset) selector instead
+// of being materialized and fully sorted.
 func (e *Engine) Search(q Query) ([]Result, error) {
 	rs, _, _, err := e.SearchWithFacets(q, nil)
 	return rs, err
@@ -338,55 +294,19 @@ func (e *Engine) Search(q Query) ([]Result, error) {
 // every matching page regardless of Limit/Offset; with no properties it
 // behaves exactly like Search plus the matched total.
 func (e *Engine) SearchWithFacets(q Query, properties []string) ([]Result, map[string]map[string]int, int, error) {
-	e.mu.RLock()
-	ix, ranks := e.index, e.ranks
-	e.mu.RUnlock()
-
-	props, facets := facetAccumulators(properties)
-
-	less := resultLess(q)
-	var sel *topK[Result]
-	var out []Result
-	if q.Limit > 0 {
-		sel = newTopK(q.Limit+q.Offset, less)
+	expr, err := LegacyExpr(q)
+	if err != nil {
+		return nil, nil, 0, err
 	}
-
-	matched := 0
-	err := e.forEachMatch(q, ix, func(page *wiki.Page, title string, score float64, matchedProps map[string]string) {
-		matched++
-		for _, key := range props {
-			for _, v := range page.PropertyValues(key) {
-				facets[key][v]++
-			}
-		}
-		r := Result{Title: title, Relevance: score, Rank: ranks[title], Matched: matchedProps}
-		if sel != nil {
-			sel.push(r)
-		} else {
-			out = append(out, r)
-		}
+	res, err := e.Execute(expr, ExecOptions{
+		SortBy: q.SortBy, Order: q.Order,
+		Limit: q.Limit, Offset: q.Offset,
+		User: q.User, Facets: properties,
 	})
 	if err != nil {
 		return nil, nil, 0, err
 	}
-
-	if sel != nil {
-		out = sel.sorted()
-	} else {
-		sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
-	}
-
-	if q.Offset > 0 {
-		if q.Offset >= len(out) {
-			out = nil
-		} else {
-			out = out[q.Offset:]
-		}
-	}
-	if q.Limit > 0 && q.Limit < len(out) {
-		out = out[:q.Limit]
-	}
-	return out, facets, matched, nil
+	return res.Results, res.Facets, res.Matched, nil
 }
 
 // facetAccumulators prepares the count maps for a property list,
@@ -406,104 +326,15 @@ func facetAccumulators(properties []string) ([]string, map[string]map[string]int
 	return props, facets
 }
 
-func hasCategory(p *wiki.Page, category string) bool {
-	for _, c := range p.Categories {
-		if strings.EqualFold(c, category) {
-			return true
-		}
-	}
-	return false
-}
-
-// validOps guards against typoed operators reaching the match loop, where
-// they would silently match nothing.
-var validOps = map[FilterOp]bool{
-	OpEquals: true, OpNotEqual: true, OpLess: true, OpLessEq: true,
-	OpGreater: true, OpGreatEq: true, OpContains: true,
-}
-
-// applyFilters checks every filter against the page's annotations. It
-// returns the matched property→value pairs for display.
-func applyFilters(p *wiki.Page, filters []PropertyFilter) (map[string]string, bool, error) {
-	if len(filters) == 0 {
-		return nil, true, nil
-	}
-	matched := make(map[string]string, len(filters))
-	for _, f := range filters {
-		if !validOps[f.Op] {
-			return nil, false, fmt.Errorf("search: unknown filter operator %q", f.Op)
-		}
-		vals := p.PropertyValues(f.Property)
-		ok := false
-		for _, v := range vals {
-			hit, err := filterMatches(f, v)
-			if err != nil {
-				return nil, false, err
-			}
-			if hit {
-				ok = true
-				matched[strings.ToLower(f.Property)] = v
-				break
-			}
-		}
-		if !ok {
-			return nil, false, nil
-		}
-	}
-	return matched, true, nil
-}
-
-func filterMatches(f PropertyFilter, value string) (bool, error) {
-	switch f.Op {
-	case OpEquals:
-		return strings.EqualFold(value, f.Value), nil
-	case OpNotEqual:
-		return !strings.EqualFold(value, f.Value), nil
-	case OpContains:
-		return strings.Contains(strings.ToLower(value), strings.ToLower(f.Value)), nil
-	case OpLess, OpLessEq, OpGreater, OpGreatEq:
-		c, err := compareMaybeNumeric(value, f.Value)
-		if err != nil {
-			return false, err
-		}
-		switch f.Op {
-		case OpLess:
-			return c < 0, nil
-		case OpLessEq:
-			return c <= 0, nil
-		case OpGreater:
-			return c > 0, nil
-		default:
-			return c >= 0, nil
-		}
-	default:
-		return false, fmt.Errorf("search: unknown filter operator %q", f.Op)
-	}
-}
-
-func compareMaybeNumeric(a, b string) (int, error) {
-	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
-	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
-	if errA == nil && errB == nil {
-		switch {
-		case fa < fb:
-			return -1, nil
-		case fa > fb:
-			return 1, nil
-		default:
-			return 0, nil
-		}
-	}
-	return strings.Compare(strings.ToLower(a), strings.ToLower(b)), nil
-}
-
-// resultLess builds the comparator of the query's final display order: the
-// sort key's natural direction (best-first for scores, A→Z for titles),
-// ties broken by title, the whole order negated when an explicit Order
-// opposes the natural one. Titles are unique within a result set, so this
-// is a strict total order and negation is exactly the reversed list.
-func resultLess(q Query) func(a, b Result) bool {
-	key := q.SortBy
+// resultLessKeyed builds the comparator of a query's final display order:
+// the sort key's natural direction (best-first for scores, A→Z for
+// titles), ties broken by title, the whole order negated when an explicit
+// Order opposes the natural one. Titles are unique within a result set, so
+// this is a strict total order and negation is exactly the reversed list.
+// The strict total order is also what makes keyset cursors sound: every
+// result has a unique position, so "strictly after the cursor row" is
+// unambiguous.
+func resultLessKeyed(key SortKey, order Order) func(a, b Result) bool {
 	if key == "" {
 		key = SortRelevance
 	}
@@ -528,7 +359,7 @@ func resultLess(q Query) func(a, b Result) bool {
 	if key == SortTitle {
 		naturalOrder = OrderAsc
 	}
-	if q.Order != OrderDefault && q.Order != naturalOrder {
+	if order != OrderDefault && order != naturalOrder {
 		return func(a, b Result) bool { return natural(b, a) }
 	}
 	return natural
@@ -542,24 +373,15 @@ func resultLess(q Query) func(a, b Result) bool {
 // whole matching set. It returns the counts (property names lowercased)
 // and the number of matching pages.
 func (e *Engine) FacetCounts(q Query, properties []string) (map[string]map[string]int, int, error) {
-	e.mu.RLock()
-	ix := e.index
-	e.mu.RUnlock()
-
-	props, out := facetAccumulators(properties)
-	matched := 0
-	err := e.forEachMatch(q, ix, func(page *wiki.Page, _ string, _ float64, _ map[string]string) {
-		matched++
-		for _, key := range props {
-			for _, v := range page.PropertyValues(key) {
-				out[key][v]++
-			}
-		}
-	})
+	expr, err := LegacyExpr(q)
 	if err != nil {
 		return nil, 0, err
 	}
-	return out, matched, nil
+	res, err := e.Execute(expr, ExecOptions{User: q.User, Facets: properties, CountOnly: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Facets, res.Matched, nil
 }
 
 // Facets computes value counts per property over a result set — the data

@@ -1,0 +1,501 @@
+package search
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/wiki"
+)
+
+// ExecOptions configures one execution of a query expression.
+type ExecOptions struct {
+	SortBy SortKey
+	Order  Order
+	// Limit caps the returned page (0 = everything). Offset is the legacy
+	// skip count; Cursor is an opaque keyset cursor from a previous
+	// ExecResult — the two are mutually exclusive.
+	Limit  int
+	Offset int
+	Cursor string
+	// User is the ACL principal ("" = anonymous).
+	User string
+	// Facets lists properties whose per-value counts are accumulated over
+	// the whole matching set in the same enumeration pass.
+	Facets []string
+	// CountOnly skips result materialization: only Matched and Facets are
+	// computed (the streaming facet path).
+	CountOnly bool
+	// DisablePruning skips candidate-set pruning and runs the legacy
+	// score-then-filter enumeration — the ablation baseline the pushdown
+	// benchmark compares against.
+	DisablePruning bool
+}
+
+// ExecResult is the outcome of executing a query expression.
+type ExecResult struct {
+	// Results is the requested page of matches, in the total order the
+	// sort options define.
+	Results []Result
+	// Facets holds per-property value counts over the whole matching set
+	// (keys lowercased), for the properties requested in ExecOptions.
+	Facets map[string]map[string]int
+	// Matched is the size of the whole matching set, independent of
+	// pagination.
+	Matched int
+	// NextCursor is the opaque cursor for the page after this one; empty
+	// when this page exhausts the matching set (or Limit was 0).
+	NextCursor string
+}
+
+// kwMatchers caches compiled keyword matchers per (text, mode) for one
+// execution, so evaluating the same keyword leaf over many candidate
+// pages tokenizes the query exactly once.
+type kwKey struct {
+	text string
+	any  bool
+}
+
+type kwMatchers struct {
+	ix *Index
+	m  map[kwKey]*DocMatcher
+}
+
+func newKwMatchers(ix *Index) *kwMatchers {
+	return &kwMatchers{ix: ix, m: map[kwKey]*DocMatcher{}}
+}
+
+func (k *kwMatchers) score(id, text string, any bool) (float64, bool) {
+	key := kwKey{text: text, any: any}
+	dm := k.m[key]
+	if dm == nil {
+		mode := ModeAll
+		if any {
+			mode = ModeAny
+		}
+		dm = k.ix.CompileDocMatcher(text, mode)
+		k.m[key] = dm
+	}
+	return dm.Score(id)
+}
+
+// docView adapts one wiki page (plus the engine's text index) to the query
+// evaluator's Doc interface. When enumeration was driven by a keyword
+// leaf's posting hits, the hit's already-computed score is reused for that
+// leaf instead of being re-derived per page.
+type docView struct {
+	page        *wiki.Page
+	title       string
+	kws         *kwMatchers
+	driverText  string
+	driverAny   bool
+	driverScore float64
+	hasDriver   bool
+}
+
+func (d docView) Title() string                       { return d.title }
+func (d docView) Namespace() string                   { return string(d.page.Title.Namespace) }
+func (d docView) Categories() []string                { return d.page.Categories }
+func (d docView) PropertyValues(name string) []string { return d.page.PropertyValues(name) }
+func (d docView) Keyword(text string, any bool) (float64, bool) {
+	if d.hasDriver && text == d.driverText && any == d.driverAny {
+		return d.driverScore, true
+	}
+	return d.kws.score(d.title, text, any)
+}
+
+// estimator implements query.Estimator over the engine's structural and
+// text indexes; built per execution so the index snapshot stays stable.
+type estimator struct {
+	meta *metaIndex
+	ix   *Index
+	n    int
+}
+
+func (es estimator) Universe() int { return es.n }
+
+func (es estimator) EstimateLeaf(leaf query.Expr) int {
+	if kw, ok := leaf.(query.Keyword); ok {
+		mode := ModeAll
+		if kw.Any {
+			mode = ModeAny
+		}
+		return es.ix.EstimateHits(kw.Text, mode)
+	}
+	if n, ok := es.meta.estimateLeaf(leaf); ok {
+		return n
+	}
+	return es.n
+}
+
+// cursorPayload is the decoded keyset cursor: the sort key values of the
+// last item served, plus a signature binding the cursor to the query and
+// sort it was minted for.
+type cursorPayload struct {
+	Sort  string  `json:"s"`
+	Order string  `json:"o"`
+	Rel   float64 `json:"r"`
+	Rank  float64 `json:"k"`
+	Title string  `json:"t"`
+	Sig   uint64  `json:"g"`
+}
+
+// cursorSignature fingerprints the (normalized expression, sort, order)
+// triple so a cursor minted for one query cannot silently page another.
+func cursorSignature(canonical []byte, key SortKey, order Order) uint64 {
+	h := fnv.New64a()
+	h.Write(canonical)
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(order))
+	return h.Sum64()
+}
+
+func encodeCursor(p cursorPayload) string {
+	raw, _ := json.Marshal(p)
+	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+func decodeCursor(s string, sig uint64, key SortKey, order Order) (*cursorPayload, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, &query.Error{Code: "bad_cursor", Field: "cursor", Message: "cursor is not valid base64"}
+	}
+	var p cursorPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, &query.Error{Code: "bad_cursor", Field: "cursor", Message: "cursor payload is malformed"}
+	}
+	if p.Sig != sig || p.Sort != string(key) || p.Order != string(order) {
+		return nil, &query.Error{Code: "bad_cursor", Field: "cursor",
+			Message: "cursor was issued for a different query or sort order"}
+	}
+	return &p, nil
+}
+
+// Execute runs a query expression: validation, normalization, selectivity
+// reordering, candidate pruning, one enumeration pass accumulating facets
+// and the matching total, and top-k selection with either offset or keyset
+// (cursor) pagination.
+//
+// Candidate pruning is the filter pushdown closing the old
+// score-every-posting-then-filter gap: when the expression's structural
+// leaves yield posting sets, the most selective sets are intersected
+// first and keywords are scored only over the surviving candidates
+// (Index.DocScore), never over the full posting lists. When no structural
+// candidates exist the executor falls back to driving enumeration from the
+// required keyword's postings (the legacy path), or a full corpus scan for
+// keyword-free queries.
+func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error) {
+	if expr == nil {
+		expr = query.All{}
+	}
+	if err := query.Validate(expr); err != nil {
+		return nil, err
+	}
+	if opts.Cursor != "" && opts.Offset > 0 {
+		return nil, &query.Error{Code: "bad_request", Field: "offset",
+			Message: "cursor and offset are mutually exclusive"}
+	}
+
+	e.mu.RLock()
+	ix, meta, ranks := e.index, e.meta, e.ranks
+	e.mu.RUnlock()
+
+	// norm is what gets evaluated per page: deterministic for a given
+	// input expression, so matched display pairs follow the author's
+	// operand order and the cursor signature survives index churn between
+	// pages. planned additionally reorders And operands most-selective
+	// first from the current index statistics — it only steers candidate
+	// planning, never evaluation.
+	norm := query.Normalize(expr)
+	es := estimator{meta: meta, ix: ix, n: e.repo.Wiki.Len()}
+	planned := query.Reorder(norm, es)
+
+	key, order := opts.SortBy, opts.Order
+	if key == "" {
+		key = SortRelevance
+	}
+	less := resultLessKeyed(key, order)
+
+	var cur *cursorPayload
+	var sig uint64
+	if opts.Cursor != "" || opts.Limit > 0 {
+		canonical, err := query.Marshal(norm)
+		if err != nil {
+			return nil, err
+		}
+		sig = cursorSignature(canonical, key, order)
+	}
+	if opts.Cursor != "" {
+		p, err := decodeCursor(opts.Cursor, sig, key, order)
+		if err != nil {
+			return nil, err
+		}
+		cur = p
+	}
+	curResult := Result{}
+	if cur != nil {
+		curResult = Result{Title: cur.Title, Relevance: cur.Rel, Rank: cur.Rank}
+	}
+
+	props, facets := facetAccumulators(opts.Facets)
+
+	var sel *topK[Result]
+	var out []Result
+	if !opts.CountOnly && opts.Limit > 0 {
+		sel = newTopK(opts.Limit+opts.Offset, less)
+	}
+
+	res := &ExecResult{Facets: facets}
+	kws := newKwMatchers(ix)
+	// The driver leaf must come from the SAME tree enumerate drives with:
+	// with two keyword conjuncts, reordering can change which one drives,
+	// and installing the driven score under the other leaf's text would
+	// corrupt both match decisions and scores.
+	driver, hasDriverLeaf := requiredKeyword(planned)
+	eligible := 0 // matches after the cursor (== Matched when no cursor)
+	visit := func(title string, driverScore float64, hasDriver bool) {
+		page, ok := e.repo.Wiki.Get(title)
+		if !ok {
+			return
+		}
+		if !e.repo.ACL.CanRead(opts.User, title) {
+			return
+		}
+		d := docView{page: page, title: title, kws: kws}
+		if hasDriver && hasDriverLeaf {
+			d.driverText, d.driverAny = driver.Text, driver.Any
+			d.driverScore, d.hasDriver = driverScore, true
+		}
+		m := query.Eval(norm, d)
+		if !m.OK {
+			return
+		}
+		res.Matched++
+		for _, p := range props {
+			for _, v := range page.PropertyValues(p) {
+				facets[p][v]++
+			}
+		}
+		if opts.CountOnly {
+			return
+		}
+		r := Result{Title: title, Relevance: m.Score, Rank: ranks[title], Matched: m.Matched}
+		if cur != nil && !less(curResult, r) {
+			return // at or before the cursor position in the total order
+		}
+		eligible++
+		if sel != nil {
+			sel.push(r)
+		} else {
+			out = append(out, r)
+		}
+	}
+
+	e.enumerate(planned, ix, meta, driver, hasDriverLeaf, opts.DisablePruning, visit)
+
+	if opts.CountOnly {
+		return res, nil
+	}
+	if sel != nil {
+		out = sel.sorted()
+	} else {
+		sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	}
+	if opts.Offset > 0 {
+		if opts.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[opts.Offset:]
+		}
+	}
+	if opts.Limit > 0 && opts.Limit < len(out) {
+		out = out[:opts.Limit]
+	}
+	res.Results = out
+	if opts.Limit > 0 && len(out) == opts.Limit && eligible > opts.Offset+opts.Limit {
+		last := out[len(out)-1]
+		res.NextCursor = encodeCursor(cursorPayload{
+			Sort: string(key), Order: string(order),
+			Rel: last.Relevance, Rank: last.Rank, Title: last.Title, Sig: sig,
+		})
+	}
+	return res, nil
+}
+
+// enumerate streams every page that could match the normalized expression
+// to visit (a superset of the match set; visit re-evaluates). Three
+// strategies, best first:
+//
+//  1. structural candidate pruning via the metaIndex — unless disabled, and
+//     unless a required keyword's posting estimate is smaller than the
+//     candidate set (then the keyword driver enumerates less);
+//  2. the required-keyword driver: the expression is a keyword, or an And
+//     with a keyword conjunct — enumerate that keyword's hits, handing the
+//     already-computed score to visit so the driving leaf is never
+//     re-scored (kw/kwOK come from the caller so the driver leaf and the
+//     score shortcut always agree);
+//  3. an Or whose branches are all posting-derivable (structural
+//     candidates or keyword hits) — enumerate the union;
+//  4. full corpus scan.
+func (e *Engine) enumerate(planned query.Expr, ix *Index, meta *metaIndex, kw query.Keyword, kwOK, noPrune bool, visit func(title string, driverScore float64, hasDriver bool)) {
+	var titlesMemo []string
+	titles := func() []string {
+		if titlesMemo == nil {
+			titlesMemo = e.repo.Wiki.Titles()
+		}
+		return titlesMemo
+	}
+
+	mode := ModeAll
+	if kw.Any {
+		mode = ModeAny
+	}
+	kwEst := 0
+	if kwOK {
+		kwEst = ix.EstimateHits(kw.Text, mode)
+	}
+
+	if !noPrune {
+		if cands, ok := meta.candidates(planned, titles); ok {
+			if !kwOK || len(cands) <= kwEst {
+				for _, t := range cands {
+					visit(t, 0, false)
+				}
+				return
+			}
+		}
+	}
+	if kwOK {
+		for _, h := range ix.Hits(kw.Text, mode) {
+			visit(h.ID, h.Score, true)
+		}
+		return
+	}
+	if !noPrune {
+		if union, ok := e.orUnion(planned, ix, meta, titles); ok {
+			for _, t := range union {
+				visit(t, 0, false)
+			}
+			return
+		}
+	}
+	for _, t := range titles() {
+		visit(t, 0, false)
+	}
+}
+
+// orUnion derives a superset title set for a top-level Or whose branches
+// are each posting-derivable: structural branches via the metaIndex,
+// keyword branches via their hit lists. An Or of rare keywords then costs
+// O(Σ hits) instead of a corpus scan.
+func (e *Engine) orUnion(planned query.Expr, ix *Index, meta *metaIndex, titles func() []string) ([]string, bool) {
+	or, ok := planned.(query.Or)
+	if !ok {
+		return nil, false
+	}
+	var out []string
+	for _, c := range or.Children {
+		if kw, isKw := c.(query.Keyword); isKw {
+			mode := ModeAll
+			if kw.Any {
+				mode = ModeAny
+			}
+			hits := ix.Hits(kw.Text, mode)
+			ids := make([]string, 0, len(hits))
+			for _, h := range hits {
+				ids = append(ids, h.ID)
+			}
+			sort.Strings(ids)
+			out = unionSorted(out, ids)
+			continue
+		}
+		s, ok := meta.candidates(c, titles)
+		if !ok {
+			return nil, false
+		}
+		out = unionSorted(out, s)
+	}
+	return out, true
+}
+
+// requiredKeyword finds a keyword leaf every match must satisfy: the
+// expression itself, or a direct conjunct of a top-level And.
+func requiredKeyword(e query.Expr) (query.Keyword, bool) {
+	switch v := e.(type) {
+	case query.Keyword:
+		return v, true
+	case query.And:
+		for _, c := range v.Children {
+			if kw, ok := c.(query.Keyword); ok {
+				return kw, true
+			}
+		}
+	}
+	return query.Keyword{}, false
+}
+
+// CompileMatcher returns a per-title predicate for an expression — the
+// form the combined-query join applies to every joined row. Keyword
+// matchers are compiled once and shared across all calls to the returned
+// predicate. Unknown titles do not match. ACL is not applied here; callers
+// filter principals themselves.
+func (e *Engine) CompileMatcher(expr query.Expr) func(title string) bool {
+	e.mu.RLock()
+	ix := e.index
+	e.mu.RUnlock()
+	kws := newKwMatchers(ix)
+	return func(title string) bool {
+		page, ok := e.repo.Wiki.Get(title)
+		if !ok {
+			return false
+		}
+		return query.Matches(expr, docView{page: page, title: page.Title.String(), kws: kws})
+	}
+}
+
+// LegacyExpr translates the flat legacy query parameters onto the
+// compositional AST: the conjunction of its keyword, namespace, category
+// and property-filter constraints (All when empty). Both the legacy GET
+// surface and the programmatic Query API execute through this translation,
+// so the two paths share one executor.
+func LegacyExpr(q Query) (query.Expr, error) {
+	var conj []query.Expr
+	if strings.TrimSpace(q.Keywords) != "" {
+		conj = append(conj, query.Keyword{Text: q.Keywords, Any: q.Mode == ModeAny})
+	}
+	if q.Namespace != "" {
+		conj = append(conj, query.Namespace{Name: q.Namespace})
+	}
+	if q.Category != "" {
+		conj = append(conj, query.Category{Name: q.Category})
+	}
+	for _, f := range q.Filters {
+		op, ok := legacyOps[f.Op]
+		if !ok {
+			return nil, &query.Error{Code: "invalid_query", Field: "filter",
+				Message: fmt.Sprintf("unknown filter operator %q", string(f.Op))}
+		}
+		conj = append(conj, query.Property{Name: f.Property, Op: op, Value: f.Value})
+	}
+	switch len(conj) {
+	case 0:
+		return query.All{}, nil
+	case 1:
+		return conj[0], nil
+	}
+	return query.And{Children: conj}, nil
+}
+
+// legacyOps maps the legacy filter operators onto the AST vocabulary.
+var legacyOps = map[FilterOp]query.Op{
+	OpEquals: query.OpEq, OpNotEqual: query.OpNe,
+	OpLess: query.OpLt, OpLessEq: query.OpLe,
+	OpGreater: query.OpGt, OpGreatEq: query.OpGe,
+	OpContains: query.OpContains,
+}

@@ -325,6 +325,121 @@ func (ix *Index) collect(query string, mode Mode, emit func(Hit)) {
 	}
 }
 
+// DocMatcher is a keyword query compiled (tokenized, phrases split, terms
+// deduplicated) once for repeated per-document evaluation — the
+// per-candidate path of filter-pushdown execution, which scores only the
+// documents of a pruned candidate set and never touches whole posting
+// lists. Compile once, then Score costs O(query terms · log postings) per
+// document.
+type DocMatcher struct {
+	ix      *Index
+	uniq    []string
+	phrases [][]string // tokenized phrase constraints
+	mode    Mode
+}
+
+// CompileDocMatcher parses the query for per-document scoring.
+func (ix *Index) CompileDocMatcher(query string, mode Mode) *DocMatcher {
+	phrases, rest := extractPhrases(query)
+	terms := Tokenize(rest)
+	tokenized := make([][]string, 0, len(phrases))
+	for _, p := range phrases {
+		toks := Tokenize(p)
+		tokenized = append(tokenized, toks)
+		terms = append(terms, toks...)
+	}
+	uniq := make([]string, 0, len(terms))
+	seen := map[string]bool{}
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			uniq = append(uniq, t)
+		}
+	}
+	return &DocMatcher{ix: ix, uniq: uniq, phrases: tokenized, mode: mode}
+}
+
+// Score evaluates the compiled query against one document: it reports
+// whether the document matches (same semantics as Search — every term for
+// ModeAll, at least one for ModeAny, every quoted phrase verbatim) and its
+// TF-IDF score. The score is accumulated term by term in the same order as
+// the posting-driven scoring loop, so it is bit-identical to the score
+// Search reports for the same document.
+func (dm *DocMatcher) Score(id string) (float64, bool) {
+	ix := dm.ix
+	if len(dm.uniq) == 0 {
+		return 0, false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.docIdx)
+	doc, ok := ix.docIdx[id]
+	if n == 0 || !ok {
+		return 0, false
+	}
+	var score float64
+	matched := 0
+	for _, term := range dm.uniq {
+		p := ix.findPosting(term, doc)
+		if p == nil {
+			continue
+		}
+		matched++
+		idf := math.Log(float64(n)/float64(len(ix.postings[term]))) + 1
+		tf := float64(p.freq) / float64(ix.docLen[doc])
+		score += tf * idf
+	}
+	if matched == 0 || (dm.mode == ModeAll && matched < len(dm.uniq)) {
+		return 0, false
+	}
+	for _, toks := range dm.phrases {
+		if !ix.hasPhraseLocked(doc, toks) {
+			return 0, false
+		}
+	}
+	return score, true
+}
+
+// DocScore evaluates the query against one document — CompileDocMatcher +
+// Score for callers scoring a single document.
+func (ix *Index) DocScore(id, query string, mode Mode) (float64, bool) {
+	return ix.CompileDocMatcher(query, mode).Score(id)
+}
+
+// EstimateHits bounds the number of documents the query can match from the
+// posting-list lengths alone: the shortest list for ModeAll (every term is
+// required), the capped sum for ModeAny. Used for selectivity ordering.
+func (ix *Index) EstimateHits(query string, mode Mode) int {
+	phrases, rest := extractPhrases(query)
+	terms := Tokenize(rest)
+	for _, p := range phrases {
+		terms = append(terms, Tokenize(p)...)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(terms) == 0 {
+		return 0
+	}
+	n := len(ix.docIdx)
+	if mode == ModeAll {
+		min := n
+		for _, t := range terms {
+			if l := len(ix.postings[t]); l < min {
+				min = l
+			}
+		}
+		return min
+	}
+	sum := 0
+	for _, t := range terms {
+		sum += len(ix.postings[t])
+		if sum >= n {
+			return n
+		}
+	}
+	return sum
+}
+
 // extractPhrases splits a query into double-quoted phrases and the
 // remaining free text. Unbalanced quotes treat the tail as free text.
 func extractPhrases(query string) (phrases []string, rest string) {

@@ -1,0 +1,341 @@
+package search
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/wiki"
+)
+
+// metaIndex is the engine's structural inverted index: sorted page-title
+// posting sets keyed by (property, value) pair, property presence,
+// category and namespace, maintained incrementally alongside the text
+// index (upsertPage/deletePage diff a page's old and new key sets). The
+// executor prunes filter queries by intersecting these sets — the most
+// selective first — before any keyword scoring happens, and the
+// selectivity estimator reads the set sizes.
+//
+// Keys are "\x00"-separated so values containing the separator cannot
+// collide across kinds. Property names, values, categories and namespaces
+// are canonicalized with query.Fold — NOT strings.ToLower — so key
+// equality coincides exactly with the strings.EqualFold semantics the
+// evaluator applies: a candidate set derived from these keys is always a
+// superset of the leaf's true match set, never a subset.
+type metaIndex struct {
+	mu   sync.RWMutex
+	sets map[string][]string // key -> sorted page titles
+	// rawVals refcounts the distinct RAW values present per folded
+	// property name (value -> number of carrying pages). Non-equality
+	// operators and ranges enumerate these and apply the evaluator's own
+	// per-value predicate verbatim, then union the folded-key posting
+	// sets of the raw values that matched — exact predicate, superset
+	// postings.
+	rawVals map[string]map[string]int
+	// byTitle remembers each page's sorted key set for retraction.
+	byTitle map[string][]string
+}
+
+func newMetaIndex() *metaIndex {
+	return &metaIndex{
+		sets:    map[string][]string{},
+		rawVals: map[string]map[string]int{},
+		byTitle: map[string][]string{},
+	}
+}
+
+// Key kinds. The prefix byte keeps the key spaces disjoint. The "r" kind
+// carries the raw (unfolded) value and feeds the rawVals refcounts instead
+// of a posting set.
+func propValKey(prop, value string) string {
+	return "v\x00" + query.Fold(prop) + "\x00" + query.Fold(value)
+}
+func rawValKey(prop, value string) string { return "r\x00" + query.Fold(prop) + "\x00" + value }
+func propKey(prop string) string          { return "p\x00" + query.Fold(prop) }
+func catKey(cat string) string            { return "c\x00" + query.Fold(cat) }
+func nsKey(ns string) string              { return "n\x00" + query.Fold(ns) }
+
+// pageMetaKeys extracts a page's sorted distinct structural keys.
+func pageMetaKeys(p *wiki.Page) []string {
+	seen := map[string]bool{}
+	var keys []string
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	add(nsKey(string(p.Title.Namespace)))
+	for _, c := range p.Categories {
+		add(catKey(c))
+	}
+	for _, a := range p.Annotations {
+		add(propKey(a.Property))
+		add(propValKey(a.Property, a.Value))
+		add(rawValKey(a.Property, a.Value))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// upsert replaces one page's structural keys with next (sorted distinct).
+func (mi *metaIndex) upsert(title string, next []string) {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	prev := mi.byTitle[title]
+	i, j := 0, 0
+	for i < len(prev) || j < len(next) {
+		switch {
+		case j >= len(next) || (i < len(prev) && prev[i] < next[j]):
+			mi.removeLocked(prev[i], title)
+			i++
+		case i >= len(prev) || next[j] < prev[i]:
+			mi.addLocked(next[j], title)
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	if len(next) == 0 {
+		delete(mi.byTitle, title)
+	} else {
+		mi.byTitle[title] = next
+	}
+}
+
+// remove drops every key of one page.
+func (mi *metaIndex) remove(title string) {
+	mi.upsert(title, nil)
+}
+
+func (mi *metaIndex) addLocked(key, title string) {
+	if strings.HasPrefix(key, "r\x00") {
+		mi.trackRawValueLocked(key, +1)
+		return
+	}
+	list := mi.sets[key]
+	i := sort.SearchStrings(list, title)
+	if i < len(list) && list[i] == title {
+		return
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = title
+	mi.sets[key] = list
+}
+
+func (mi *metaIndex) removeLocked(key, title string) {
+	if strings.HasPrefix(key, "r\x00") {
+		mi.trackRawValueLocked(key, -1)
+		return
+	}
+	list := mi.sets[key]
+	i := sort.SearchStrings(list, title)
+	if i >= len(list) || list[i] != title {
+		return
+	}
+	copy(list[i:], list[i+1:])
+	list = list[:len(list)-1]
+	if len(list) == 0 {
+		delete(mi.sets, key)
+	} else {
+		mi.sets[key] = list
+	}
+}
+
+// trackRawValueLocked adjusts the refcount of one raw (property, value)
+// pair when a carrying page appears or vanishes.
+func (mi *metaIndex) trackRawValueLocked(key string, delta int) {
+	rest := key[2:] // strip "r\x00"
+	sep := strings.IndexByte(rest, 0)
+	if sep < 0 {
+		return
+	}
+	prop, value := rest[:sep], rest[sep+1:]
+	vals := mi.rawVals[prop]
+	if vals == nil {
+		if delta <= 0 {
+			return
+		}
+		vals = map[string]int{}
+		mi.rawVals[prop] = vals
+	}
+	vals[value] += delta
+	if vals[value] <= 0 {
+		delete(vals, value)
+		if len(vals) == 0 {
+			delete(mi.rawVals, prop)
+		}
+	}
+}
+
+// estimateLeaf bounds the match count of one structural leaf from the set
+// sizes. Leaves it cannot bound report (0, false).
+func (mi *metaIndex) estimateLeaf(leaf query.Expr) (int, bool) {
+	mi.mu.RLock()
+	defer mi.mu.RUnlock()
+	switch v := leaf.(type) {
+	case query.Property:
+		if v.Op == query.OpEq {
+			return len(mi.sets[propValKey(v.Name, v.Value)]), true
+		}
+		return len(mi.sets[propKey(v.Name)]), true
+	case query.Range:
+		return len(mi.sets[propKey(v.Name)]), true
+	case query.HasProperty:
+		return len(mi.sets[propKey(v.Name)]), true
+	case query.Category:
+		return len(mi.sets[catKey(v.Name)]), true
+	case query.Namespace:
+		return len(mi.sets[nsKey(v.Name)]), true
+	}
+	return 0, false
+}
+
+// candidates computes a sorted title list that is a superset of the
+// expression's match set, and reports whether one could be derived. The
+// whole computation runs under one read lock and returns freshly-built
+// slices, so the caller can use the result without further locking.
+//
+//   - structural leaves read their posting sets (non-equality property
+//     operators and ranges union the sets of every satisfying value);
+//   - And intersects whatever candidate sets its children yield, smallest
+//     first — the filter pushdown;
+//   - Or unions its children's sets, but only when every child yields one;
+//   - Keyword, Not and All yield nothing (the executor falls back to the
+//     keyword driver or a corpus scan).
+//
+// titles supplies the sorted corpus title list (lazily) for TitlePrefix.
+func (mi *metaIndex) candidates(e query.Expr, titles func() []string) ([]string, bool) {
+	mi.mu.RLock()
+	defer mi.mu.RUnlock()
+	return mi.candidatesLocked(e, titles)
+}
+
+func (mi *metaIndex) candidatesLocked(e query.Expr, titles func() []string) ([]string, bool) {
+	switch v := e.(type) {
+	case query.Property:
+		if v.Op == query.OpEq {
+			return copyTitles(mi.sets[propValKey(v.Name, v.Value)]), true
+		}
+		return mi.unionMatchingValuesLocked(v.Name, func(value string) bool {
+			return query.MatchValue(v.Op, value, v.Value)
+		}), true
+	case query.Range:
+		return mi.unionMatchingValuesLocked(v.Name, v.Contains), true
+	case query.HasProperty:
+		return copyTitles(mi.sets[propKey(v.Name)]), true
+	case query.Category:
+		return copyTitles(mi.sets[catKey(v.Name)]), true
+	case query.Namespace:
+		return copyTitles(mi.sets[nsKey(v.Name)]), true
+	case query.TitlePrefix:
+		all := titles()
+		lo := sort.SearchStrings(all, v.Prefix)
+		hi := sort.Search(len(all), func(i int) bool {
+			return !strings.HasPrefix(all[i], v.Prefix) && all[i] > v.Prefix
+		})
+		if lo >= hi {
+			return nil, true
+		}
+		return copyTitles(all[lo:hi]), true
+	case query.And:
+		var sets [][]string
+		for _, c := range v.Children {
+			if s, ok := mi.candidatesLocked(c, titles); ok {
+				sets = append(sets, s)
+			}
+		}
+		if len(sets) == 0 {
+			return nil, false
+		}
+		sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+		out := sets[0]
+		for _, s := range sets[1:] {
+			if len(out) == 0 {
+				break
+			}
+			out = intersectSorted(out, s)
+		}
+		return out, true
+	case query.Or:
+		var out []string
+		for _, c := range v.Children {
+			s, ok := mi.candidatesLocked(c, titles)
+			if !ok {
+				return nil, false
+			}
+			out = unionSorted(out, s)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// unionMatchingValuesLocked unions the posting sets of every distinct raw
+// value of one property that satisfies the predicate — the predicate is
+// the evaluator's own (applied to the raw value, exactly as per-page
+// evaluation would), so no satisfying page can be missed; the folded-key
+// posting sets may add fold-sibling pages, which per-page evaluation
+// filters out again.
+func (mi *metaIndex) unionMatchingValuesLocked(prop string, match func(value string) bool) []string {
+	var out []string
+	for value := range mi.rawVals[query.Fold(prop)] {
+		if match(value) {
+			out = unionSorted(out, mi.sets[propValKey(prop, value)])
+		}
+	}
+	return out
+}
+
+func copyTitles(s []string) []string {
+	return append([]string(nil), s...)
+}
+
+// intersectSorted intersects two sorted title lists into a fresh slice.
+func intersectSorted(a, b []string) []string {
+	out := make([]string, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionSorted merges two sorted title lists, deduplicating.
+func unionSorted(a, b []string) []string {
+	if len(a) == 0 {
+		return copyTitles(b)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

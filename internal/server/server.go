@@ -78,6 +78,8 @@ func NewWithOptions(sys *sensormeta.System, opts Options) *Server {
 	handle("/api/sql", s.handleSQL)
 	handle("/api/sparql", s.handleSPARQL)
 	handle("/api/combined", s.handleCombined)
+	handle("/api/v1/query", s.handleV1Query)
+	handle("/api/v1/combined", s.handleV1Combined)
 	handle("/bulkload", s.handleBulkLoad)
 	handle("/viz/bar.svg", s.handleBarChart)
 	handle("/viz/pie.svg", s.handlePieChart)
@@ -320,27 +322,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "search: %v", err)
 		return
 	}
-	type item struct {
-		Title     string            `json:"title"`
-		Relevance float64           `json:"relevance"`
-		Rank      float64           `json:"rank"`
-		Matched   map[string]string `json:"matched,omitempty"`
-		Snippet   string            `json:"snippet,omitempty"`
-	}
-	keywords := r.URL.Query().Get("q")
 	out := struct {
 		Count   int                       `json:"count"`
 		Matched int                       `json:"matched,omitempty"`
-		Results []item                    `json:"results"`
+		Results []resultItem              `json:"results"`
 		Facets  map[string]map[string]int `json:"facets,omitempty"`
-	}{Count: len(rs)}
-	for _, res := range rs {
-		it := item{Title: res.Title, Relevance: res.Relevance, Rank: res.Rank, Matched: res.Matched}
-		if keywords != "" {
-			it.Snippet = s.sys.Engine.SnippetFor(res.Title, keywords, 160)
-		}
-		out.Results = append(out.Results, it)
-	}
+	}{Count: len(rs), Results: s.resultItems(rs, r.URL.Query().Get("q"))}
 	if len(facetProps) > 0 {
 		out.Facets, out.Matched = facets, matched
 	}

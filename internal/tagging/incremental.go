@@ -492,6 +492,68 @@ func lessStrings(a, b []string) bool {
 	return len(a) < len(b)
 }
 
+// mergeSortedCliques k-way-merges per-component clique lists — each
+// already in the canonical lexicographic order the solver emits — into the
+// global canonical order, replacing the old full re-sort of every clique
+// on every recomputation. Components partition the tag vocabulary, so
+// cliques from different lists never compare equal and the merge order is
+// strict; a small binary heap over the list heads keeps the cost at
+// O(total cliques · log components) instead of O(n log n) comparisons over
+// re-sorted cached data.
+func mergeSortedCliques(lists [][][]string) [][]string {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	// heap entries are list indexes, ordered by each list's head clique.
+	heap := make([]int, 0, len(lists))
+	pos := make([]int, len(lists))
+	headLess := func(a, b int) bool { return lessStrings(lists[a][pos[a]], lists[b][pos[b]]) }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && headLess(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && headLess(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	total := 0
+	for li, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			heap = append(heap, li)
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	out := make([][]string, 0, total)
+	for len(heap) > 0 {
+		li := heap[0]
+		out = append(out, lists[li][pos[li]])
+		pos[li]++
+		if pos[li] == len(lists[li]) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		if len(heap) > 0 {
+			siftDown(0)
+		}
+	}
+	return out
+}
+
 // assembleCloud builds a Cloud from the store and a settled similarity
 // graph: per-component cliques (cached where possible) merged into the
 // canonical global clique order, then the Eq.-6 font sizes — exactly the
@@ -500,7 +562,7 @@ func lessStrings(a, b []string) bool {
 func assembleCloud(s *tagStore, g *simGraph, opts CloudOptions) (cloud *Cloud, reusedComps, computedComps int) {
 	opts = opts.withDefaults()
 	live := map[uint64]bool{}
-	var all [][]string
+	var lists [][][]string
 	steps := 0
 	for _, comp := range g.components(s) {
 		cliques, st, kind := g.componentCliques(comp, opts.UsePivot, live)
@@ -511,10 +573,12 @@ func assembleCloud(s *tagStore, g *simGraph, opts CloudOptions) (cloud *Cloud, r
 			computedComps++
 		}
 		steps += st
-		all = append(all, cliques...)
+		if len(cliques) > 0 {
+			lists = append(lists, cliques)
+		}
 	}
 	g.pruneCliqueCache(live)
-	sort.Slice(all, func(i, j int) bool { return lessStrings(all[i], all[j]) })
+	all := mergeSortedCliques(lists)
 
 	member := map[string][]int{}
 	for ci, c := range all {

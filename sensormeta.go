@@ -8,6 +8,9 @@
 //   - combined SQL + SPARQL querying — internal/relational, internal/sparql;
 //   - the advanced search interface (keyword TF-IDF, property filters,
 //     facets, autocomplete) — internal/search;
+//   - the compositional query AST every execution layer shares (boolean
+//     tree over typed leaves, canonical JSON, normalization, selectivity
+//     reordering) — internal/query;
 //   - PageRank over the double link structure, with the six solvers of the
 //     paper's Fig. 3 — internal/pagerank, internal/ranking;
 //   - the recommendation mechanism — internal/recommend;
@@ -64,6 +67,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/pagerank"
+	"repro/internal/query"
 	"repro/internal/ranking"
 	"repro/internal/recommend"
 	"repro/internal/search"
@@ -333,9 +337,20 @@ func (s *System) installRanking(rk *ranking.Ranker, rebuildRecommender bool) {
 	s.QueryManager.SetScores(rk.Scores())
 }
 
-// Search runs an advanced query.
+// Search runs an advanced query. The flat legacy Query is translated onto
+// the compositional AST and executed by the shared executor; Query is the
+// expression-level entry point.
 func (s *System) Search(q search.Query) ([]search.Result, error) {
 	return s.Engine.Search(q)
+}
+
+// Query executes a compositional query expression (internal/query's
+// boolean tree over keyword, property, range, category, has-property,
+// title-prefix and namespace leaves) with filter-aware candidate pruning,
+// streaming facets and keyset-cursor pagination — the programmatic
+// equivalent of POST /api/v1/query.
+func (s *System) Query(expr query.Expr, opts search.ExecOptions) (*search.ExecResult, error) {
+	return s.Engine.Execute(expr, opts)
 }
 
 // ranker loads the current Ranker pointer safely against a concurrent
