@@ -679,6 +679,103 @@ func BenchmarkFacetCounts(b *testing.B) {
 	})
 }
 
+// BenchmarkFacetIndexVsStream measures filter-only facet counting: the
+// streaming baseline enumerates the pruned candidate set and evaluates
+// every page (fetch + query.Eval + PropertyValues accumulation), the index
+// path answers by posting-set arithmetic alone (exact match set ∩
+// per-raw-value postings, occurrence counts summed) — no page is fetched
+// or evaluated. Two query shapes: a broad namespace scope (counts over
+// most of the corpus) and a selective property filter.
+func BenchmarkFacetIndexVsStream(b *testing.B) {
+	sys := benchSystem(b, 5000)
+	sensors := sys.Repo.Wiki.PagesInNamespace("Sensor")
+	page, ok := sys.Repo.Wiki.Get(sensors[0])
+	if !ok {
+		b.Fatal("missing sensor page")
+	}
+	dep := page.PropertyValues("partOf")[0]
+	props := []string{"measures", "status"}
+	shapes := []struct {
+		name string
+		expr query.Expr
+	}{
+		{"broad", query.Namespace{Name: "Sensor"}},
+		{"selective", query.Property{Name: "partof", Op: query.OpEq, Value: dep}},
+	}
+	for _, shape := range shapes {
+		want, err := sys.Engine.Execute(shape.expr, search.ExecOptions{
+			CountOnly: true, Facets: props,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range []struct {
+			name    string
+			noIndex bool
+		}{{"stream", true}, {"indexed", false}} {
+			b.Run(shape.name+"/"+c.name, func(b *testing.B) {
+				b.ReportMetric(float64(want.Matched), "matches")
+				for i := 0; i < b.N; i++ {
+					res, err := sys.Engine.Execute(shape.expr, search.ExecOptions{
+						CountOnly: true, Facets: props, DisableFacetIndex: c.noIndex,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Matched != want.Matched {
+						b.Fatalf("matched %d, want %d", res.Matched, want.Matched)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAlphaFusion measures the relevance/PageRank fusion on the
+// query shape the interface serves (20 fused results of a keyword query):
+// the legacy path materializes and fully sorts every match, then re-sorts
+// the whole set under the fused score (System.Fuse) and truncates; the
+// in-executor path buffers the matching set once and heap-selects the
+// fused top 20 — O(n log k) instead of two O(n log n) sorts.
+func BenchmarkAlphaFusion(b *testing.B) {
+	sys := benchSystem(b, 5000)
+	expr := query.Keyword{Text: "sensor temperature", Any: true}
+	alpha := 0.5
+	fused, err := sys.Engine.Execute(expr, search.ExecOptions{Alpha: &alpha, Limit: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(fused.Results) != 20 {
+		b.Fatalf("fused page has %d results", len(fused.Results))
+	}
+	b.Run("legacy-resort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Engine.Execute(expr, search.ExecOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs := sys.Fuse(res.Results, alpha)
+			if len(rs) > 20 {
+				rs = rs[:20]
+			}
+			if rs[0].Title != fused.Results[0].Title {
+				b.Fatalf("orderings diverge: %s vs %s", rs[0].Title, fused.Results[0].Title)
+			}
+		}
+	})
+	b.Run("in-executor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Engine.Execute(expr, search.ExecOptions{Alpha: &alpha, Limit: 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Results[0].Title != fused.Results[0].Title {
+				b.Fatal("orderings diverge")
+			}
+		}
+	})
+}
+
 // BenchmarkFilterPushdown measures the executor's candidate pruning on a
 // selective-filter keyword query (the filter matches well under 5% of the
 // corpus): the score-then-filter baseline scores every "sensor" posting

@@ -46,6 +46,12 @@ type CombinedQuery struct {
 	User string
 	// Limit caps the joined result (0 = unlimited).
 	Limit int
+	// Cursor continues a previous result's NextCursor: the rows strictly
+	// after that position in the join's total order (PageRank descending,
+	// title tie-break). The cursor is signature-bound to the full join spec
+	// (SPARQL, page variable, SQL, keywords, filter expression, user), so a
+	// cursor minted for one combined query cannot page another.
+	Cursor string
 }
 
 // Column is one output column of a combined result.
@@ -60,6 +66,10 @@ type Result struct {
 	Rows    [][]string // cell values, row-aligned with Titles
 	Titles  []string   // page titles (== first column values)
 	Hint    Hint
+	// NextCursor pages the join: pass it back as CombinedQuery.Cursor for
+	// the rows after this page. Empty when this page exhausts the join (or
+	// Limit was 0).
+	NextCursor string
 }
 
 // Hint tells the interface which visualization the paper's system would
@@ -111,6 +121,25 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 	pageVar := q.PageVar
 	if pageVar == "" {
 		pageVar = "page"
+	}
+	// Keyset pagination reuses the executor's cursor machinery: the
+	// signature binds the cursor to the full join spec, the payload carries
+	// the last row's sort keys.
+	var cur *combinedCursor
+	sig, err := m.cursorSignature(q, pageVar)
+	if err != nil {
+		return nil, err
+	}
+	if q.Cursor != "" {
+		var p combinedCursor
+		if err := search.DecodeCursorToken(q.Cursor, &p); err != nil {
+			return nil, err
+		}
+		if p.Sig != sig {
+			return nil, &query.Error{Code: "bad_cursor", Field: "cursor",
+				Message: "cursor was issued for a different combined query"}
+		}
+		cur = &p
 	}
 
 	type attrs map[string]string
@@ -262,18 +291,33 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 		}
 		titles = append(titles, title)
 	}
-	sort.Slice(titles, func(i, j int) bool {
-		si, sj := m.scores[titles[i]], m.scores[titles[j]]
-		if si != sj {
-			return si > sj
+	rowLess := func(scoreA float64, titleA string, scoreB float64, titleB string) bool {
+		if scoreA != scoreB {
+			return scoreA > scoreB
 		}
-		return titles[i] < titles[j]
+		return titleA < titleB
+	}
+	sort.Slice(titles, func(i, j int) bool {
+		return rowLess(m.scores[titles[i]], titles[i], m.scores[titles[j]], titles[j])
 	})
+	if cur != nil {
+		// Rows at or before the cursor position form a prefix of the sorted
+		// order; binary-search the first row strictly after it.
+		from := sort.Search(len(titles), func(i int) bool {
+			return rowLess(cur.Score, cur.Title, m.scores[titles[i]], titles[i])
+		})
+		titles = titles[from:]
+	}
+	nextCursor := ""
 	if q.Limit > 0 && len(titles) > q.Limit {
 		titles = titles[:q.Limit]
+		last := titles[len(titles)-1]
+		nextCursor = search.EncodeCursorToken(combinedCursor{
+			Score: m.scores[last], Title: last, Sig: sig,
+		})
 	}
 
-	res := &Result{Titles: titles}
+	res := &Result{Titles: titles, NextCursor: nextCursor}
 	res.Columns = append(res.Columns, Column{Name: "page"})
 	for _, c := range extraCols {
 		res.Columns = append(res.Columns, Column{Name: c, Numeric: true})
@@ -307,6 +351,29 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 
 	res.Hint = m.chooseHint(res)
 	return res, nil
+}
+
+// combinedCursor is the keyset-cursor payload of the combined-query join:
+// the sort keys (PageRank score, title) of the last row served, plus the
+// join-spec signature.
+type combinedCursor struct {
+	Score float64 `json:"p"`
+	Title string  `json:"t"`
+	Sig   uint64  `json:"g"`
+}
+
+// cursorSignature fingerprints a combined query's full join spec — every
+// part that shapes the joined row set and its order.
+func (m *Manager) cursorSignature(q CombinedQuery, pageVar string) (uint64, error) {
+	filterJSON := ""
+	if q.Filter != nil {
+		raw, err := query.Marshal(q.Filter)
+		if err != nil {
+			return 0, fmt.Errorf("core: filter part: %w", err)
+		}
+		filterJSON = string(raw)
+	}
+	return search.CursorSignature("combined", q.SPARQL, pageVar, q.SQL, q.Keywords, filterJSON, q.User), nil
 }
 
 // chooseHint routes a result to the visualization the paper's system would

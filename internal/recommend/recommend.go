@@ -9,13 +9,15 @@
 // shared-pair property weight × the candidate's own PageRank.
 //
 // The recommender is a consumer of the repository's change journal: it
-// remembers each page's distinct property set and that page's PageRank
-// contribution, so Update adjusts the affected property scores in
-// O(annotations in the changed pages) instead of rescanning the corpus via
-// Wiki.Each. A journal window overrun (smr.Repository.Changes reporting
-// !ok) falls back to a full rebuild. All score sums are accumulated in
-// sorted page-title order on both the incremental and the rebuild path, so
-// the two produce bit-identical floating-point property scores.
+// remembers each page's distinct property set and the PageRank its
+// contributions currently reflect, so Update adjusts the affected property
+// scores in O(annotations in the changed pages) instead of rescanning the
+// corpus via Wiki.Each. A journal window overrun (smr.Repository.Changes
+// reporting !ok) falls back to a full rebuild. All posting lists are
+// sorted title sets (internal/sortedset) and all score sums are
+// accumulated in sorted page-title order on both the incremental and the
+// rebuild path, so the two produce bit-identical floating-point property
+// scores.
 package recommend
 
 import (
@@ -24,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/smr"
+	"repro/internal/sortedset"
 	"repro/internal/wiki"
 )
 
@@ -32,12 +35,6 @@ type Recommendation struct {
 	Title  string
 	Score  float64
 	Shared []string // "property=value" pairs that connected it to the seeds
-}
-
-// contrib is one page's PageRank contribution to a property's score.
-type contrib struct {
-	page string
-	rank float64
 }
 
 // Stats counts what the recommender's refresh paths have done, for the
@@ -61,10 +58,13 @@ type Recommender struct {
 	// names — the state needed to retract a page's contribution when it
 	// changes or disappears.
 	pageProps map[string][]string
-	// propPages holds, per property, the contributing pages sorted by
-	// title. propScore[p] is always the sum of propPages[p] in slice order,
-	// which keeps incremental recomputation bit-identical to a rebuild.
-	propPages map[string][]contrib
+	// propPages holds, per property, the contributing pages as a sorted
+	// title set; pageRank the PageRank each page's contributions currently
+	// reflect. propScore[p] is always the sum of pageRank over
+	// propPages[p] in slice order, which keeps incremental recomputation
+	// bit-identical to a rebuild.
+	propPages map[string][]string
+	pageRank  map[string]float64
 	propScore map[string]float64
 	// pagePairs records each page's sorted distinct (property, value)
 	// pair keys, and pairPages inverts it: pair key → sorted page titles.
@@ -95,7 +95,8 @@ func (r *Recommender) rebuildLocked() {
 	// be double-applied by a later Update, which is idempotent.
 	r.seq = r.repo.LastSeq()
 	r.pageProps = make(map[string][]string)
-	r.propPages = make(map[string][]contrib)
+	r.propPages = make(map[string][]string)
+	r.pageRank = make(map[string]float64)
 	r.propScore = make(map[string]float64)
 	r.pagePairs = make(map[string][]string)
 	r.pairPages = make(map[string][]string)
@@ -109,9 +110,9 @@ func (r *Recommender) rebuildLocked() {
 			return
 		}
 		r.pageProps[title] = props
-		pr := r.ranks[title]
+		r.pageRank[title] = r.ranks[title]
 		for _, key := range props {
-			r.propPages[key] = append(r.propPages[key], contrib{page: title, rank: pr})
+			r.propPages[key] = append(r.propPages[key], title)
 		}
 		pairs := distinctPairs(p)
 		r.pagePairs[title] = pairs
@@ -120,7 +121,7 @@ func (r *Recommender) rebuildLocked() {
 		}
 	})
 	for key, list := range r.propPages {
-		r.propScore[key] = sumContribs(list)
+		r.propScore[key] = r.sumRanks(list)
 	}
 	r.stats.FullRebuilds++
 	r.stats.Seq = r.seq
@@ -129,41 +130,30 @@ func (r *Recommender) rebuildLocked() {
 // distinctPairs returns the page's distinct (property, value) pair keys,
 // sorted.
 func distinctPairs(p *wiki.Page) []string {
-	seen := map[string]bool{}
-	var pairs []string
+	pairs := make([]string, 0, len(p.Annotations))
 	for _, a := range p.Annotations {
-		key := pairKey(a.Property, a.Value)
-		if !seen[key] {
-			seen[key] = true
-			pairs = append(pairs, key)
-		}
+		pairs = append(pairs, pairKey(a.Property, a.Value))
 	}
-	sort.Strings(pairs)
-	return pairs
+	return sortedset.FromSlice(pairs)
 }
 
 // distinctProps returns the page's distinct lowercased property names,
 // sorted.
 func distinctProps(p *wiki.Page) []string {
-	seen := map[string]bool{}
-	var props []string
+	props := make([]string, 0, len(p.Annotations))
 	for _, a := range p.Annotations {
-		key := strings.ToLower(a.Property)
-		if !seen[key] {
-			seen[key] = true
-			props = append(props, key)
-		}
+		props = append(props, strings.ToLower(a.Property))
 	}
-	sort.Strings(props)
-	return props
+	return sortedset.FromSlice(props)
 }
 
-// sumContribs folds a title-sorted contribution list into a score. The
-// deterministic order makes incremental and rebuilt sums bit-identical.
-func sumContribs(list []contrib) float64 {
+// sumRanks folds a title-sorted contribution list into a score using the
+// retained per-page ranks. The deterministic order makes incremental and
+// rebuilt sums bit-identical.
+func (r *Recommender) sumRanks(titles []string) float64 {
 	var s float64
-	for _, c := range list {
-		s += c.rank
+	for _, t := range titles {
+		s += r.pageRank[t]
 	}
 	return s
 }
@@ -201,67 +191,60 @@ func (r *Recommender) Update() UpdateStats {
 		}
 		seen[c.Title] = true
 		stats.Applied++
-		oldProps := r.pageProps[c.Title]
-		var newProps []string
-		if page, exists := r.repo.Wiki.Get(c.Title); exists {
+		title := c.Title
+		oldProps := r.pageProps[title]
+		var newProps, newPairs []string
+		if page, exists := r.repo.Wiki.Get(title); exists {
 			newProps = distinctProps(page)
+			newPairs = distinctPairs(page)
 		}
-		pr := r.ranks[c.Title]
-		// Merge-walk the sorted old and new property sets: properties the
-		// page kept only touch their sum when the contribution moved
+		pr := r.ranks[title]
+		rankMoved := r.pageRank[title] != pr
+		// Merge-diff the sorted old and new property sets: properties the
+		// page kept only touch their sum when the page's rank moved
 		// (annotation edits usually keep the property set and the rank, so
 		// the common case adjusts nothing at all); gained and lost
 		// properties insert or retract one contribution.
-		i, j := 0, 0
-		for i < len(oldProps) || j < len(newProps) {
-			switch {
-			case j >= len(newProps) || (i < len(oldProps) && oldProps[i] < newProps[j]):
-				r.removeContrib(oldProps[i], c.Title)
-				dirty[oldProps[i]] = true
-				i++
-			case i >= len(oldProps) || newProps[j] < oldProps[i]:
-				r.insertContrib(newProps[j], contrib{page: c.Title, rank: pr})
-				dirty[newProps[j]] = true
-				j++
-			default:
-				if k := r.findContrib(oldProps[i], c.Title); k >= 0 && r.propPages[oldProps[i]][k].rank != pr {
-					r.propPages[oldProps[i]][k].rank = pr
-					dirty[oldProps[i]] = true
+		sortedset.DiffWalk(oldProps, newProps,
+			func(p string) {
+				r.propPages[p], _ = sortedset.Remove(r.propPages[p], title)
+				dirty[p] = true
+			},
+			func(p string) {
+				r.propPages[p], _ = sortedset.Insert(r.propPages[p], title)
+				dirty[p] = true
+			},
+			func(p string) {
+				if rankMoved {
+					dirty[p] = true
 				}
-				i++
-				j++
-			}
-		}
+			})
 		if len(newProps) == 0 {
-			delete(r.pageProps, c.Title)
+			delete(r.pageProps, title)
+			delete(r.pageRank, title)
 		} else {
-			r.pageProps[c.Title] = newProps
+			r.pageProps[title] = newProps
+			r.pageRank[title] = pr
 		}
-		// Merge-walk the sorted old and new pair sets the same way, keeping
+		// Merge-diff the sorted old and new pair sets the same way, keeping
 		// the inverted (property, value) → pages index current.
-		oldPairs := r.pagePairs[c.Title]
-		var newPairs []string
-		if page, exists := r.repo.Wiki.Get(c.Title); exists {
-			newPairs = distinctPairs(page)
-		}
-		i, j = 0, 0
-		for i < len(oldPairs) || j < len(newPairs) {
-			switch {
-			case j >= len(newPairs) || (i < len(oldPairs) && oldPairs[i] < newPairs[j]):
-				r.removePairPage(oldPairs[i], c.Title)
-				i++
-			case i >= len(oldPairs) || newPairs[j] < oldPairs[i]:
-				r.insertPairPage(newPairs[j], c.Title)
-				j++
-			default:
-				i++
-				j++
-			}
-		}
+		sortedset.DiffWalk(r.pagePairs[title], newPairs,
+			func(pair string) {
+				list, _ := sortedset.Remove(r.pairPages[pair], title)
+				if len(list) == 0 {
+					delete(r.pairPages, pair)
+				} else {
+					r.pairPages[pair] = list
+				}
+			},
+			func(pair string) {
+				r.pairPages[pair], _ = sortedset.Insert(r.pairPages[pair], title)
+			},
+			nil)
 		if len(newPairs) == 0 {
-			delete(r.pagePairs, c.Title)
+			delete(r.pagePairs, title)
 		} else {
-			r.pagePairs[c.Title] = newPairs
+			r.pagePairs[title] = newPairs
 		}
 	}
 	for key := range dirty {
@@ -269,7 +252,7 @@ func (r *Recommender) Update() UpdateStats {
 			delete(r.propPages, key)
 			delete(r.propScore, key)
 		} else {
-			r.propScore[key] = sumContribs(list)
+			r.propScore[key] = r.sumRanks(list)
 		}
 	}
 	r.seq = stats.Seq
@@ -288,74 +271,13 @@ func (r *Recommender) SetRanks(ranks map[string]float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.ranks = ranks
+	for title := range r.pageRank {
+		r.pageRank[title] = ranks[title]
+	}
 	for key, list := range r.propPages {
-		for i := range list {
-			list[i].rank = ranks[list[i].page]
-		}
-		r.propScore[key] = sumContribs(list)
+		r.propScore[key] = r.sumRanks(list)
 	}
 	r.stats.Rescores++
-}
-
-// insertPairPage places a title into a pair's sorted page list.
-func (r *Recommender) insertPairPage(pair, page string) {
-	list := r.pairPages[pair]
-	i := sort.SearchStrings(list, page)
-	if i < len(list) && list[i] == page {
-		return
-	}
-	list = append(list, "")
-	copy(list[i+1:], list[i:])
-	list[i] = page
-	r.pairPages[pair] = list
-}
-
-// removePairPage deletes a title from a pair's sorted page list.
-func (r *Recommender) removePairPage(pair, page string) {
-	list := r.pairPages[pair]
-	i := sort.SearchStrings(list, page)
-	if i >= len(list) || list[i] != page {
-		return
-	}
-	copy(list[i:], list[i+1:])
-	list = list[:len(list)-1]
-	if len(list) == 0 {
-		delete(r.pairPages, pair)
-	} else {
-		r.pairPages[pair] = list
-	}
-}
-
-// insertContrib places c into key's title-sorted contribution list.
-func (r *Recommender) insertContrib(key string, c contrib) {
-	list := r.propPages[key]
-	i := sort.Search(len(list), func(k int) bool { return list[k].page >= c.page })
-	list = append(list, contrib{})
-	copy(list[i+1:], list[i:])
-	list[i] = c
-	r.propPages[key] = list
-}
-
-// findContrib returns the index of the page's entry in key's contribution
-// list, or -1.
-func (r *Recommender) findContrib(key, page string) int {
-	list := r.propPages[key]
-	i := sort.Search(len(list), func(k int) bool { return list[k].page >= page })
-	if i < len(list) && list[i].page == page {
-		return i
-	}
-	return -1
-}
-
-// removeContrib deletes the page's entry from key's contribution list.
-func (r *Recommender) removeContrib(key, page string) {
-	list := r.propPages[key]
-	i := sort.Search(len(list), func(k int) bool { return list[k].page >= page })
-	if i >= len(list) || list[i].page != page {
-		return
-	}
-	copy(list[i:], list[i+1:])
-	r.propPages[key] = list[:len(list)-1]
 }
 
 // Seq returns the journal position the property scores reflect.

@@ -1,0 +1,55 @@
+package search
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"hash/fnv"
+
+	"repro/internal/query"
+)
+
+// The keyset-cursor codec shared by every paginated surface: the query
+// executor's cursors bind (normalized expression, sort, order, alpha) and
+// carry the last row's sort-key values; the combined-query join binds its
+// full join spec and carries the last row's (score, title). Both mint
+// opaque base64(JSON) tokens with an embedded signature so a cursor
+// presented against a different query is rejected instead of silently
+// paging the wrong result set.
+
+// CursorSignature fingerprints the parts a keyset cursor must be bound
+// to. Each part is length-prefixed before hashing — not merely
+// separator-joined — so no two distinct part lists can collide by moving
+// bytes (including separator bytes a caller-controlled part may contain)
+// across part boundaries.
+func CursorSignature(parts ...string) uint64 {
+	h := fnv.New64a()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	return h.Sum64()
+}
+
+// EncodeCursorToken renders a cursor payload as an opaque URL-safe token.
+func EncodeCursorToken(payload any) string {
+	raw, _ := json.Marshal(payload)
+	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// DecodeCursorToken parses a token into the payload struct, reporting
+// malformed tokens as the structured bad_cursor error every paginated
+// endpoint returns. Signature verification stays with the caller, which
+// knows what its cursors are bound to.
+func DecodeCursorToken(token string, into any) error {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return &query.Error{Code: "bad_cursor", Field: "cursor", Message: "cursor is not valid base64"}
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		return &query.Error{Code: "bad_cursor", Field: "cursor", Message: "cursor payload is malformed"}
+	}
+	return nil
+}

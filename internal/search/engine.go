@@ -66,6 +66,11 @@ type Query struct {
 	Limit     int // 0 means no limit
 	Offset    int
 	User      string // ACL principal; "" means anonymous
+	// Alpha, when non-nil, orders results by the relevance/PageRank fusion
+	// alpha·relevance + (1−alpha)·rank (normalized over the matching set)
+	// instead of SortBy — the legacy alpha= parameter, executed inside the
+	// engine's top-k selection. SortBy and Order are ignored while fusing.
+	Alpha *float64
 }
 
 // Result is one search result with its component scores.
@@ -144,7 +149,7 @@ func upsertPage(ix *Index, tr *Trie, mi *metaIndex, p *wiki.Page) {
 	for _, t := range added {
 		tr.Insert(t, termWeight)
 	}
-	mi.upsert(title, pageMetaKeys(p))
+	mi.upsert(title, pageMetaKeys(p), pageAnnCounts(p))
 }
 
 // deletePage drops one page from the index and releases its trie entries
@@ -298,11 +303,19 @@ func (e *Engine) SearchWithFacets(q Query, properties []string) ([]Result, map[s
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	res, err := e.Execute(expr, ExecOptions{
+	opts := ExecOptions{
 		SortBy: q.SortBy, Order: q.Order,
 		Limit: q.Limit, Offset: q.Offset,
 		User: q.User, Facets: properties,
-	})
+		Alpha: q.Alpha,
+	}
+	if q.Alpha != nil {
+		// Legacy surface: alpha always defined the final order, whatever
+		// sort/order said (the old path re-sorted after the fact). The
+		// executor enforces that pairing strictly, so drop them here.
+		opts.SortBy, opts.Order = SortRelevance, OrderDefault
+	}
+	res, err := e.Execute(expr, opts)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -360,6 +373,37 @@ func resultLessKeyed(key SortKey, order Order) func(a, b Result) bool {
 		naturalOrder = OrderAsc
 	}
 	if order != OrderDefault && order != naturalOrder {
+		return func(a, b Result) bool { return natural(b, a) }
+	}
+	return natural
+}
+
+// fusedResultLess builds the comparator of the alpha-fused display order:
+// combined = alpha·(relevance/maxRel) + (1−alpha)·(rank/maxRank),
+// descending, ties broken by title — exactly the arithmetic of the legacy
+// ranking.Fuse re-sort (division by the matching set's maxima, zero when a
+// maximum is zero), so in-executor fusion reproduces the legacy ordering
+// bit for bit. An explicit ascending Order reverses the strict total
+// order.
+func fusedResultLess(alpha, maxRel, maxRank float64, order Order) func(a, b Result) bool {
+	combined := func(r Result) float64 {
+		rel, rank := 0.0, 0.0
+		if maxRel > 0 {
+			rel = r.Relevance / maxRel
+		}
+		if maxRank > 0 {
+			rank = r.Rank / maxRank
+		}
+		return alpha*rel + (1-alpha)*rank
+	}
+	natural := func(a, b Result) bool {
+		ca, cb := combined(a), combined(b)
+		if ca != cb {
+			return ca > cb
+		}
+		return a.Title < b.Title
+	}
+	if order != OrderDefault && order != OrderDesc {
 		return func(a, b Result) bool { return natural(b, a) }
 	}
 	return natural

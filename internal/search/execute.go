@@ -1,14 +1,13 @@
 package search
 
 import (
-	"encoding/base64"
-	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/query"
+	"repro/internal/sortedset"
 	"repro/internal/wiki"
 )
 
@@ -16,6 +15,13 @@ import (
 type ExecOptions struct {
 	SortBy SortKey
 	Order  Order
+	// Alpha, when non-nil, orders results by the relevance/PageRank fusion
+	// alpha·(relevance/maxRel) + (1−alpha)·(rank/maxRank), the normalizers
+	// taken over the whole matching set — the executor-level form of the
+	// paper's combined ranking (legacy alpha= parameter). Alpha is clamped
+	// to [0, 1]; SortBy must be empty or SortRelevance (the fusion defines
+	// the order). Cursors are bound to the alpha they were minted under.
+	Alpha *float64
 	// Limit caps the returned page (0 = everything). Offset is the legacy
 	// skip count; Cursor is an opaque keyset cursor from a previous
 	// ExecResult — the two are mutually exclusive.
@@ -32,8 +38,13 @@ type ExecOptions struct {
 	CountOnly bool
 	// DisablePruning skips candidate-set pruning and runs the legacy
 	// score-then-filter enumeration — the ablation baseline the pushdown
-	// benchmark compares against.
+	// benchmark compares against. It also disables the index-served facet
+	// fast path, which is built on the same candidate derivation.
 	DisablePruning bool
+	// DisableFacetIndex forces the streaming facet path even when the
+	// expression's match set is exactly index-derivable — the ablation
+	// baseline BenchmarkFacetIndexVsStream compares against.
+	DisableFacetIndex bool
 }
 
 // ExecResult is the outcome of executing a query expression.
@@ -133,8 +144,8 @@ func (es estimator) EstimateLeaf(leaf query.Expr) int {
 }
 
 // cursorPayload is the decoded keyset cursor: the sort key values of the
-// last item served, plus a signature binding the cursor to the query and
-// sort it was minted for.
+// last item served, plus a signature binding the cursor to the query,
+// sort and fusion parameters it was minted for.
 type cursorPayload struct {
 	Sort  string  `json:"s"`
 	Order string  `json:"o"`
@@ -144,31 +155,32 @@ type cursorPayload struct {
 	Sig   uint64  `json:"g"`
 }
 
-// cursorSignature fingerprints the (normalized expression, sort, order)
-// triple so a cursor minted for one query cannot silently page another.
-func cursorSignature(canonical []byte, key SortKey, order Order) uint64 {
-	h := fnv.New64a()
-	h.Write(canonical)
-	h.Write([]byte{0})
-	h.Write([]byte(key))
-	h.Write([]byte{0})
-	h.Write([]byte(order))
-	return h.Sum64()
+// execCursorSignature fingerprints the (normalized expression, sort,
+// order, alpha) tuple so a cursor minted for one query cannot silently
+// page another — a cursor minted without fusion is rejected by a fused
+// request for the same expression, and vice versa.
+func execCursorSignature(canonical []byte, key SortKey, order Order, alpha *float64) uint64 {
+	parts := []string{string(canonical), string(key), string(order)}
+	if alpha != nil {
+		parts = append(parts, "alpha="+strconv.FormatFloat(clamp01(*alpha), 'g', -1, 64))
+	}
+	return CursorSignature(parts...)
 }
 
-func encodeCursor(p cursorPayload) string {
-	raw, _ := json.Marshal(p)
-	return base64.RawURLEncoding.EncodeToString(raw)
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 func decodeCursor(s string, sig uint64, key SortKey, order Order) (*cursorPayload, error) {
-	raw, err := base64.RawURLEncoding.DecodeString(s)
-	if err != nil {
-		return nil, &query.Error{Code: "bad_cursor", Field: "cursor", Message: "cursor is not valid base64"}
-	}
 	var p cursorPayload
-	if err := json.Unmarshal(raw, &p); err != nil {
-		return nil, &query.Error{Code: "bad_cursor", Field: "cursor", Message: "cursor payload is malformed"}
+	if err := DecodeCursorToken(s, &p); err != nil {
+		return nil, err
 	}
 	if p.Sig != sig || p.Sort != string(key) || p.Order != string(order) {
 		return nil, &query.Error{Code: "bad_cursor", Field: "cursor",
@@ -190,6 +202,20 @@ func decodeCursor(s string, sig uint64, key SortKey, order Order) (*cursorPayloa
 // candidates exist the executor falls back to driving enumeration from the
 // required keyword's postings (the legacy path), or a full corpus scan for
 // keyword-free queries.
+//
+// Two further index-native paths live here:
+//
+//   - facet counts: when the expression is keyword-free and its match set
+//     is exactly derivable from the metaIndex (candidates reports exact),
+//     Matched and every requested facet are answered by posting-set
+//     arithmetic (metaIndex.facetInto) — no page is fetched or evaluated.
+//     CountOnly executions then skip enumeration entirely;
+//   - alpha fusion: with Alpha set, results are ordered by the
+//     relevance/PageRank fusion inside the top-k selection. The
+//     normalizers (max relevance, max rank over the matching set) are only
+//     known once enumeration finishes, so matches are buffered and then
+//     pushed through a bounded Limit-sized heap under the fused comparator
+//     — an O(n log k) selection, never the legacy materialize-and-re-sort.
 func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error) {
 	if expr == nil {
 		expr = query.All{}
@@ -200,6 +226,15 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	if opts.Cursor != "" && opts.Offset > 0 {
 		return nil, &query.Error{Code: "bad_request", Field: "offset",
 			Message: "cursor and offset are mutually exclusive"}
+	}
+	fusing := opts.Alpha != nil
+	var alpha float64
+	if fusing {
+		if opts.SortBy != "" && opts.SortBy != SortRelevance {
+			return nil, &query.Error{Code: "bad_request", Field: "sort",
+				Message: "alpha defines the fused result order; sort must be omitted or \"relevance\""}
+		}
+		alpha = clamp01(*opts.Alpha)
 	}
 
 	e.mu.RLock()
@@ -222,6 +257,14 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	}
 	less := resultLessKeyed(key, order)
 
+	var titlesMemo []string
+	titles := func() []string {
+		if titlesMemo == nil {
+			titlesMemo = e.repo.Wiki.Titles()
+		}
+		return titlesMemo
+	}
+
 	var cur *cursorPayload
 	var sig uint64
 	if opts.Cursor != "" || opts.Limit > 0 {
@@ -229,7 +272,7 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		if err != nil {
 			return nil, err
 		}
-		sig = cursorSignature(canonical, key, order)
+		sig = execCursorSignature(canonical, key, order, opts.Alpha)
 	}
 	if opts.Cursor != "" {
 		p, err := decodeCursor(opts.Cursor, sig, key, order)
@@ -244,14 +287,40 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	}
 
 	props, facets := facetAccumulators(opts.Facets)
+	res := &ExecResult{Facets: facets}
+
+	// Facet fast path: a keyword-free expression whose match set the
+	// metaIndex derives exactly has Matched and every facet answered by
+	// set arithmetic over the index snapshot. The ACL still filters the
+	// match set (a title check, no page fetch). Result materialization —
+	// when requested — proceeds below with per-visit facet accumulation
+	// switched off.
+	var exact []string
+	exactOK := false
+	if !opts.DisablePruning && !opts.DisableFacetIndex && (opts.CountOnly || len(props) > 0) {
+		if s, isExact, ok := meta.candidates(norm, titles); ok && isExact {
+			kept := s[:0]
+			for _, t := range s {
+				if e.repo.ACL.CanRead(opts.User, t) {
+					kept = append(kept, t)
+				}
+			}
+			exact, exactOK = kept, true
+			meta.facetsInto(props, facets, exact)
+			props = nil
+		}
+	}
+	if opts.CountOnly && exactOK {
+		res.Matched = len(exact)
+		return res, nil
+	}
 
 	var sel *topK[Result]
 	var out []Result
-	if !opts.CountOnly && opts.Limit > 0 {
+	if !opts.CountOnly && !fusing && opts.Limit > 0 {
 		sel = newTopK(opts.Limit+opts.Offset, less)
 	}
 
-	res := &ExecResult{Facets: facets}
 	kws := newKwMatchers(ix)
 	// The driver leaf must come from the SAME tree enumerate drives with:
 	// with two keyword conjuncts, reordering can change which one drives,
@@ -259,6 +328,7 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	// corrupt both match decisions and scores.
 	driver, hasDriverLeaf := requiredKeyword(planned)
 	eligible := 0 // matches after the cursor (== Matched when no cursor)
+	var maxRel, maxRank float64
 	visit := func(title string, driverScore float64, hasDriver bool) {
 		page, ok := e.repo.Wiki.Get(title)
 		if !ok {
@@ -286,6 +356,18 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 			return
 		}
 		r := Result{Title: title, Relevance: m.Score, Rank: ranks[title], Matched: m.Matched}
+		if fusing {
+			// The fused comparator needs the matching set's normalizers, so
+			// cursor filtering and selection run after enumeration.
+			if r.Relevance > maxRel {
+				maxRel = r.Relevance
+			}
+			if r.Rank > maxRank {
+				maxRank = r.Rank
+			}
+			out = append(out, r)
+			return
+		}
 		if cur != nil && !less(curResult, r) {
 			return // at or before the cursor position in the total order
 		}
@@ -297,12 +379,42 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		}
 	}
 
-	e.enumerate(planned, ix, meta, driver, hasDriverLeaf, opts.DisablePruning, visit)
+	if exactOK {
+		// The facet fast path already derived (and ACL-filtered) the exact
+		// match set; enumerate over it directly instead of re-deriving
+		// candidates from the index.
+		for _, t := range exact {
+			visit(t, 0, false)
+		}
+	} else {
+		e.enumerate(planned, ix, meta, titles, driver, hasDriverLeaf, opts.DisablePruning, visit)
+	}
 
 	if opts.CountOnly {
 		return res, nil
 	}
-	if sel != nil {
+	if fusing {
+		less = fusedResultLess(alpha, maxRel, maxRank, order)
+		if cur != nil {
+			kept := out[:0]
+			for _, r := range out {
+				if less(curResult, r) {
+					kept = append(kept, r)
+				}
+			}
+			out = kept
+		}
+		eligible = len(out)
+		if opts.Limit > 0 {
+			fsel := newTopK(opts.Limit+opts.Offset, less)
+			for _, r := range out {
+				fsel.push(r)
+			}
+			out = fsel.sorted()
+		} else {
+			sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+		}
+	} else if sel != nil {
 		out = sel.sorted()
 	} else {
 		sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
@@ -320,7 +432,7 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	res.Results = out
 	if opts.Limit > 0 && len(out) == opts.Limit && eligible > opts.Offset+opts.Limit {
 		last := out[len(out)-1]
-		res.NextCursor = encodeCursor(cursorPayload{
+		res.NextCursor = EncodeCursorToken(cursorPayload{
 			Sort: string(key), Order: string(order),
 			Rel: last.Relevance, Rank: last.Rank, Title: last.Title, Sig: sig,
 		})
@@ -343,15 +455,9 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 //  3. an Or whose branches are all posting-derivable (structural
 //     candidates or keyword hits) — enumerate the union;
 //  4. full corpus scan.
-func (e *Engine) enumerate(planned query.Expr, ix *Index, meta *metaIndex, kw query.Keyword, kwOK, noPrune bool, visit func(title string, driverScore float64, hasDriver bool)) {
-	var titlesMemo []string
-	titles := func() []string {
-		if titlesMemo == nil {
-			titlesMemo = e.repo.Wiki.Titles()
-		}
-		return titlesMemo
-	}
-
+//
+// titles supplies the sorted corpus title list, memoized by the caller.
+func (e *Engine) enumerate(planned query.Expr, ix *Index, meta *metaIndex, titles func() []string, kw query.Keyword, kwOK, noPrune bool, visit func(title string, driverScore float64, hasDriver bool)) {
 	mode := ModeAll
 	if kw.Any {
 		mode = ModeAny
@@ -362,7 +468,7 @@ func (e *Engine) enumerate(planned query.Expr, ix *Index, meta *metaIndex, kw qu
 	}
 
 	if !noPrune {
-		if cands, ok := meta.candidates(planned, titles); ok {
+		if cands, _, ok := meta.candidates(planned, titles); ok {
 			if !kwOK || len(cands) <= kwEst {
 				for _, t := range cands {
 					visit(t, 0, false)
@@ -412,14 +518,14 @@ func (e *Engine) orUnion(planned query.Expr, ix *Index, meta *metaIndex, titles 
 				ids = append(ids, h.ID)
 			}
 			sort.Strings(ids)
-			out = unionSorted(out, ids)
+			out = sortedset.Union(out, ids)
 			continue
 		}
-		s, ok := meta.candidates(c, titles)
+		s, _, ok := meta.candidates(c, titles)
 		if !ok {
 			return nil, false
 		}
-		out = unionSorted(out, s)
+		out = sortedset.Union(out, s)
 	}
 	return out, true
 }

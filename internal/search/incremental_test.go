@@ -67,6 +67,29 @@ func checkEngineEquivalence(t *testing.T, repo *smr.Repository, incr *Engine, st
 			t.Fatalf("step %d autocomplete %q:\nincremental = %+v\nrebuilt     = %+v", step, prefix, got, want)
 		}
 	}
+	// The metaIndex's sortedset postings (structural keys AND the raw-value
+	// occurrence postings behind the facet fast path) must also converge to
+	// the rebuilt state: index-served facet counts are pure functions of
+	// them.
+	facetQueries := []Query{
+		{Namespace: "Sensor"},
+		{Filters: []PropertyFilter{{Property: "samplingRate", Op: OpLessEq, Value: "30"}}},
+		{},
+	}
+	for qi, q := range facetQueries {
+		gotF, gotN, err := incr.FacetCounts(q, []string{"samplingRate", "partOf"})
+		if err != nil {
+			t.Fatalf("step %d facet query %d: %v", step, qi, err)
+		}
+		wantF, wantN, err := fresh.FacetCounts(q, []string{"samplingRate", "partOf"})
+		if err != nil {
+			t.Fatalf("step %d facet query %d: %v", step, qi, err)
+		}
+		if gotN != wantN || !reflect.DeepEqual(gotF, wantF) {
+			t.Fatalf("step %d facet query %d:\nincremental = %d %+v\nrebuilt     = %d %+v",
+				step, qi, gotN, gotF, wantN, wantF)
+		}
+	}
 }
 
 // TestIncrementalUpdateMatchesRebuild is the property test of the

@@ -6,138 +6,156 @@ import (
 	"sync"
 
 	"repro/internal/query"
+	"repro/internal/sortedset"
 	"repro/internal/wiki"
 )
 
 // metaIndex is the engine's structural inverted index: sorted page-title
-// posting sets keyed by (property, value) pair, property presence,
-// category and namespace, maintained incrementally alongside the text
-// index (upsertPage/deletePage diff a page's old and new key sets). The
-// executor prunes filter queries by intersecting these sets — the most
-// selective first — before any keyword scoring happens, and the
-// selectivity estimator reads the set sizes.
+// posting sets (internal/sortedset) keyed by (property, value) pair,
+// property presence, category and namespace, maintained incrementally
+// alongside the text index (upsertPage/deletePage diff a page's old and
+// new key sets). The executor prunes filter queries by intersecting these
+// sets — the most selective first — before any keyword scoring happens,
+// the selectivity estimator reads the set sizes, and the facet fast path
+// answers filter-only counts by set arithmetic alone.
 //
 // Keys are "\x00"-separated so values containing the separator cannot
 // collide across kinds. Property names, values, categories and namespaces
 // are canonicalized with query.Fold — NOT strings.ToLower — so key
 // equality coincides exactly with the strings.EqualFold semantics the
-// evaluator applies: a candidate set derived from these keys is always a
-// superset of the leaf's true match set, never a subset.
+// evaluator applies: the posting set of an equality key is exactly the
+// leaf's match set, which is what lets candidate derivation report
+// exactness (see candidates).
 type metaIndex struct {
 	mu   sync.RWMutex
 	sets map[string][]string // key -> sorted page titles
-	// rawVals refcounts the distinct RAW values present per folded
-	// property name (value -> number of carrying pages). Non-equality
-	// operators and ranges enumerate these and apply the evaluator's own
-	// per-value predicate verbatim, then union the folded-key posting
-	// sets of the raw values that matched — exact predicate, superset
-	// postings.
-	rawVals map[string]map[string]int
-	// byTitle remembers each page's sorted key set for retraction.
-	byTitle map[string][]string
+	// vals holds, per folded property name, the distinct RAW values present
+	// and their postings: which pages carry that exact raw value, and how
+	// many times each (annotation occurrences). Non-equality operators and
+	// ranges apply the evaluator's own per-value predicate to the raw
+	// values and union the postings of those that matched — an EXACT match
+	// set, since the predicate is applied verbatim to the stored values.
+	// The facet fast path intersects these postings with a query's exact
+	// match set and sums the occurrence counts, reproducing the streaming
+	// accumulation (which counts every annotation occurrence, raw-cased)
+	// without evaluating a single page.
+	vals map[string]map[string]*valPostings
+	// byTitle remembers each page's sorted key set for retraction;
+	// byTitleAnns its sorted (property, raw value, occurrences) records.
+	byTitle     map[string][]string
+	byTitleAnns map[string][]annCount
+}
+
+// valPostings is the posting structure of one (folded property, raw value)
+// pair: the carrying pages as a sorted set, plus per-page annotation
+// occurrence counts.
+type valPostings struct {
+	pages  []string
+	counts map[string]int
+}
+
+// annCount is one page's annotation record: prop is folded, value is raw,
+// n counts occurrences on the page. Records sort by (prop, value).
+type annCount struct {
+	prop, value string
+	n           int
+}
+
+func cmpAnn(a, b annCount) int {
+	if c := strings.Compare(a.prop, b.prop); c != 0 {
+		return c
+	}
+	return strings.Compare(a.value, b.value)
 }
 
 func newMetaIndex() *metaIndex {
 	return &metaIndex{
-		sets:    map[string][]string{},
-		rawVals: map[string]map[string]int{},
-		byTitle: map[string][]string{},
+		sets:        map[string][]string{},
+		vals:        map[string]map[string]*valPostings{},
+		byTitle:     map[string][]string{},
+		byTitleAnns: map[string][]annCount{},
 	}
 }
 
-// Key kinds. The prefix byte keeps the key spaces disjoint. The "r" kind
-// carries the raw (unfolded) value and feeds the rawVals refcounts instead
-// of a posting set.
+// Key kinds. The prefix byte keeps the key spaces disjoint.
 func propValKey(prop, value string) string {
 	return "v\x00" + query.Fold(prop) + "\x00" + query.Fold(value)
 }
-func rawValKey(prop, value string) string { return "r\x00" + query.Fold(prop) + "\x00" + value }
-func propKey(prop string) string          { return "p\x00" + query.Fold(prop) }
-func catKey(cat string) string            { return "c\x00" + query.Fold(cat) }
-func nsKey(ns string) string              { return "n\x00" + query.Fold(ns) }
+func propKey(prop string) string { return "p\x00" + query.Fold(prop) }
+func catKey(cat string) string   { return "c\x00" + query.Fold(cat) }
+func nsKey(ns string) string     { return "n\x00" + query.Fold(ns) }
 
 // pageMetaKeys extracts a page's sorted distinct structural keys.
 func pageMetaKeys(p *wiki.Page) []string {
-	seen := map[string]bool{}
 	var keys []string
-	add := func(k string) {
-		if !seen[k] {
-			seen[k] = true
-			keys = append(keys, k)
-		}
-	}
-	add(nsKey(string(p.Title.Namespace)))
+	keys = append(keys, nsKey(string(p.Title.Namespace)))
 	for _, c := range p.Categories {
-		add(catKey(c))
+		keys = append(keys, catKey(c))
 	}
 	for _, a := range p.Annotations {
-		add(propKey(a.Property))
-		add(propValKey(a.Property, a.Value))
-		add(rawValKey(a.Property, a.Value))
+		keys = append(keys, propKey(a.Property), propValKey(a.Property, a.Value))
 	}
-	sort.Strings(keys)
-	return keys
+	return sortedset.FromSlice(keys)
 }
 
-// upsert replaces one page's structural keys with next (sorted distinct).
-func (mi *metaIndex) upsert(title string, next []string) {
-	mi.mu.Lock()
-	defer mi.mu.Unlock()
-	prev := mi.byTitle[title]
-	i, j := 0, 0
-	for i < len(prev) || j < len(next) {
-		switch {
-		case j >= len(next) || (i < len(prev) && prev[i] < next[j]):
-			mi.removeLocked(prev[i], title)
-			i++
-		case i >= len(prev) || next[j] < prev[i]:
-			mi.addLocked(next[j], title)
-			j++
-		default:
-			i++
-			j++
+// pageAnnCounts extracts a page's sorted annotation records: per (folded
+// property, raw value), the occurrence count.
+func pageAnnCounts(p *wiki.Page) []annCount {
+	if len(p.Annotations) == 0 {
+		return nil
+	}
+	var anns []annCount
+	for _, a := range p.Annotations {
+		rec := annCount{prop: query.Fold(a.Property), value: a.Value, n: 1}
+		if i, ok := sortedset.IndexFunc(anns, rec, cmpAnn); ok {
+			anns[i].n++
+		} else {
+			anns, _ = sortedset.InsertFunc(anns, rec, cmpAnn)
 		}
 	}
+	return anns
+}
+
+// upsert replaces one page's structural keys and annotation records with
+// the next snapshot.
+func (mi *metaIndex) upsert(title string, next []string, nextAnns []annCount) {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	sortedset.DiffWalk(mi.byTitle[title], next,
+		func(key string) { mi.removeLocked(key, title) },
+		func(key string) { mi.addLocked(key, title) },
+		nil)
 	if len(next) == 0 {
 		delete(mi.byTitle, title)
 	} else {
 		mi.byTitle[title] = next
 	}
+	sortedset.DiffWalkFunc(mi.byTitleAnns[title], nextAnns, cmpAnn,
+		func(a annCount) { mi.removeAnnLocked(a, title) },
+		func(a annCount) { mi.addAnnLocked(a, title) },
+		func(prev, n annCount) {
+			if prev.n != n.n {
+				mi.vals[n.prop][n.value].counts[title] = n.n
+			}
+		})
+	if len(nextAnns) == 0 {
+		delete(mi.byTitleAnns, title)
+	} else {
+		mi.byTitleAnns[title] = nextAnns
+	}
 }
 
 // remove drops every key of one page.
 func (mi *metaIndex) remove(title string) {
-	mi.upsert(title, nil)
+	mi.upsert(title, nil, nil)
 }
 
 func (mi *metaIndex) addLocked(key, title string) {
-	if strings.HasPrefix(key, "r\x00") {
-		mi.trackRawValueLocked(key, +1)
-		return
-	}
-	list := mi.sets[key]
-	i := sort.SearchStrings(list, title)
-	if i < len(list) && list[i] == title {
-		return
-	}
-	list = append(list, "")
-	copy(list[i+1:], list[i:])
-	list[i] = title
-	mi.sets[key] = list
+	mi.sets[key], _ = sortedset.Insert(mi.sets[key], title)
 }
 
 func (mi *metaIndex) removeLocked(key, title string) {
-	if strings.HasPrefix(key, "r\x00") {
-		mi.trackRawValueLocked(key, -1)
-		return
-	}
-	list := mi.sets[key]
-	i := sort.SearchStrings(list, title)
-	if i >= len(list) || list[i] != title {
-		return
-	}
-	copy(list[i:], list[i+1:])
-	list = list[:len(list)-1]
+	list, _ := sortedset.Remove(mi.sets[key], title)
 	if len(list) == 0 {
 		delete(mi.sets, key)
 	} else {
@@ -145,28 +163,35 @@ func (mi *metaIndex) removeLocked(key, title string) {
 	}
 }
 
-// trackRawValueLocked adjusts the refcount of one raw (property, value)
-// pair when a carrying page appears or vanishes.
-func (mi *metaIndex) trackRawValueLocked(key string, delta int) {
-	rest := key[2:] // strip "r\x00"
-	sep := strings.IndexByte(rest, 0)
-	if sep < 0 {
+// addAnnLocked registers one page under a (property, raw value) posting.
+func (mi *metaIndex) addAnnLocked(a annCount, title string) {
+	vals := mi.vals[a.prop]
+	if vals == nil {
+		vals = map[string]*valPostings{}
+		mi.vals[a.prop] = vals
+	}
+	vp := vals[a.value]
+	if vp == nil {
+		vp = &valPostings{counts: map[string]int{}}
+		vals[a.value] = vp
+	}
+	vp.pages, _ = sortedset.Insert(vp.pages, title)
+	vp.counts[title] = a.n
+}
+
+// removeAnnLocked retracts one page from a (property, raw value) posting.
+func (mi *metaIndex) removeAnnLocked(a annCount, title string) {
+	vals := mi.vals[a.prop]
+	vp := vals[a.value]
+	if vp == nil {
 		return
 	}
-	prop, value := rest[:sep], rest[sep+1:]
-	vals := mi.rawVals[prop]
-	if vals == nil {
-		if delta <= 0 {
-			return
-		}
-		vals = map[string]int{}
-		mi.rawVals[prop] = vals
-	}
-	vals[value] += delta
-	if vals[value] <= 0 {
-		delete(vals, value)
+	vp.pages, _ = sortedset.Remove(vp.pages, title)
+	delete(vp.counts, title)
+	if len(vp.pages) == 0 {
+		delete(vals, a.value)
 		if len(vals) == 0 {
-			delete(mi.rawVals, prop)
+			delete(mi.vals, a.prop)
 		}
 	}
 }
@@ -194,62 +219,85 @@ func (mi *metaIndex) estimateLeaf(leaf query.Expr) (int, bool) {
 	return 0, false
 }
 
-// candidates computes a sorted title list that is a superset of the
-// expression's match set, and reports whether one could be derived. The
-// whole computation runs under one read lock and returns freshly-built
-// slices, so the caller can use the result without further locking.
+// candidates computes a sorted title list covering the expression's match
+// set, reports whether one could be derived (ok) and whether the list is
+// EXACTLY the match set rather than a superset (exact). The whole
+// computation runs under one read lock and returns freshly-built slices,
+// so the caller can use (and mutate) the result without further locking.
 //
-//   - structural leaves read their posting sets (non-equality property
-//     operators and ranges union the sets of every satisfying value);
+//   - equality-keyed leaves (property eq, category, namespace, property
+//     presence, title prefix, match-all) read their posting sets, which
+//     are exact because key folding coincides with the evaluator's
+//     EqualFold semantics;
+//   - non-equality property operators and ranges union the raw-value
+//     postings of every value satisfying the evaluator's own predicate —
+//     exact as well;
 //   - And intersects whatever candidate sets its children yield, smallest
-//     first — the filter pushdown;
+//     first — the filter pushdown; it is exact only when every child
+//     derived an exact set;
 //   - Or unions its children's sets, but only when every child yields one;
-//   - Keyword, Not and All yield nothing (the executor falls back to the
-//     keyword driver or a corpus scan).
+//   - Not complements its child against the corpus — derivable only when
+//     the child is exact (the complement of a superset bounds nothing);
+//   - Keyword yields nothing (the executor falls back to the keyword
+//     driver or a corpus scan).
 //
-// titles supplies the sorted corpus title list (lazily) for TitlePrefix.
-func (mi *metaIndex) candidates(e query.Expr, titles func() []string) ([]string, bool) {
+// titles supplies the sorted corpus title list (lazily) for TitlePrefix,
+// All and Not.
+func (mi *metaIndex) candidates(e query.Expr, titles func() []string) (set []string, exact, ok bool) {
 	mi.mu.RLock()
 	defer mi.mu.RUnlock()
 	return mi.candidatesLocked(e, titles)
 }
 
-func (mi *metaIndex) candidatesLocked(e query.Expr, titles func() []string) ([]string, bool) {
+func (mi *metaIndex) candidatesLocked(e query.Expr, titles func() []string) (set []string, exact, ok bool) {
 	switch v := e.(type) {
+	case query.All:
+		return sortedset.Clone(titles()), true, true
 	case query.Property:
 		if v.Op == query.OpEq {
-			return copyTitles(mi.sets[propValKey(v.Name, v.Value)]), true
+			return sortedset.Clone(mi.sets[propValKey(v.Name, v.Value)]), true, true
 		}
 		return mi.unionMatchingValuesLocked(v.Name, func(value string) bool {
 			return query.MatchValue(v.Op, value, v.Value)
-		}), true
+		}), true, true
 	case query.Range:
-		return mi.unionMatchingValuesLocked(v.Name, v.Contains), true
+		return mi.unionMatchingValuesLocked(v.Name, v.Contains), true, true
 	case query.HasProperty:
-		return copyTitles(mi.sets[propKey(v.Name)]), true
+		return sortedset.Clone(mi.sets[propKey(v.Name)]), true, true
 	case query.Category:
-		return copyTitles(mi.sets[catKey(v.Name)]), true
+		return sortedset.Clone(mi.sets[catKey(v.Name)]), true, true
 	case query.Namespace:
-		return copyTitles(mi.sets[nsKey(v.Name)]), true
+		return sortedset.Clone(mi.sets[nsKey(v.Name)]), true, true
 	case query.TitlePrefix:
 		all := titles()
-		lo := sort.SearchStrings(all, v.Prefix)
+		lo, _ := sortedset.Index(all, v.Prefix)
 		hi := sort.Search(len(all), func(i int) bool {
 			return !strings.HasPrefix(all[i], v.Prefix) && all[i] > v.Prefix
 		})
 		if lo >= hi {
-			return nil, true
+			return nil, true, true
 		}
-		return copyTitles(all[lo:hi]), true
+		return sortedset.Clone(all[lo:hi]), true, true
+	case query.Not:
+		child, childExact, childOK := mi.candidatesLocked(v.Child, titles)
+		if !childOK || !childExact {
+			return nil, false, false
+		}
+		return sortedset.Diff(titles(), child), true, true
 	case query.And:
 		var sets [][]string
+		exact := true
 		for _, c := range v.Children {
-			if s, ok := mi.candidatesLocked(c, titles); ok {
+			s, childExact, childOK := mi.candidatesLocked(c, titles)
+			if childOK {
 				sets = append(sets, s)
+			}
+			if !childOK || !childExact {
+				exact = false
 			}
 		}
 		if len(sets) == 0 {
-			return nil, false
+			return nil, false, false
 		}
 		sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
 		out := sets[0]
@@ -257,85 +305,101 @@ func (mi *metaIndex) candidatesLocked(e query.Expr, titles func() []string) ([]s
 			if len(out) == 0 {
 				break
 			}
-			out = intersectSorted(out, s)
+			out = sortedset.Intersect(out, s)
 		}
-		return out, true
+		return out, exact, true
 	case query.Or:
 		var out []string
+		exact := true
 		for _, c := range v.Children {
-			s, ok := mi.candidatesLocked(c, titles)
-			if !ok {
-				return nil, false
+			s, childExact, childOK := mi.candidatesLocked(c, titles)
+			if !childOK {
+				return nil, false, false
 			}
-			out = unionSorted(out, s)
+			if !childExact {
+				exact = false
+			}
+			out = sortedset.Union(out, s)
 		}
-		return out, true
+		return out, exact, true
 	}
-	return nil, false
+	return nil, false, false
 }
 
-// unionMatchingValuesLocked unions the posting sets of every distinct raw
-// value of one property that satisfies the predicate — the predicate is
-// the evaluator's own (applied to the raw value, exactly as per-page
-// evaluation would), so no satisfying page can be missed; the folded-key
-// posting sets may add fold-sibling pages, which per-page evaluation
-// filters out again.
+// unionMatchingValuesLocked unions the raw-value postings of every
+// distinct raw value of one property that satisfies the predicate. The
+// predicate is the evaluator's own, applied to the raw stored values
+// exactly as per-page evaluation would, and each posting set is exactly
+// the pages carrying that raw value — so the union is the leaf's exact
+// match set.
 func (mi *metaIndex) unionMatchingValuesLocked(prop string, match func(value string) bool) []string {
 	var out []string
-	for value := range mi.rawVals[query.Fold(prop)] {
+	for value, vp := range mi.vals[query.Fold(prop)] {
 		if match(value) {
-			out = unionSorted(out, mi.sets[propValKey(prop, value)])
+			out = sortedset.Union(out, vp.pages)
 		}
 	}
 	return out
 }
 
-func copyTitles(s []string) []string {
-	return append([]string(nil), s...)
-}
-
-// intersectSorted intersects two sorted title lists into a fresh slice.
-func intersectSorted(a, b []string) []string {
-	out := make([]string, 0, min(len(a), len(b)))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case b[j] < a[i]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
+// facetsInto counts the requested properties' values over an exact match
+// set from index state alone — byte-identical to the streaming
+// accumulation (raw-cased value keys, duplicate annotations counted per
+// occurrence) without evaluating or even fetching a single page. Two
+// strategies, chosen by estimated cost:
+//
+//   - value-driven: for every raw value of a property, intersect its
+//     posting set with the match set and sum the occurrence counts —
+//     O(Σ min(|postings|, |match|)) set arithmetic, best when the match
+//     set covers much of the corpus;
+//   - page-driven: walk the matching pages' annotation records once and
+//     accumulate the requested properties — O(|match| · annotations/page),
+//     best for selective filters whose match set is far smaller than the
+//     property's posting lists.
+//
+// facets maps lowercased request names to their count maps (the executor's
+// accumulators).
+func (mi *metaIndex) facetsInto(props []string, facets map[string]map[string]int, match []string) {
+	mi.mu.RLock()
+	defer mi.mu.RUnlock()
+	if len(props) == 0 || len(match) == 0 {
+		return
+	}
+	valueCost := 0
+	for _, p := range props {
+		for _, vp := range mi.vals[query.Fold(p)] {
+			valueCost += min(len(vp.pages), len(match))
 		}
 	}
-	return out
-}
-
-// unionSorted merges two sorted title lists, deduplicating.
-func unionSorted(a, b []string) []string {
-	if len(a) == 0 {
-		return copyTitles(b)
-	}
-	if len(b) == 0 {
-		return a
-	}
-	out := make([]string, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) || j < len(b) {
-		switch {
-		case j >= len(b) || (i < len(a) && a[i] < b[j]):
-			out = append(out, a[i])
-			i++
-		case i >= len(a) || b[j] < a[i]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
+	if 2*len(match) < valueCost {
+		// want maps folded property names onto the output accumulators. In
+		// the degenerate case of two request names folding together (they
+		// never ToLower together — facetAccumulators deduplicated that),
+		// the page-driven walk could not fill both; fall through to the
+		// value-driven path, which reads each independently.
+		want := make(map[string]map[string]int, len(props))
+		for _, p := range props {
+			want[query.Fold(p)] = facets[p]
+		}
+		if len(want) == len(props) {
+			for _, title := range match {
+				for _, rec := range mi.byTitleAnns[title] {
+					if counts, ok := want[rec.prop]; ok {
+						counts[rec.value] += rec.n
+					}
+				}
+			}
+			return
 		}
 	}
-	return out
+	for _, p := range props {
+		counts := facets[p]
+		for value, vp := range mi.vals[query.Fold(p)] {
+			n := 0
+			sortedset.IntersectWalk(match, vp.pages, func(title string) { n += vp.counts[title] })
+			if n > 0 {
+				counts[value] += n
+			}
+		}
+	}
 }

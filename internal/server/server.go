@@ -291,20 +291,19 @@ func (s *Server) runSearchFacets(r *http.Request, facetProps []string) (rs []sea
 	if err != nil {
 		return nil, nil, 0, q, err
 	}
-	alpha, fuse := 0.0, false
+	// alpha rides along inside the query: the engine fuses relevance and
+	// PageRank inside its top-k selection (no post-hoc re-sort of a
+	// truncated page — the fusion now orders the whole matching set).
 	if alphaStr := r.URL.Query().Get("alpha"); alphaStr != "" {
-		alpha, err = strconv.ParseFloat(alphaStr, 64)
+		alpha, err := strconv.ParseFloat(alphaStr, 64)
 		if err != nil {
 			return nil, nil, 0, q, fmt.Errorf("bad alpha %q", alphaStr)
 		}
-		fuse = true
+		q.Alpha = &alpha
 	}
 	rs, facets, matched, err = s.sys.Engine.SearchWithFacets(q, facetProps)
 	if err != nil {
 		return nil, nil, 0, q, err
-	}
-	if fuse {
-		rs = s.sys.Fuse(rs, alpha)
 	}
 	return rs, facets, matched, q, nil
 }

@@ -80,6 +80,12 @@ type v1QueryRequest struct {
 	// the sort key's natural direction).
 	Sort  string `json:"sort"`
 	Order string `json:"order"`
+	// Alpha, when present, orders results by the relevance/PageRank fusion
+	// alpha·relevance + (1−alpha)·rank (normalized over the matching set),
+	// executed inside the engine's top-k selection. Must lie in [0, 1];
+	// sort must be omitted or "relevance" (the fusion defines the order).
+	// Cursors are bound to the alpha they were minted under.
+	Alpha *float64 `json:"alpha"`
 	// Limit caps the page (0 = everything); Cursor continues a previous
 	// response's nextCursor. Offset is intentionally absent from v1 —
 	// pagination is keyset-based.
@@ -176,6 +182,10 @@ func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, http.StatusBadRequest, "bad_request", "limit", "limit must not be negative")
 		return
 	}
+	if in.Alpha != nil && (*in.Alpha < 0 || *in.Alpha > 1) {
+		writeV1Error(w, http.StatusBadRequest, "bad_request", "alpha", "alpha must lie in [0, 1]")
+		return
+	}
 	var expr query.Expr = query.All{}
 	if len(in.Query) > 0 && string(in.Query) != "null" {
 		var err error
@@ -195,7 +205,7 @@ func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
 		facets[i] = normalizeProperty(f)
 	}
 	res, err := s.sys.Engine.Execute(expr, search.ExecOptions{
-		SortBy: key, Order: order,
+		SortBy: key, Order: order, Alpha: in.Alpha,
 		Limit: in.Limit, Cursor: in.Cursor,
 		User: in.User, Facets: facets,
 	})
@@ -242,6 +252,7 @@ func (s *Server) handleV1Combined(w http.ResponseWriter, r *http.Request) {
 		Filter   json.RawMessage `json:"filter"`
 		User     string          `json:"user"`
 		Limit    int             `json:"limit"`
+		Cursor   string          `json:"cursor"`
 	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -256,6 +267,7 @@ func (s *Server) handleV1Combined(w http.ResponseWriter, r *http.Request) {
 		Keywords: in.Keywords,
 		User:     in.User,
 		Limit:    in.Limit,
+		Cursor:   in.Cursor,
 	}
 	if len(in.Filter) > 0 && string(in.Filter) != "null" {
 		expr, err := query.Unmarshal(in.Filter)
@@ -275,8 +287,9 @@ func (s *Server) handleV1Combined(w http.ResponseWriter, r *http.Request) {
 		cols[i] = c.Name
 	}
 	writeJSON(w, struct {
-		Hint    string     `json:"hint"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
-	}{Hint: string(res.Hint), Columns: cols, Rows: res.Rows})
+		Hint       string     `json:"hint"`
+		Columns    []string   `json:"columns"`
+		Rows       [][]string `json:"rows"`
+		NextCursor string     `json:"nextCursor,omitempty"`
+	}{Hint: string(res.Hint), Columns: cols, Rows: res.Rows, NextCursor: res.NextCursor})
 }

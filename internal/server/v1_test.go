@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -56,6 +57,17 @@ func translateLegacyURL(t *testing.T, rawQuery string) map[string]interface{} {
 	if q.Order != search.OrderDefault {
 		body["order"] = string(q.Order)
 	}
+	if alphaStr := r.URL.Query().Get("alpha"); alphaStr != "" {
+		alpha, err := strconv.ParseFloat(alphaStr, 64)
+		if err != nil {
+			t.Fatalf("bad alpha in %s: %v", rawQuery, err)
+		}
+		// alpha defines the fused order on both surfaces; the legacy route
+		// drops sort/order when fusing, so the translation must too.
+		body["alpha"] = alpha
+		delete(body, "sort")
+		delete(body, "order")
+	}
 	if q.Limit > 0 {
 		body["limit"] = q.Limit
 	}
@@ -87,7 +99,12 @@ func TestV1GoldenEquivalence(t *testing.T) {
 		"category=Sensors&limit=10&sort=title",
 		"q=sensor&facet=measures&facet=status&limit=4",
 		"filter=measures:contains:speed&sort=rank&limit=3",
-		"", // match-all
+		"q=temperature&alpha=0.3",
+		"q=temperature+sensor&mode=any&alpha=0.7&limit=6",
+		"q=wind&alpha=0&facet=measures",
+		"filter=measures:eq:temperature&alpha=0.5&limit=5",
+		"q=sensor&alpha=1&sort=rank", // legacy allowed sort alongside alpha; fusion wins
+		"",                           // match-all
 	}
 	type envelope struct {
 		Count   int             `json:"count"`
@@ -197,6 +214,105 @@ func TestV1CursorPaginationHTTP(t *testing.T) {
 	gotRaw, _ := json.Marshal(walked)
 	if !bytes.Equal(wantRaw, gotRaw) {
 		t.Fatalf("cursor walk diverges from unpaginated ordering:\n  walked %s\n  all    %s", gotRaw, wantRaw)
+	}
+}
+
+// TestV1CombinedCursor walks a combined query page by page through the
+// keyset cursor and checks the concatenated rows equal one unpaginated
+// request, and that the cursor is rejected when the join spec changes.
+func TestV1CombinedCursor(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := map[string]interface{}{
+		"sql": "SELECT page, value FROM annotations WHERE property = 'measures'",
+	}
+	code, allBody := postJSON(t, ts.URL+"/api/v1/combined", base)
+	if code != http.StatusOK {
+		t.Fatalf("unpaginated: %d: %s", code, allBody)
+	}
+	var all struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(allBody), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rows) < 8 {
+		t.Fatalf("fixture too small: %d rows", len(all.Rows))
+	}
+	var walked [][]string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 30 {
+			t.Fatal("combined cursor walk did not terminate")
+		}
+		req := map[string]interface{}{"sql": base["sql"], "limit": 3}
+		if cursor != "" {
+			req["cursor"] = cursor
+		}
+		code, body := postJSON(t, ts.URL+"/api/v1/combined", req)
+		if code != http.StatusOK {
+			t.Fatalf("page %d: %d: %s", pages, code, body)
+		}
+		var page struct {
+			Rows       [][]string `json:"rows"`
+			NextCursor string     `json:"nextCursor"`
+		}
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			t.Fatal(err)
+		}
+		walked = append(walked, page.Rows...)
+		if page.NextCursor == "" {
+			break
+		}
+		if len(page.Rows) != 3 {
+			t.Fatalf("page %d has %d rows with a nextCursor; want full page of 3", pages, len(page.Rows))
+		}
+		cursor = page.NextCursor
+	}
+	wantRaw, _ := json.Marshal(all.Rows)
+	gotRaw, _ := json.Marshal(walked)
+	if !bytes.Equal(wantRaw, gotRaw) {
+		t.Fatalf("combined cursor walk diverges:\nwalked %s\nall    %s", gotRaw, wantRaw)
+	}
+
+	// Mint a cursor, then present it with a different join spec: rejected.
+	code, body := postJSON(t, ts.URL+"/api/v1/combined",
+		map[string]interface{}{"sql": base["sql"], "limit": 3})
+	if code != http.StatusOK {
+		t.Fatalf("mint: %d: %s", code, body)
+	}
+	var minted struct {
+		NextCursor string `json:"nextCursor"`
+	}
+	if err := json.Unmarshal([]byte(body), &minted); err != nil || minted.NextCursor == "" {
+		t.Fatalf("no cursor minted: %v %s", err, body)
+	}
+	code, body = postJSON(t, ts.URL+"/api/v1/combined", map[string]interface{}{
+		"sql":    base["sql"],
+		"filter": json.RawMessage(`{"property":{"name":"status","op":"eq","value":"active"}}`),
+		"cursor": minted.NextCursor,
+		"limit":  3,
+	})
+	if code != http.StatusBadRequest || !strings.Contains(body, "bad_cursor") {
+		t.Fatalf("cursor accepted across join-spec change: %d %s", code, body)
+	}
+}
+
+// TestV1QueryAlphaValidation checks the v1-only strictness: alpha outside
+// [0, 1] and alpha combined with an explicit sort are structured errors.
+func TestV1QueryAlphaValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := postJSON(t, ts.URL+"/api/v1/query", map[string]interface{}{"alpha": 1.5})
+	if code != http.StatusBadRequest || !strings.Contains(body, `"alpha"`) {
+		t.Fatalf("alpha 1.5: %d %s", code, body)
+	}
+	code, body = postJSON(t, ts.URL+"/api/v1/query", map[string]interface{}{"alpha": 0.5, "sort": "rank"})
+	if code != http.StatusBadRequest || !strings.Contains(body, `"sort"`) {
+		t.Fatalf("alpha+sort: %d %s", code, body)
+	}
+	code, body = postJSON(t, ts.URL+"/api/v1/query",
+		map[string]interface{}{"alpha": 0.5, "sort": "relevance", "limit": 2})
+	if code != http.StatusOK {
+		t.Fatalf("alpha with relevance sort should work: %d %s", code, body)
 	}
 }
 

@@ -8,12 +8,13 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/smr"
+	"repro/internal/sortedset"
 )
 
 // tagStore is the journal-maintained mirror of the Parser module's output:
-// tag → sorted page list and page → sorted tag list, kept current against
-// the repository's change journal so a refresh costs O(changed pages)
-// instead of a full SQL scan plus a corpus walk.
+// tag → sorted page set and page → sorted tag set (internal/sortedset),
+// kept current against the repository's change journal so a refresh costs
+// O(changed pages) instead of a full SQL scan plus a corpus walk.
 type tagStore struct {
 	repo               *smr.Repository
 	includeAnnotations bool
@@ -68,26 +69,20 @@ func (s *tagStore) tagsForPage(title string) ([]string, error) {
 }
 
 // setPageTags replaces one page's tag set and returns the tags whose page
-// lists changed (the dirty set for similarity maintenance).
+// sets changed (the dirty set for similarity maintenance), via a
+// merge-diff of the two sorted snapshots.
 func (s *tagStore) setPageTags(title string, next []string) []string {
-	prev := s.byPage[title]
 	var dirty []string
-	i, j := 0, 0
-	for i < len(prev) || j < len(next) {
-		switch {
-		case j >= len(next) || (i < len(prev) && prev[i] < next[j]):
-			s.removePage(prev[i], title)
-			dirty = append(dirty, prev[i])
-			i++
-		case i >= len(prev) || next[j] < prev[i]:
-			s.addPage(next[j], title)
-			dirty = append(dirty, next[j])
-			j++
-		default: // equal: unchanged
-			i++
-			j++
-		}
-	}
+	sortedset.DiffWalk(s.byPage[title], next,
+		func(tag string) {
+			s.removePage(tag, title)
+			dirty = append(dirty, tag)
+		},
+		func(tag string) {
+			s.addPage(tag, title)
+			dirty = append(dirty, tag)
+		},
+		nil)
 	if len(next) == 0 {
 		delete(s.byPage, title)
 	} else {
@@ -97,38 +92,20 @@ func (s *tagStore) setPageTags(title string, next []string) []string {
 }
 
 func (s *tagStore) addPage(tag, title string) {
-	list := s.pages[tag]
-	if len(list) == 0 {
-		i := sort.SearchStrings(s.tags, tag)
-		if i == len(s.tags) || s.tags[i] != tag {
-			s.tags = append(s.tags, "")
-			copy(s.tags[i+1:], s.tags[i:])
-			s.tags[i] = tag
-		}
+	if len(s.pages[tag]) == 0 {
+		s.tags, _ = sortedset.Insert(s.tags, tag)
 	}
-	i := sort.SearchStrings(list, title)
-	if i < len(list) && list[i] == title {
-		return
-	}
-	list = append(list, "")
-	copy(list[i+1:], list[i:])
-	list[i] = title
-	s.pages[tag] = list
+	s.pages[tag], _ = sortedset.Insert(s.pages[tag], title)
 }
 
 func (s *tagStore) removePage(tag, title string) {
-	list := s.pages[tag]
-	i := sort.SearchStrings(list, title)
-	if i >= len(list) || list[i] != title {
+	list, ok := sortedset.Remove(s.pages[tag], title)
+	if !ok {
 		return
 	}
-	copy(list[i:], list[i+1:])
-	list = list[:len(list)-1]
 	if len(list) == 0 {
 		delete(s.pages, tag)
-		if k := sort.SearchStrings(s.tags, tag); k < len(s.tags) && s.tags[k] == tag {
-			s.tags = append(s.tags[:k], s.tags[k+1:]...)
-		}
+		s.tags, _ = sortedset.Remove(s.tags, tag)
 	} else {
 		s.pages[tag] = list
 	}
@@ -169,14 +146,10 @@ func (s *tagStore) addTagAssignment(title, tag string) bool {
 	if tag == "" {
 		return false
 	}
-	list := s.byPage[title]
-	i := sort.SearchStrings(list, tag)
-	if i < len(list) && list[i] == tag {
+	list, fresh := sortedset.Insert(s.byPage[title], tag)
+	if !fresh {
 		return false
 	}
-	list = append(list, "")
-	copy(list[i+1:], list[i:])
-	list[i] = tag
 	s.byPage[title] = list
 	s.addPage(tag, title)
 	return true
@@ -497,61 +470,11 @@ func lessStrings(a, b []string) bool {
 // global canonical order, replacing the old full re-sort of every clique
 // on every recomputation. Components partition the tag vocabulary, so
 // cliques from different lists never compare equal and the merge order is
-// strict; a small binary heap over the list heads keeps the cost at
+// strict; sortedset.Merge's heap over the list heads keeps the cost at
 // O(total cliques · log components) instead of O(n log n) comparisons over
 // re-sorted cached data.
 func mergeSortedCliques(lists [][][]string) [][]string {
-	switch len(lists) {
-	case 0:
-		return nil
-	case 1:
-		return lists[0]
-	}
-	// heap entries are list indexes, ordered by each list's head clique.
-	heap := make([]int, 0, len(lists))
-	pos := make([]int, len(lists))
-	headLess := func(a, b int) bool { return lessStrings(lists[a][pos[a]], lists[b][pos[b]]) }
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			smallest := i
-			if l < len(heap) && headLess(heap[l], heap[smallest]) {
-				smallest = l
-			}
-			if r < len(heap) && headLess(heap[r], heap[smallest]) {
-				smallest = r
-			}
-			if smallest == i {
-				return
-			}
-			heap[i], heap[smallest] = heap[smallest], heap[i]
-			i = smallest
-		}
-	}
-	total := 0
-	for li, l := range lists {
-		total += len(l)
-		if len(l) > 0 {
-			heap = append(heap, li)
-		}
-	}
-	for i := len(heap)/2 - 1; i >= 0; i-- {
-		siftDown(i)
-	}
-	out := make([][]string, 0, total)
-	for len(heap) > 0 {
-		li := heap[0]
-		out = append(out, lists[li][pos[li]])
-		pos[li]++
-		if pos[li] == len(lists[li]) {
-			heap[0] = heap[len(heap)-1]
-			heap = heap[:len(heap)-1]
-		}
-		if len(heap) > 0 {
-			siftDown(0)
-		}
-	}
-	return out
+	return sortedset.Merge(lists, lessStrings)
 }
 
 // assembleCloud builds a Cloud from the store and a settled similarity

@@ -369,19 +369,20 @@ func (s *System) recommender() *recommend.Recommender {
 	return s.Recommender
 }
 
-// SearchFused runs a query and re-orders results by the PageRank/relevance
-// fusion with the given alpha (1 = pure relevance, 0 = pure PageRank).
+// SearchFused runs a query ordered by the PageRank/relevance fusion with
+// the given alpha (1 = pure relevance, 0 = pure PageRank). The fusion runs
+// inside the engine's top-k selection (search.ExecOptions.Alpha), so the
+// fused order covers the whole matching set — a Limit returns the best
+// fused page, not a re-sorted relevance page.
 func (s *System) SearchFused(q search.Query, alpha float64) ([]search.Result, error) {
-	rs, err := s.Engine.Search(q)
-	if err != nil {
-		return nil, err
-	}
-	return s.ranker().Fuse(rs, alpha), nil
+	q.Alpha = &alpha
+	return s.Engine.Search(q)
 }
 
 // Fuse re-orders already-materialized results by the PageRank/relevance
-// fusion (see SearchFused) — for callers that produced the results
-// elsewhere, e.g. the single-pass faceted search path.
+// fusion — the legacy post-hoc re-sort (ranking.Ranker.Fuse), kept for
+// callers that produced the results elsewhere and as the baseline the
+// alpha-fusion benchmark compares the in-executor path against.
 func (s *System) Fuse(rs []search.Result, alpha float64) []search.Result {
 	return s.ranker().Fuse(rs, alpha)
 }
