@@ -11,6 +11,8 @@ import (
 
 	sensormeta "repro"
 	"repro/internal/server"
+	"repro/internal/smr"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -20,13 +22,38 @@ func main() {
 	demo := flag.Bool("demo", false, "pre-load a synthetic demo corpus")
 	sensors := flag.Int("sensors", 900, "demo corpus size (sensors)")
 	snapshot := flag.String("snapshot", "", "load the repository from this snapshot file at startup")
+	dataDir := flag.String("data-dir", "",
+		"durable data directory: restore snapshot + WAL tail at startup, journal every write (empty disables persistence)")
+	fsync := flag.String("fsync", "always",
+		"WAL fsync policy with -data-dir: always (sync every write) or none (leave flushing to the OS)")
 	autoRefresh := flag.Duration("auto-refresh", 0,
 		"refresh derived structures automatically after writes, debounced by this duration (0 disables)")
 	flag.Parse()
 
-	sys, err := sensormeta.New()
-	if err != nil {
-		log.Fatal(err)
+	var sys *sensormeta.System
+	var err error
+	if *dataDir != "" {
+		if *snapshot != "" {
+			log.Fatal("-snapshot and -data-dir are mutually exclusive (a data dir manages its own snapshots)")
+		}
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		sys, err = sensormeta.Open(*dataDir, smr.DurableOptions{Fsync: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := sys.Stats()
+		log.Printf("data dir %s: %d pages restored (journal seq %d, snapshot seq %d, %d WAL segment(s), fsync=%s) in %v",
+			*dataDir, sys.Repo.Wiki.Len(), st.WAL.LastSeq, st.WAL.SnapshotSeq, st.WAL.Segments,
+			policy, time.Since(start).Round(time.Millisecond))
+	} else {
+		sys, err = sensormeta.New()
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *snapshot != "" {
 		start := time.Now()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // The snapshot format is plain JSON: self-describing, diffable, and good
@@ -100,6 +101,10 @@ func (db *DB) Save(w io.Writer) error {
 				st.Indexes = append(st.Indexes, t.indexes[col].Column)
 			}
 		}
+		// Map iteration order would leak into the bytes otherwise,
+		// breaking the "two saves of the same DB are byte-identical"
+		// contract the snapshot dedup and diffing story relies on.
+		sort.Strings(st.Indexes)
 		t.Scan(func(_ int64, row Row) bool {
 			enc := make([]snapshotValue, len(row))
 			for i, v := range row {
@@ -161,7 +166,8 @@ func (db *DB) Load(r io.Reader) error {
 				return err
 			}
 		}
-		for _, encRow := range st.Rows {
+		rows := make([]Row, len(st.Rows))
+		for ri, encRow := range st.Rows {
 			row := make(Row, len(encRow))
 			for i, sv := range encRow {
 				v, err := decodeValue(sv)
@@ -170,9 +176,12 @@ func (db *DB) Load(r io.Reader) error {
 				}
 				row[i] = v
 			}
-			if _, err := t.Insert(row); err != nil {
-				return fmt.Errorf("relational: restoring %s: %w", st.Name, err)
-			}
+			rows[ri] = row
+		}
+		// Bulk insert: indexes are built once per table, not per row — a
+		// restore is O(rows log rows), not quadratic in the corpus.
+		if err := t.loadRows(rows); err != nil {
+			return fmt.Errorf("relational: restoring %s: %w", st.Name, err)
 		}
 	}
 	return nil

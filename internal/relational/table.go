@@ -204,6 +204,39 @@ func (t *Table) Insert(row Row) (int64, error) {
 	return id, nil
 }
 
+// loadRows bulk-inserts many rows — the snapshot restore path. Every row
+// is validated and appended, then each index is rebuilt once from the full
+// row map instead of being maintained per insert. On any error (including
+// a unique violation) the table is restored to its prior state.
+func (t *Table) loadRows(rows []Row) error {
+	validated := make([]Row, len(rows))
+	for i, row := range rows {
+		v, err := t.validate(row)
+		if err != nil {
+			return err
+		}
+		validated[i] = v
+	}
+	start := t.nextID
+	for i, row := range validated {
+		t.rows[start+int64(i)] = row
+	}
+	t.nextID = start + int64(len(validated))
+	for _, idx := range t.indexes {
+		if err := idx.bulkBuild(t.rows); err != nil {
+			for i := range validated {
+				delete(t.rows, start+int64(i))
+			}
+			t.nextID = start
+			for _, fix := range t.indexes {
+				fix.bulkBuild(t.rows) // restore from the surviving rows
+			}
+			return err
+		}
+	}
+	return nil
+}
+
 // Delete removes the row with the given id. It reports whether it existed.
 func (t *Table) Delete(id int64) bool {
 	row, ok := t.rows[id]

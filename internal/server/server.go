@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/search"
+	"repro/internal/smr"
 	"repro/internal/tagging"
 	"repro/internal/viz"
 )
@@ -74,6 +76,7 @@ func NewWithOptions(sys *sensormeta.System, opts Options) *Server {
 	handle("/api/pages", s.handlePutPage)
 	handle("/api/tags", s.handleAddTag)
 	handle("/api/refresh", s.handleRefresh)
+	handle("/api/admin/snapshot", s.handleAdminSnapshot)
 	handle("/api/admin/stats", s.handleAdminStats)
 	handle("/api/sql", s.handleSQL)
 	handle("/api/sparql", s.handleSPARQL)
@@ -521,6 +524,26 @@ func (s *Server) handleAdminStats(w http.ResponseWriter, r *http.Request) {
 		Refresh:       s.sys.Stats(),
 		AutoRefreshMs: s.opts.AutoRefresh.Milliseconds(),
 	})
+}
+
+// handleAdminSnapshot persists the repository state and compacts the
+// write-ahead log prefix the snapshot covers. 409 when the server runs
+// without a data directory.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	info, err := s.sys.Repo.Snapshot()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, smr.ErrNotDurable) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, info)
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,325 @@
+package smr
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// The durable repository: a data directory holding the newest snapshot
+// (snapshot-<seq>.json) plus the write-ahead log tail (wal-<seq>.seg) of
+// every mutation past that snapshot. Open restores the snapshot, replays
+// only the tail, and leaves the in-memory journal numbered exactly as the
+// durable log, so a cold-started replica's consumers catch up through the
+// ordinary incremental Refresh — no full rebuild. Snapshot persists the
+// current state and compacts the log prefix it covers.
+
+// ErrNotDurable reports a persistence operation on a repository that was
+// built by New rather than opened from a data directory.
+var ErrNotDurable = errors.New("smr: repository has no data directory")
+
+// DurableOptions configures Open.
+type DurableOptions struct {
+	// Fsync selects the WAL sync policy (wal.SyncAlways by default: a
+	// mutation that returned success survives an immediate crash).
+	Fsync wal.SyncPolicy
+	// SegmentBytes overrides the WAL segment rotation threshold (0 keeps
+	// wal.DefaultSegmentBytes).
+	SegmentBytes int64
+}
+
+// WAL operation kinds. JSON-encoded walOp payloads are what the log stores:
+// unlike the in-memory journal's Change entries they carry the full
+// mutation (text, author, timestamps), because replay must reconstruct the
+// repository, not merely invalidate derived state.
+const (
+	walOpPut    = "put"
+	walOpDelete = "del"
+	walOpTag    = "tag"
+)
+
+type walOp struct {
+	Op      string    `json:"op"`
+	Title   string    `json:"title"`
+	Author  string    `json:"author,omitempty"`
+	Text    string    `json:"text,omitempty"`
+	Comment string    `json:"comment,omitempty"`
+	Tag     string    `json:"tag,omitempty"`
+	At      time.Time `json:"at"` // revision / tag-creation timestamp
+}
+
+// logMutation appends one mutation to the WAL under the caller-held mu.
+// It is a no-op for in-memory repositories and during restore replay (the
+// records being replayed are already durable).
+func (r *Repository) logMutation(seq uint64, op walOp) error {
+	if r.wal == nil || r.restoring {
+		return nil
+	}
+	data, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("smr: encoding wal record: %w", err)
+	}
+	if err := r.wal.Append(seq, data); err != nil {
+		return fmt.Errorf("smr: journaling %s %s: %w", op.Op, op.Title, err)
+	}
+	return nil
+}
+
+// logMutationLogged is logMutation for paths whose signature cannot carry
+// an error (DeletePage's boolean); failures land in the append-error
+// counter surfaced by WALStats.
+func (r *Repository) logMutationLogged(seq uint64, op walOp) {
+	if err := r.logMutation(seq, op); err != nil {
+		r.walAppendErrs.Add(1)
+	}
+}
+
+// Open opens (or initializes) a durable repository in dir: the newest
+// snapshot is restored first, then the WAL records past the snapshot's
+// sequence number are replayed with their original timestamps. After Open
+// the in-memory journal holds an entry for every restored page and tag plus
+// the replayed tail, numbered exactly as the durable log — so derived
+// consumers (search index, recommender, tagging) catch up incrementally
+// from position 0 and new mutations continue the durable numbering.
+func Open(dir string, opts DurableOptions) (*Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("smr: %w", err)
+	}
+	r, err := New()
+	if err != nil {
+		return nil, err
+	}
+	r.restoring = true
+	snapPath, snapSeq, err := newestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if snapPath != "" {
+		if err := r.LoadSnapshotFile(snapPath); err != nil {
+			return nil, fmt.Errorf("smr: restoring %s: %w", snapPath, err)
+		}
+		if got := r.journal.LastSeq(); got < snapSeq {
+			// Snapshot file predates the embedded-seq format or was
+			// renamed; trust the embedded position, fall back to the name.
+			r.journal.AdvanceTo(snapSeq)
+		} else {
+			snapSeq = got
+		}
+	}
+	// Replay the log tail with original timestamps via a swapped clock.
+	prevClock := r.Wiki.Clock()
+	var replayAt time.Time
+	r.Wiki.SetClock(func() time.Time { return replayAt })
+	log, err := wal.Open(dir, wal.Options{SegmentBytes: opts.SegmentBytes, Sync: opts.Fsync},
+		func(rec wal.Record) error {
+			if rec.Seq <= snapSeq {
+				// Pre-snapshot prefix not yet compacted away.
+				return nil
+			}
+			var op walOp
+			if err := json.Unmarshal(rec.Data, &op); err != nil {
+				return fmt.Errorf("smr: decoding wal record %d: %w", rec.Seq, err)
+			}
+			// Land the replayed mutation at its original sequence number.
+			r.journal.AdvanceTo(rec.Seq - 1)
+			replayAt = op.At
+			switch op.Op {
+			case walOpPut:
+				_, err := r.PutPage(op.Title, op.Author, op.Text, op.Comment)
+				return err
+			case walOpDelete:
+				r.DeletePage(op.Title)
+				return nil
+			case walOpTag:
+				return r.addTagAt(op.Title, op.Tag, op.Author, op.At)
+			}
+			return fmt.Errorf("smr: unknown wal op %q at seq %d", op.Op, rec.Seq)
+		})
+	r.Wiki.SetClock(prevClock)
+	r.restoring = false
+	if err != nil {
+		return nil, err
+	}
+	r.wal = log
+	r.walDir = dir
+	r.snapshotSeq.Store(snapSeq)
+	// New mutations must extend the durable numbering.
+	r.journal.AdvanceTo(log.LastSeq())
+	return r, nil
+}
+
+// addTagAt replays a tag assignment with its original timestamp.
+func (r *Repository) addTagAt(page, tag, author string, created time.Time) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addTagLocked(page, tag, author, created)
+}
+
+// Close syncs and closes the write-ahead log. In-memory repositories
+// close trivially.
+func (r *Repository) Close() error {
+	if r.wal == nil {
+		return nil
+	}
+	return r.wal.Close()
+}
+
+// SnapshotInfo reports what one Snapshot call produced.
+type SnapshotInfo struct {
+	Seq             uint64 `json:"seq"`             // journal position captured
+	Path            string `json:"path"`            // snapshot file written
+	SegmentsRemoved int    `json:"segmentsRemoved"` // WAL segments compacted away
+}
+
+// Snapshot persists the current repository state and compacts the log: the
+// state is captured under one consistent view, written to a temp file,
+// atomically renamed to snapshot-<seq>.json, and only then are the WAL
+// segments fully covered by it (and any older snapshot files) deleted — a
+// crash at any point leaves either the old or the new snapshot intact with
+// every record needed to reach the head.
+func (r *Repository) Snapshot() (SnapshotInfo, error) {
+	if r.wal == nil {
+		return SnapshotInfo{}, ErrNotDurable
+	}
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	// Capture to memory under the read lock so writers are blocked only
+	// for the in-memory walk, not the disk write.
+	var buf bytes.Buffer
+	r.mu.RLock()
+	seq, err := r.saveSnapshotLocked(&buf)
+	r.mu.RUnlock()
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	tmp := filepath.Join(r.walDir, "snapshot.tmp")
+	if err := writeFileSynced(tmp, buf.Bytes()); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("smr: writing snapshot: %w", err)
+	}
+	final := filepath.Join(r.walDir, snapshotName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("smr: publishing snapshot: %w", err)
+	}
+	syncDir(r.walDir)
+	removed, err := r.wal.TruncatePrefix(seq)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	// Older snapshots are superseded; losing this cleanup to a crash is
+	// harmless (Open picks the newest).
+	if entries, err := os.ReadDir(r.walDir); err == nil {
+		for _, e := range entries {
+			if s, ok := snapshotSeqFromName(e.Name()); ok && s < seq {
+				os.Remove(filepath.Join(r.walDir, e.Name()))
+			}
+		}
+	}
+	r.snapshotSeq.Store(seq)
+	return SnapshotInfo{Seq: seq, Path: final, SegmentsRemoved: removed}, nil
+}
+
+// WALStats is the durability snapshot surfaced by System.Stats and the
+// admin endpoint.
+type WALStats struct {
+	Enabled     bool   `json:"enabled"`
+	Dir         string `json:"dir,omitempty"`
+	LastSeq     uint64 `json:"lastSeq"`
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	Segments    int    `json:"segments"`
+	Bytes       int64  `json:"bytes"`
+	Appends     uint64 `json:"appends"`
+	Syncs       uint64 `json:"syncs"`
+	TornDropped int    `json:"tornDropped"`
+	AppendErrs  uint64 `json:"appendErrs"`
+}
+
+// WALStats reports the durable-journal position and segment counters; the
+// zero value (Enabled false) for an in-memory repository.
+func (r *Repository) WALStats() WALStats {
+	if r.wal == nil {
+		return WALStats{}
+	}
+	st := r.wal.Stats()
+	return WALStats{
+		Enabled:     true,
+		Dir:         r.walDir,
+		LastSeq:     st.LastSeq,
+		SnapshotSeq: r.snapshotSeq.Load(),
+		Segments:    st.Segments,
+		Bytes:       st.Bytes,
+		Appends:     st.Appends,
+		Syncs:       st.Syncs,
+		TornDropped: st.TornDropped,
+		AppendErrs:  r.walAppendErrs.Load(),
+	}
+}
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("snapshot-%016x.json", seq)
+}
+
+func snapshotSeqFromName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".json")
+	seq, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// newestSnapshot finds the highest-sequence snapshot file in dir.
+func newestSnapshot(dir string) (path string, seq uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, fmt.Errorf("smr: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if _, ok := snapshotSeqFromName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "", 0, nil
+	}
+	sort.Strings(names)
+	best := names[len(names)-1]
+	seq, _ = snapshotSeqFromName(best)
+	return filepath.Join(dir, best), seq, nil
+}
+
+func writeFileSynced(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs directory metadata, best-effort.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -105,6 +105,22 @@ func (j *Journal) append(c Change) uint64 {
 	return j.seq
 }
 
+// AdvanceTo raises the journal's sequence counter to seq without recording
+// an entry, so the next mutation is numbered seq+1. Snapshot restore uses
+// it to keep sequence numbers continuous across a restart: the replayed
+// corpus journals fresh low-numbered entries for consumers to apply, then
+// the counter jumps to the snapshot's embedded position so the durable log
+// tail (and every later write) lands at its original numbering. Already
+// retained entries and the trim horizon are untouched; seq values at or
+// below the current counter are ignored.
+func (j *Journal) AdvanceTo(seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq > j.seq {
+		j.seq = seq
+	}
+}
+
 // LastSeq returns the sequence number of the most recent change (0 when
 // nothing has ever been recorded).
 func (j *Journal) LastSeq() uint64 {

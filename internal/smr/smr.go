@@ -15,6 +15,12 @@
 // instead of rescanning the corpus; when the bounded window has been
 // trimmed past a consumer's position, Changes reports !ok and the consumer
 // rebuilds from scratch. See the Change type for the full contract.
+//
+// A repository opened from a data directory (Open rather than New) also
+// appends every mutation to a durable write-ahead log (internal/wal)
+// before the call returns, restores the newest snapshot plus the log tail
+// on startup, and compacts the log on Snapshot — so a cold-started replica
+// catches up incrementally instead of rebuilding. See durable.go.
 package smr
 
 import (
@@ -23,11 +29,15 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/rdf"
 	"repro/internal/relational"
 	"repro/internal/sparql"
+	"repro/internal/wal"
 	"repro/internal/wiki"
 )
 
@@ -65,6 +75,23 @@ type Repository struct {
 	RDF     *rdf.Store
 	ACL     *ACL
 	journal *Journal
+
+	// mu serializes mutations (PutPage, DeletePage, AddTag) and gives
+	// SaveSnapshot one consistent view across the wiki store, the tag
+	// rows and the journal position — without it a snapshot taken during
+	// a write burst could hold tags whose pages are missing from its own
+	// page list (a torn snapshot LoadSnapshot cannot replay). Reads of a
+	// single projection keep relying on that projection's own lock.
+	mu sync.RWMutex
+
+	// Durable-journal state; zero for a purely in-memory repository.
+	// Opened by smr.Open, fed by the mutation paths under mu.
+	wal           *wal.Log
+	walDir        string
+	restoring     bool          // replaying snapshot/WAL: suppress re-appends
+	snapMu        sync.Mutex    // serializes Snapshot (save + compact)
+	snapshotSeq   atomic.Uint64 // seq embedded in the newest on-disk snapshot
+	walAppendErrs atomic.Uint64 // WAL appends that failed: live state diverges from the log
 }
 
 // New creates an empty repository with its relational schema in place.
@@ -95,6 +122,9 @@ func New() (*Repository, error) {
 			{Name: "page", Type: relational.TypeText, NotNull: true},
 			{Name: "tag", Type: relational.TypeText, NotNull: true},
 			{Name: "author", Type: relational.TypeText},
+			// RFC 3339; when the assignment was made. Persisted by
+			// snapshots so a restored tag keeps its original time.
+			{Name: "created", Type: relational.TypeText},
 		}},
 	}
 	for _, tbl := range schema {
@@ -158,8 +188,20 @@ func linkFingerprint(page *wiki.Page) []string {
 
 // PutPage writes a page and refreshes both projections. This is the single
 // write path of the repository: bulk loading and the HTTP server both pass
-// through here, so every mutation lands in the change journal exactly once.
+// through here, so every mutation lands in the change journal exactly once
+// — and, when the repository is durable, in the write-ahead log.
+//
+// Durability contract: the in-memory apply happens first, the WAL append
+// second. A WAL append failure is returned as an error even though the
+// page is already live — the write is served until the next restart but
+// was never made durable, so callers must treat the error as "not
+// persisted" (retrying creates a new revision: at-least-once, like the
+// delete path). Such failures are counted in WALStats.AppendErrs, and an
+// unrecoverable partial write fail-stops the log so divergence cannot
+// accumulate silently.
 func (r *Repository) PutPage(title, author, text, comment string) (*wiki.Page, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	// Snapshot the previous link structure before Put replaces the parsed
 	// page in place (the slice headers captured by the fingerprint stay
 	// valid because Put assigns fresh slices).
@@ -180,7 +222,14 @@ func (r *Repository) PutPage(title, author, text, comment string) (*wiki.Page, e
 	// A brand-new page always changes the graph (new node); an update only
 	// does when its outgoing edges differ.
 	linksChanged := !existed || !slices.Equal(oldLinks, linkFingerprint(page))
-	r.journal.Append(ChangeUpsert, canonical, linksChanged)
+	seq := r.journal.Append(ChangeUpsert, canonical, linksChanged)
+	if err := r.logMutation(seq, walOp{
+		Op: walOpPut, Title: canonical, Author: author, Text: text,
+		Comment: comment, At: page.Revisions[len(page.Revisions)-1].Timestamp,
+	}); err != nil {
+		r.walAppendErrs.Add(1)
+		return nil, err
+	}
 	return page, nil
 }
 
@@ -293,6 +342,8 @@ func (r *Repository) reprojectRDF(page *wiki.Page) {
 
 // DeletePage removes a page from all three projections.
 func (r *Repository) DeletePage(title string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	canonical := wiki.ParseTitle(title).String()
 	if !r.Wiki.Delete(canonical) {
 		return false
@@ -307,7 +358,11 @@ func (r *Repository) DeletePage(title string) bool {
 		r.RDF.Remove(t)
 	}
 	// Removing a node always changes the link graph.
-	r.journal.Append(ChangeDelete, canonical, true)
+	seq := r.journal.Append(ChangeDelete, canonical, true)
+	// A failed WAL append cannot be reported through the boolean return;
+	// the page is gone in memory either way, so surface it in the stats
+	// rather than pretending the delete did not happen.
+	r.logMutationLogged(seq, walOp{Op: walOpDelete, Title: canonical, At: r.Wiki.Now()})
 	return true
 }
 
@@ -376,19 +431,41 @@ func (r *Repository) PropertyValues(property string) ([]string, error) {
 // AddTag records a user tag on a page (Section IV's tagging input). The
 // assignment is journalled as a ChangeTag entry so the tagging pipeline can
 // refresh the page's tag set incrementally; link structure is untouched.
+// The row is stamped with the repository clock (wiki.Store.Now), which
+// snapshots persist and restore. The durability contract matches PutPage:
+// a WAL append failure is returned as an error with the tag already live.
 func (r *Repository) AddTag(page, tag, author string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addTagLocked(page, tag, author, r.Wiki.Now())
+}
+
+// addTagLocked is AddTag with an explicit timestamp — the restore paths
+// (snapshot tag replay, WAL tail replay) pass the original creation time
+// instead of the live clock. Caller holds mu.
+func (r *Repository) addTagLocked(page, tag, author string, created time.Time) error {
 	if _, ok := r.Wiki.Get(page); !ok {
 		return fmt.Errorf("smr: tagging unknown page %q", page)
 	}
 	canonical := wiki.ParseTitle(page).String()
 	normalized := strings.ToLower(strings.TrimSpace(tag))
 	_, err := r.DB.Exec(fmt.Sprintf(
-		"INSERT INTO tags (page, tag, author) VALUES (%s, %s, %s)",
-		sqlQuote(canonical), sqlQuote(normalized), sqlQuote(author)))
-	if err == nil {
-		r.journal.AppendTag(canonical, normalized)
+		"INSERT INTO tags (page, tag, author, created) VALUES (%s, %s, %s, %s)",
+		sqlQuote(canonical), sqlQuote(normalized), sqlQuote(author),
+		sqlQuote(created.UTC().Format(time.RFC3339Nano))))
+	if err != nil {
+		return err
 	}
-	return err
+	seq := r.journal.AppendTag(canonical, normalized)
+	if err := r.logMutation(seq, walOp{
+		Op: walOpTag, Title: canonical, Tag: normalized, Author: author, At: created,
+	}); err != nil {
+		// Same durability contract as PutPage: the tag is live but was
+		// never made durable; the error means "not persisted".
+		r.walAppendErrs.Add(1)
+		return err
+	}
+	return nil
 }
 
 // TagCounts returns tag -> frequency over all pages. Values of metadata

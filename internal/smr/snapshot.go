@@ -1,21 +1,39 @@
 package smr
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/relational"
 	"repro/internal/wiki"
 )
 
 // Snapshotting persists the authoritative state — wiki pages with their
-// full revision history plus user tags. The relational and RDF projections
-// are derived data and are rebuilt on load by replaying every revision
-// through the normal PutPage path, which guarantees a restored repository
-// behaves identically to the original. (Revision ids are renumbered on
-// load; authors, texts, comments and timestamps are preserved.)
+// full revision history plus user tags — under one consistent view (the
+// repository mutation lock), so a snapshot taken during a write burst can
+// never hold tags whose pages are missing from its own page list.
+//
+// Format version 2 additionally embeds:
+//
+//   - the journal sequence number the snapshot captures, so a restore
+//     continues the durable numbering instead of restarting from 1 (the
+//     WAL tail and every consumer position depend on it);
+//   - per-tag creation timestamps (version 1 lost them);
+//   - the relational projection (internal/relational's own snapshot
+//     format), so restore installs rows directly instead of re-executing
+//     SQL for every replayed revision — the difference between a cold
+//     start bounded by JSON decoding and one bounded by the write path.
+//
+// Version 1 snapshots are still read, via the original replay-through-
+// PutPage path. Either way the restored repository answers queries
+// identically to the original (revision ids are renumbered on load;
+// authors, texts, comments and timestamps are preserved), and the
+// in-memory journal ends up with one entry per restored page and tag so
+// derived consumers can catch up incrementally rather than rebuilding.
 
 type revisionSnapshot struct {
 	Author    string    `json:"author"`
@@ -30,21 +48,39 @@ type pageSnapshot struct {
 }
 
 type tagSnapshot struct {
-	Page   string `json:"page"`
-	Tag    string `json:"tag"`
-	Author string `json:"author,omitempty"`
+	Page    string    `json:"page"`
+	Tag     string    `json:"tag"`
+	Author  string    `json:"author,omitempty"`
+	Created time.Time `json:"created,omitzero"`
 }
 
 type repoSnapshot struct {
-	Version int            `json:"version"`
-	Pages   []pageSnapshot `json:"pages"`
-	Tags    []tagSnapshot  `json:"tags"`
+	Version int `json:"version"`
+	// Seq is the journal position the snapshot captures (version >= 2):
+	// restore advances the journal counter here so the log tail and new
+	// mutations continue the durable numbering.
+	Seq   uint64         `json:"seq,omitempty"`
+	Pages []pageSnapshot `json:"pages"`
+	Tags  []tagSnapshot  `json:"tags"`
+	// DB embeds the relational projection (version >= 2) for the direct
+	// restore path; absent, restore falls back to replaying revisions.
+	DB json.RawMessage `json:"db,omitempty"`
 }
 
-// SaveSnapshot writes the whole repository (pages, revisions, tags) as
-// JSON.
+// SaveSnapshot writes the whole repository (pages, revisions, tags, the
+// relational projection) as JSON. The capture holds the repository's
+// mutation lock, so concurrent writes see a clean point-in-time cut.
 func (r *Repository) SaveSnapshot(w io.Writer) error {
-	snap := repoSnapshot{Version: 1}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, err := r.saveSnapshotLocked(w)
+	return err
+}
+
+// saveSnapshotLocked captures the snapshot under the caller-held lock and
+// reports the journal sequence number it embeds.
+func (r *Repository) saveSnapshotLocked(w io.Writer) (uint64, error) {
+	snap := repoSnapshot{Version: 2, Seq: r.journal.LastSeq()}
 	r.Wiki.Each(func(p *wiki.Page) {
 		ps := pageSnapshot{Title: p.Title.String()}
 		for _, rev := range p.Revisions {
@@ -57,37 +93,125 @@ func (r *Repository) SaveSnapshot(w io.Writer) error {
 		}
 		snap.Pages = append(snap.Pages, ps)
 	})
-	rs, err := r.DB.Query("SELECT page, tag, author FROM tags ORDER BY page, tag")
+	rs, err := r.DB.Query("SELECT page, tag, author, created FROM tags ORDER BY page, tag")
 	if err != nil {
-		return fmt.Errorf("smr: snapshotting tags: %w", err)
+		return 0, fmt.Errorf("smr: snapshotting tags: %w", err)
 	}
 	for _, row := range rs.Rows {
-		snap.Tags = append(snap.Tags, tagSnapshot{
+		ts := tagSnapshot{
 			Page: row[0].Text0(), Tag: row[1].Text0(), Author: row[2].Text0(),
-		})
+		}
+		if created := row[3].Text0(); created != "" {
+			if at, err := time.Parse(time.RFC3339Nano, created); err == nil {
+				ts.Created = at
+			}
+		}
+		snap.Tags = append(snap.Tags, ts)
 	}
+	var db bytes.Buffer
+	if err := r.DB.Save(&db); err != nil {
+		return 0, fmt.Errorf("smr: snapshotting relational projection: %w", err)
+	}
+	snap.DB = bytes.TrimSpace(db.Bytes())
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(snap)
+	return snap.Seq, enc.Encode(snap)
 }
 
-// LoadSnapshot restores a snapshot into an empty repository by replaying
-// every revision and tag through the normal write paths.
+// LoadSnapshot restores a snapshot into an empty repository. Version 2
+// snapshots install state directly (pages into the wiki store, rows into a
+// fresh relational database, RDF reprojected from the parsed pages);
+// version 1 falls back to replaying every revision and tag through the
+// normal write paths. Both leave the journal holding one change entry per
+// restored page and tag — numbered from 1, for consumers starting cold —
+// and then advance the sequence counter to the snapshot's embedded
+// position so later mutations continue the durable numbering.
 func (r *Repository) LoadSnapshot(rd io.Reader) error {
 	if r.Wiki.Len() > 0 {
 		return fmt.Errorf("smr: LoadSnapshot requires an empty repository (%d pages present)", r.Wiki.Len())
+	}
+	if seq := r.journal.LastSeq(); seq > 0 {
+		return fmt.Errorf("smr: LoadSnapshot requires a fresh journal (at seq %d)", seq)
 	}
 	var snap repoSnapshot
 	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
 		return fmt.Errorf("smr: decoding snapshot: %w", err)
 	}
-	if snap.Version != 1 {
+	switch snap.Version {
+	case 1, 2:
+	default:
 		return fmt.Errorf("smr: unsupported snapshot version %d", snap.Version)
 	}
+	var err error
+	if snap.Version >= 2 && len(snap.DB) > 0 {
+		err = r.restoreDirect(&snap)
+	} else {
+		err = r.restoreByReplay(&snap)
+	}
+	if err != nil {
+		return err
+	}
+	// Continue the durable numbering (no-op for version-1 snapshots).
+	r.journal.AdvanceTo(snap.Seq)
+	return nil
+}
+
+// restoreDirect installs the captured state without replaying writes: wiki
+// pages (parsing only each latest revision), the embedded relational rows,
+// and the RDF projection recomputed from the parsed pages.
+func (r *Repository) restoreDirect(snap *repoSnapshot) error {
+	db := relational.NewDB()
+	if err := db.Load(bytes.NewReader(snap.DB)); err != nil {
+		return fmt.Errorf("smr: restoring relational projection: %w", err)
+	}
+	// Sanity: the embedded projection must agree with the page and tag
+	// lists it was captured with.
+	for table, want := range map[string]int{"pages": len(snap.Pages), "tags": len(snap.Tags)} {
+		t, ok := db.Table(table)
+		if !ok {
+			return fmt.Errorf("smr: snapshot relational projection lacks table %q", table)
+		}
+		if t.NumRows() != want {
+			return fmt.Errorf("smr: snapshot %s rows (%d) disagree with snapshot list (%d)",
+				table, t.NumRows(), want)
+		}
+	}
+	for _, ps := range snap.Pages {
+		revs := make([]wiki.Revision, len(ps.Revisions))
+		for i, rev := range ps.Revisions {
+			revs[i] = wiki.Revision{
+				Author:    rev.Author,
+				Timestamp: rev.Timestamp,
+				Text:      rev.Text,
+				Comment:   rev.Comment,
+			}
+		}
+		page, err := r.Wiki.Install(ps.Title, revs)
+		if err != nil {
+			return fmt.Errorf("smr: restoring %s: %w", ps.Title, err)
+		}
+		r.reprojectRDF(page)
+	}
+	r.DB = db
+	// Journal the restored corpus so consumers starting at position 0
+	// build incrementally instead of falling back to a corpus rebuild.
+	r.Wiki.Each(func(p *wiki.Page) {
+		r.journal.Append(ChangeUpsert, p.Title.String(), true)
+	})
+	for _, ts := range snap.Tags {
+		r.journal.AppendTag(wiki.ParseTitle(ts.Page).String(), ts.Tag)
+	}
+	return nil
+}
+
+// restoreByReplay rebuilds the repository by replaying every revision and
+// tag through the normal write paths (the version-1 format's only option).
+func (r *Repository) restoreByReplay(snap *repoSnapshot) error {
 	// Replay revisions with their original timestamps via a swapped clock.
+	prevClock := r.Wiki.Clock()
 	var replayTime time.Time
 	r.Wiki.SetClock(func() time.Time { return replayTime })
-	defer r.Wiki.SetClock(time.Now)
+	defer r.Wiki.SetClock(prevClock)
 	for _, ps := range snap.Pages {
 		for _, rev := range ps.Revisions {
 			replayTime = rev.Timestamp
@@ -96,8 +220,16 @@ func (r *Repository) LoadSnapshot(rd io.Reader) error {
 			}
 		}
 	}
+	// Put the real clock back BEFORE tag replay: tags carry their own
+	// creation times (or get the live clock for version-1 snapshots that
+	// never stored any) — not the last replayed revision's timestamp.
+	r.Wiki.SetClock(prevClock)
 	for _, ts := range snap.Tags {
-		if err := r.AddTag(ts.Page, ts.Tag, ts.Author); err != nil {
+		created := ts.Created
+		if created.IsZero() {
+			created = r.Wiki.Now()
+		}
+		if err := r.addTagAt(ts.Page, ts.Tag, ts.Author, created); err != nil {
 			return fmt.Errorf("smr: replaying tag %s on %s: %w", ts.Tag, ts.Page, err)
 		}
 	}

@@ -2,8 +2,11 @@ package smr
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -73,6 +76,209 @@ func TestSnapshotRoundTripPreservesEverything(t *testing.T) {
 	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
 		t.Errorf("link graph mismatch: %d/%d vs %d/%d nodes/edges",
 			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+}
+
+// TestSaveSnapshotConsistentUnderConcurrentWrites is the torn-snapshot
+// regression: SaveSnapshot used to read the wiki pages and the tag rows in
+// two unsynchronized passes, so a PutPage+AddTag landing between them
+// produced a snapshot whose tags referenced pages missing from its own
+// page list — and LoadSnapshot choked replaying them. Every snapshot taken
+// during a write burst must load cleanly.
+func TestSaveSnapshotConsistentUnderConcurrentWrites(t *testing.T) {
+	r := newRepo(t)
+	put(t, r, "Sensor:Base", "[[measures::wind speed]]")
+	// One bounded writer burst of page+tag pairs; the main goroutine
+	// snapshots continuously until the burst ends. Every captured
+	// snapshot must be internally consistent — each tag row's page
+	// present in the page list — and replayable into a fresh repository.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			title := fmt.Sprintf("Sensor:Churn-%d", i)
+			if _, err := r.PutPage(title, "w", "[[measures::temperature]]", ""); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := r.AddTag(title, "burst", "w"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var captured []bytes.Buffer
+	for stop := false; !stop; {
+		select {
+		case <-done:
+			stop = true
+		default:
+		}
+		var buf bytes.Buffer
+		if err := r.SaveSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		captured = append(captured, buf)
+	}
+	wg.Wait()
+	for i := range captured {
+		var snap struct {
+			Pages []struct {
+				Title string `json:"title"`
+			} `json:"pages"`
+			Tags []struct {
+				Page string `json:"page"`
+			} `json:"tags"`
+		}
+		if err := json.Unmarshal(captured[i].Bytes(), &snap); err != nil {
+			t.Fatal(err)
+		}
+		pages := make(map[string]bool, len(snap.Pages))
+		for _, p := range snap.Pages {
+			pages[p.Title] = true
+		}
+		for _, tag := range snap.Tags {
+			if !pages[tag.Page] {
+				t.Fatalf("snapshot %d torn: tag on %q but the page is missing from the page list", i, tag.Page)
+			}
+		}
+	}
+	// And the final capture round-trips.
+	restored := newRepo(t)
+	if err := restored.LoadSnapshot(bytes.NewReader(captured[len(captured)-1].Bytes())); err != nil {
+		t.Fatalf("final snapshot does not load: %v", err)
+	}
+}
+
+// TestLoadSnapshotSeqContinuity: restore must leave the journal counter at
+// the snapshot's embedded sequence number, not at the number of replayed
+// entries — deletes and superseded revisions make the former larger, and
+// the durable log tail (plus every later mutation) is numbered from it.
+func TestLoadSnapshotSeqContinuity(t *testing.T) {
+	r := newRepo(t)
+	put(t, r, "Sensor:Keep", "[[measures::wind speed]]")
+	put(t, r, "Sensor:Gone", "[[measures::temperature]]")
+	if !r.DeletePage("Sensor:Gone") {
+		t.Fatal("delete failed")
+	}
+	if r.LastSeq() != 3 {
+		t.Fatalf("live seq = %d, want 3", r.LastSeq())
+	}
+	var buf bytes.Buffer
+	if err := r.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newRepo(t)
+	if err := restored.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.LastSeq() != 3 {
+		t.Fatalf("restored seq = %d, want 3 (journal numbering must survive restore)", restored.LastSeq())
+	}
+	// The replayed corpus is still journalled below the snapshot seq for
+	// consumers starting cold.
+	changes, ok := restored.Changes(0)
+	if !ok || len(changes) == 0 {
+		t.Fatalf("restored journal unusable from 0: ok=%v entries=%d", ok, len(changes))
+	}
+	if _, err := restored.PutPage("Sensor:Next", "t", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+	if restored.LastSeq() != 4 {
+		t.Fatalf("next mutation got seq %d, want 4", restored.LastSeq())
+	}
+}
+
+// TestSnapshotPreservesTagTimestamps: tag rows carry their creation time,
+// the snapshot persists it (format v2), and restore keeps it rather than
+// stamping tags with whatever the replay clock last showed.
+func TestSnapshotPreservesTagTimestamps(t *testing.T) {
+	r := newRepo(t)
+	revTime := time.Date(2010, 1, 2, 3, 4, 5, 0, time.UTC)
+	tagTime := time.Date(2011, 6, 7, 8, 9, 10, 11, time.UTC)
+	r.Wiki.SetClock(func() time.Time { return revTime })
+	put(t, r, "Sensor:T", "[[measures::wind speed]]")
+	r.Wiki.SetClock(func() time.Time { return tagTime })
+	if err := r.AddTag("Sensor:T", "alpine", "amy"); err != nil {
+		t.Fatal(err)
+	}
+	readCreated := func(r *Repository) time.Time {
+		t.Helper()
+		rs, err := r.QuerySQL("SELECT created FROM tags WHERE page = 'Sensor:T'")
+		if err != nil || len(rs.Rows) != 1 {
+			t.Fatalf("created query: %v rows=%v", err, rs)
+		}
+		at, err := time.Parse(time.RFC3339Nano, rs.Rows[0][0].Text0())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	if got := readCreated(r); !got.Equal(tagTime) {
+		t.Fatalf("live tag created = %v, want %v", got, tagTime)
+	}
+	var buf bytes.Buffer
+	if err := r.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newRepo(t)
+	if err := restored.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCreated(restored); !got.Equal(tagTime) {
+		t.Fatalf("restored tag created = %v, want %v (not the revision clock %v)", got, tagTime, revTime)
+	}
+}
+
+// TestLoadSnapshotV1ReplayClock loads a version-1 snapshot (replay path,
+// no stored tag times) and checks the replay clock is put back before tag
+// replay: tags must be stamped with the live clock, not the last replayed
+// revision's timestamp leaking out of the swapped clock.
+func TestLoadSnapshotV1ReplayClock(t *testing.T) {
+	oldRev := time.Date(2009, 9, 9, 9, 9, 9, 0, time.UTC)
+	v1 := map[string]interface{}{
+		"version": 1,
+		"pages": []map[string]interface{}{{
+			"title": "Sensor:Old",
+			"revisions": []map[string]interface{}{{
+				"author": "amy", "timestamp": oldRev, "text": "[[measures::wind speed]]",
+			}},
+		}},
+		"tags": []map[string]interface{}{{"page": "Sensor:Old", "tag": "legacy", "author": "amy"}},
+	}
+	raw, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRepo(t)
+	now := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	r.Wiki.SetClock(func() time.Time { return now })
+	if err := r.LoadSnapshot(bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	// Revision kept its historic timestamp...
+	p, ok := r.Wiki.Get("Sensor:Old")
+	if !ok || !p.Revisions[0].Timestamp.Equal(oldRev) {
+		t.Fatalf("revision timestamp = %+v, want %v", p, oldRev)
+	}
+	// ...the tag did NOT inherit it.
+	rs, err := r.QuerySQL("SELECT created FROM tags WHERE page = 'Sensor:Old'")
+	if err != nil || len(rs.Rows) != 1 {
+		t.Fatalf("created query: %v rows=%v", err, rs)
+	}
+	at, err := time.Parse(time.RFC3339Nano, rs.Rows[0][0].Text0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !at.Equal(now) {
+		t.Fatalf("v1 tag stamped %v, want the live clock %v (replay clock leaked)", at, now)
+	}
+	// And the original clock is back after the load.
+	if got := r.Wiki.Now(); !got.Equal(now) {
+		t.Fatalf("clock not restored: %v", got)
 	}
 }
 

@@ -180,8 +180,15 @@ func (s *tagStore) apply(fetch func() (*TagData, error)) (dirty []string, applie
 	dirtySet := map[string]bool{}
 	for _, c := range changes {
 		if c.Kind == smr.ChangeTag {
-			if s.addTagAssignment(c.Title, c.Tag) {
-				dirtySet[c.Tag] = true
+			// Guard against a page deleted later in the same run: the
+			// repository is read at its current state, and the delete's
+			// own entry may coalesce into an earlier re-read of the
+			// title — without the existence check the assignment would
+			// resurrect the page in the tag mirror.
+			if _, ok := s.repo.Wiki.Get(c.Title); ok {
+				if s.addTagAssignment(c.Title, c.Tag) {
+					dirtySet[c.Tag] = true
+				}
 			}
 			applied++
 			continue

@@ -1,0 +1,493 @@
+// Package wal implements the durable change journal of the repository: an
+// append-only, segmented, CRC-checksummed log of opaque records keyed by a
+// strictly increasing sequence number.
+//
+// The log is the persistence half of the incremental-maintenance story: the
+// in-memory smr.Journal feeds live consumers, the WAL makes the same change
+// stream survive restarts, so a cold-started replica restores the newest
+// snapshot and replays only the log tail instead of rebuilding from scratch.
+//
+// # On-disk format
+//
+// A log is a directory of segment files named wal-<firstseq>.seg (sequence
+// number in zero-padded hex, so lexical order is replay order). Every
+// segment starts with an 8-byte magic header, followed by records:
+//
+//	[4B payload length][8B seq][payload][4B CRC32-C]
+//
+// The checksum covers the length, the sequence number and the payload, so a
+// record is accepted only when every byte of it survived. Appends go to the
+// newest segment; once it exceeds the configured size the segment is synced
+// and a new one is started.
+//
+// # Crash recovery
+//
+// A crash can tear only the tail of the newest segment (writes are
+// sequential, older segments are never touched). Open scans every segment
+// in order and stops at the first record whose length, checksum or
+// monotonicity check fails: when that happens in the newest segment the
+// torn tail is truncated away and appending resumes at the last good
+// offset; anywhere else it is reported as corruption. A record written
+// under SyncAlways is therefore never lost, and a torn record is never
+// surfaced.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy uint8
+
+// Sync policies.
+const (
+	// SyncAlways fsyncs the segment after every append: a record reported
+	// written survives an immediate crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS; the segment is still synced on
+	// rotation and on Close. A crash may lose the unsynced tail — never a
+	// previously synced prefix, and never a torn record (the CRC drops it).
+	SyncNever
+)
+
+// String renders the policy in the form ParseSyncPolicy accepts.
+func (p SyncPolicy) String() string {
+	if p == SyncNever {
+		return "none"
+	}
+	return "always"
+}
+
+// ParseSyncPolicy maps the -fsync flag values onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "none", "never", "os":
+		return SyncNever, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always or none)", s)
+}
+
+// Options configures a log.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the active one exceeds
+	// this size. Zero selects the 8 MiB default.
+	SegmentBytes int64
+	// Sync is the fsync policy for appends.
+	Sync SyncPolicy
+}
+
+// DefaultSegmentBytes is the rotation threshold when Options leaves it 0.
+const DefaultSegmentBytes = 8 << 20
+
+// maxRecordBytes bounds a single record payload; a decoded length beyond it
+// is treated as a torn/corrupt record rather than an allocation request.
+const maxRecordBytes = 64 << 20
+
+var magic = [8]byte{'S', 'M', 'R', 'W', 'A', 'L', '1', '\n'}
+
+const headerLen = 12 // 4B length + 8B seq
+const trailerLen = 4 // CRC32-C
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one replayed log entry.
+type Record struct {
+	Seq  uint64
+	Data []byte
+}
+
+type segment struct {
+	path     string
+	firstSeq uint64 // from the file name; advisory until a record confirms it
+	lastSeq  uint64 // highest record seq in the segment (0 when empty)
+	size     int64
+}
+
+// Stats is an observability snapshot of the log.
+type Stats struct {
+	LastSeq      uint64 `json:"lastSeq"`
+	Segments     int    `json:"segments"`
+	Bytes        int64  `json:"bytes"`
+	Appends      uint64 `json:"appends"`
+	Syncs        uint64 `json:"syncs"`
+	TornDropped  int    `json:"tornDropped"`  // torn tail records discarded at Open
+	SegmentBytes int64  `json:"segmentBytes"` // rotation threshold
+}
+
+// Log is an open write-ahead log. It is safe for concurrent use, though the
+// repository serializes appends anyway (sequence numbers must be handed in
+// strictly increasing).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active (newest) segment
+	segments []segment
+	lastSeq  uint64
+	appends  uint64
+	syncs    uint64
+	torn     int
+	closed   bool
+	// failed latches after a partial write that could not be clawed back:
+	// appending past torn bytes would let the next Open silently drop
+	// every later record as part of the "tail", so the log fail-stops.
+	failed bool
+}
+
+// Open opens (or creates) the log in dir and replays every intact record
+// through fn in sequence order. A torn tail in the newest segment is
+// truncated away; corruption anywhere else is an error. fn returning an
+// error aborts the open.
+func Open(dir string, opts Options, fn func(Record) error) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	for i, name := range names {
+		seg := segment{path: filepath.Join(dir, name), firstSeq: seqFromName(name)}
+		last := i == len(names)-1
+		if err := l.replaySegment(&seg, last, fn); err != nil {
+			return nil, err
+		}
+		l.segments = append(l.segments, seg)
+	}
+	return l, nil
+}
+
+// segmentNames lists the segment files of dir in replay (lexical) order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func seqFromName(name string) uint64 {
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", firstSeq)
+}
+
+// replaySegment reads one segment, feeding intact records to fn. For the
+// newest segment a torn tail is truncated; for older ones it is corruption.
+func (l *Log) replaySegment(seg *segment, newest bool, fn func(Record) error) error {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	good := int64(0)
+	torn := false
+	if len(data) >= len(magic) && [8]byte(data[:len(magic)]) == magic {
+		good = int64(len(magic))
+		off := len(magic)
+		for off < len(data) {
+			rec, n, ok := decodeRecord(data[off:])
+			if !ok || rec.Seq <= l.lastSeq {
+				torn = true
+				break
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			l.lastSeq = rec.Seq
+			if seg.lastSeq == 0 {
+				seg.firstSeq = rec.Seq
+			}
+			seg.lastSeq = rec.Seq
+			off += n
+			good = int64(off)
+		}
+		if off > len(data) { // cannot happen, decodeRecord bounds n
+			torn = true
+		}
+	} else if len(data) > 0 || newest {
+		// Header missing or torn. An empty newest segment is a crash
+		// between create and header write — recoverable; anything else is
+		// corruption.
+		torn = true
+	}
+	if torn {
+		if !newest {
+			return fmt.Errorf("wal: corrupt record inside non-final segment %s", seg.path)
+		}
+		l.torn++
+		if err := os.Truncate(seg.path, good); err != nil {
+			return fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+		}
+	}
+	seg.size = good
+	return nil
+}
+
+// decodeRecord parses one record from b, reporting its total encoded size.
+// ok is false when the bytes do not form an intact record (torn tail).
+func decodeRecord(b []byte) (rec Record, n int, ok bool) {
+	if len(b) < headerLen+trailerLen {
+		return rec, 0, false
+	}
+	length := binary.LittleEndian.Uint32(b)
+	if length > maxRecordBytes {
+		return rec, 0, false
+	}
+	total := headerLen + int(length) + trailerLen
+	if len(b) < total {
+		return rec, 0, false
+	}
+	sum := binary.LittleEndian.Uint32(b[headerLen+int(length):])
+	if crc32.Checksum(b[:headerLen+int(length)], crcTable) != sum {
+		return rec, 0, false
+	}
+	rec.Seq = binary.LittleEndian.Uint64(b[4:])
+	rec.Data = append([]byte(nil), b[headerLen:headerLen+int(length)]...)
+	return rec, total, true
+}
+
+func encodeRecord(seq uint64, data []byte) []byte {
+	buf := make([]byte, headerLen+len(data)+trailerLen)
+	binary.LittleEndian.PutUint32(buf, uint32(len(data)))
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	copy(buf[headerLen:], data)
+	sum := crc32.Checksum(buf[:headerLen+len(data)], crcTable)
+	binary.LittleEndian.PutUint32(buf[headerLen+len(data):], sum)
+	return buf
+}
+
+// Append writes one record. seq must be strictly greater than every
+// previously appended or replayed sequence number. Under SyncAlways the
+// record is fsynced before Append returns.
+func (l *Log) Append(seq uint64, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: append to closed log")
+	}
+	if l.failed {
+		return fmt.Errorf("wal: log disabled after an unrecoverable write error")
+	}
+	if seq <= l.lastSeq {
+		return fmt.Errorf("wal: non-monotonic seq %d (last %d)", seq, l.lastSeq)
+	}
+	if len(data) > maxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d limit", len(data), maxRecordBytes)
+	}
+	if err := l.ensureSegmentLocked(seq); err != nil {
+		return err
+	}
+	buf := encodeRecord(seq, data)
+	seg := &l.segments[len(l.segments)-1]
+	if _, err := l.f.Write(buf); err != nil {
+		// Claw the partial record back: if torn bytes stayed mid-segment,
+		// a later successful append would land after them and the next
+		// Open would silently drop it as part of the torn tail. When the
+		// claw-back itself fails the log fail-stops instead.
+		if terr := l.f.Truncate(seg.size); terr != nil {
+			l.failed = true
+		} else if _, serr := l.f.Seek(seg.size, 0); serr != nil {
+			l.failed = true
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	seg.size += int64(len(buf))
+	if seg.lastSeq == 0 {
+		seg.firstSeq = seq
+	}
+	seg.lastSeq = seq
+	l.lastSeq = seq
+	l.appends++
+	if l.opts.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.syncs++
+	}
+	return nil
+}
+
+// ensureSegmentLocked opens the active segment, rotating when it is over
+// the size threshold. nextSeq names a freshly created segment.
+func (l *Log) ensureSegmentLocked(nextSeq uint64) error {
+	if l.f != nil && l.segments[len(l.segments)-1].size >= l.opts.SegmentBytes {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.syncs++
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.f = nil
+	}
+	if l.f == nil && len(l.segments) > 0 && l.segments[len(l.segments)-1].size < l.opts.SegmentBytes {
+		// Reopen the replayed newest segment for appending.
+		seg := &l.segments[len(l.segments)-1]
+		f, err := os.OpenFile(seg.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(seg.size, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		if seg.size == 0 {
+			// Crash landed between create and header write: restore it.
+			if _, err := f.Write(magic[:]); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: %w", err)
+			}
+			seg.size = int64(len(magic))
+		}
+		l.f = f
+		return nil
+	}
+	if l.f == nil {
+		path := filepath.Join(l.dir, segmentName(nextSeq))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Write(magic[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.segments = append(l.segments, segment{path: path, firstSeq: nextSeq, size: int64(len(magic))})
+		l.f = f
+		l.syncDir()
+	}
+	return nil
+}
+
+// syncDir makes directory metadata (new/removed segment files) durable.
+// Best-effort: some filesystems reject directory fsync.
+func (l *Log) syncDir() {
+	if l.opts.Sync != SyncAlways {
+		return
+	}
+	if d, err := os.Open(l.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.syncs++
+	return nil
+}
+
+// TruncatePrefix deletes every segment whose records all have Seq <= seq —
+// the compaction step after a successful snapshot at seq. The active
+// segment is never deleted. It reports how many segments were removed.
+func (l *Log) TruncatePrefix(seq uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := l.segments[:0]
+	for i := range l.segments {
+		seg := l.segments[i]
+		active := l.f != nil && i == len(l.segments)-1
+		// An empty segment (no records) sorts by its advisory firstSeq.
+		disposable := seg.lastSeq != 0 && seg.lastSeq <= seq
+		if disposable && !active {
+			if err := os.Remove(seg.path); err != nil {
+				return removed, fmt.Errorf("wal: %w", err)
+			}
+			removed++
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	l.segments = keep
+	if removed > 0 {
+		l.syncDir()
+	}
+	return removed, nil
+}
+
+// LastSeq returns the highest sequence number in the log.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Stats returns an observability snapshot.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		LastSeq:      l.lastSeq,
+		Segments:     len(l.segments),
+		Appends:      l.appends,
+		Syncs:        l.syncs,
+		TornDropped:  l.torn,
+		SegmentBytes: l.opts.SegmentBytes,
+	}
+	for _, seg := range l.segments {
+		st.Bytes += seg.size
+	}
+	return st
+}
+
+// Close syncs and closes the active segment. The log must not be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.syncs++
+	err := l.f.Close()
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

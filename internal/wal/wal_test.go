@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openCollect(t *testing.T, dir string, opts Options) (*Log, []Record) {
+	t.Helper()
+	var recs []Record
+	l, err := Open(dir, opts, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := openCollect(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := make([]Record, 0, 20)
+	for i := 1; i <= 20; i++ {
+		data := []byte(fmt.Sprintf("payload-%d", i))
+		if err := l.Append(uint64(i), data); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Record{Seq: uint64(i), Data: data})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if l2.LastSeq() != 20 {
+		t.Fatalf("LastSeq = %d", l2.LastSeq())
+	}
+	// Appending continues past the replayed tail.
+	if err := l2.Append(21, []byte("more")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(21, []byte("dup")); err == nil {
+		t.Fatal("non-monotonic seq accepted")
+	}
+}
+
+func TestRotationAndTruncatePrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 64})
+	for i := 1; i <= 30; i++ {
+		if err := l.Append(uint64(i), []byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	removed, err := l.TruncatePrefix(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("compaction removed nothing")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, recs := openCollect(t, dir, Options{SegmentBytes: 64})
+	defer l2.Close()
+	if len(recs) == 0 || recs[0].Seq > 16 {
+		t.Fatalf("compaction dropped live records: first replayed seq %v", recs)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("gap in replay at %d", i)
+		}
+	}
+	if recs[len(recs)-1].Seq != 30 {
+		t.Fatalf("lost tail: last seq %d", recs[len(recs)-1].Seq)
+	}
+}
+
+func TestTruncatePrefixKeepsActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	for i := 1; i <= 5; i++ {
+		if err := l.Append(uint64(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.TruncatePrefix(5); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("active segment deleted: %+v", st)
+	}
+	if err := l.Append(6, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"": SyncAlways, "always": SyncAlways, "none": SyncNever,
+		"never": SyncNever, "os": SyncNever, "NONE": SyncNever,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestCorruptMiddleSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 64})
+	for i := 1; i <= 20; i++ {
+		if err := l.Append(uint64(i), []byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	names, err := segmentNames(dir)
+	if err != nil || len(names) < 2 {
+		t.Fatalf("want >=2 segments: %v %v", names, err)
+	}
+	// Flip a payload byte in the first (non-final) segment.
+	path := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(magic)+headerLen] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}, func(Record) error { return nil }); err == nil {
+		t.Fatal("corrupt middle segment accepted")
+	}
+}
+
+// TestCrashRecoveryEveryOffset is the crash-recovery property test: a log
+// truncated at ANY byte offset must recover exactly the records that were
+// fully written before that offset — a synced entry is never lost, a torn
+// one never surfaces.
+func TestCrashRecoveryEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	l, _ := openCollect(t, master, Options{Sync: SyncAlways})
+	rng := rand.New(rand.NewSource(7))
+	const n = 12
+	// ends[i] = file offset at which record i+1 is complete.
+	var ends []int64
+	payloads := make([][]byte, 0, n)
+	for i := 1; i <= n; i++ {
+		data := make([]byte, 1+rng.Intn(40))
+		rng.Read(data)
+		payloads = append(payloads, data)
+		if err := l.Append(uint64(i), data); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, l.Stats().Bytes)
+	}
+	l.Close()
+	names, err := segmentNames(master)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("expected a single segment, got %v (%v)", names, err)
+	}
+	full, err := os.ReadFile(filepath.Join(master, names[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := int64(0); off <= int64(len(full)); off++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, names[0]), full[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		l2, err := Open(dir, Options{}, func(r Record) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("offset %d: Open failed: %v", off, err)
+		}
+		want := 0
+		for want < n && ends[want] <= off {
+			want++
+		}
+		if len(got) != want {
+			t.Fatalf("offset %d: recovered %d records, want %d", off, len(got), want)
+		}
+		for i := range got {
+			if got[i].Seq != uint64(i+1) || !bytes.Equal(got[i].Data, payloads[i]) {
+				t.Fatalf("offset %d: record %d corrupted", off, i)
+			}
+		}
+		// The log stays appendable after recovery.
+		if err := l2.Append(uint64(want+1), []byte("resume")); err != nil {
+			t.Fatalf("offset %d: append after recovery: %v", off, err)
+		}
+		l2.Close()
+	}
+}
+
+// TestCrashRecoveryBitFlipTail checks a corrupted (not just truncated)
+// final record is dropped by the checksum rather than surfaced.
+func TestCrashRecoveryBitFlipTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	for i := 1; i <= 5; i++ {
+		if err := l.Append(uint64(i), []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	names, _ := segmentNames(dir)
+	path := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // corrupt the final CRC byte
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, recs := openCollect(t, dir, Options{})
+	defer l2.Close()
+	if len(recs) != 4 {
+		t.Fatalf("recovered %d records, want 4 (torn last dropped)", len(recs))
+	}
+	if st := l2.Stats(); st.TornDropped == 0 {
+		t.Fatalf("torn drop not counted: %+v", st)
+	}
+}

@@ -122,6 +122,54 @@ func (s *Store) SetClock(clock func() time.Time) {
 	s.clock = clock
 }
 
+// Clock returns the current timestamp source, so a replay path can swap in
+// a historic clock and put the original back when it is done.
+func (s *Store) Clock() func() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock
+}
+
+// Now reads the store's clock — the one timestamp source every repository
+// mutation shares, so replayed history is stamped consistently.
+func (s *Store) Now() time.Time {
+	s.mu.RLock()
+	clock := s.clock
+	s.mu.RUnlock()
+	return clock()
+}
+
+// Install inserts a fully-formed page with its revision history — the
+// snapshot restore path. Unlike Put it parses only the latest revision's
+// text (earlier revisions are history, not structure) and it refuses to
+// replace an existing page. Revision ids are renumbered, as on any load.
+func (s *Store) Install(title string, revisions []Revision) (*Page, error) {
+	t := ParseTitle(title)
+	if t.Name == "" {
+		return nil, fmt.Errorf("wiki: empty page title %q", title)
+	}
+	if len(revisions) == 0 {
+		return nil, fmt.Errorf("wiki: installing %q with no revisions", title)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := t.String()
+	if _, dup := s.pages[key]; dup {
+		return nil, fmt.Errorf("wiki: page %q already present", key)
+	}
+	p := &Page{Title: t, Revisions: make([]Revision, len(revisions))}
+	copy(p.Revisions, revisions)
+	for i := range p.Revisions {
+		s.revID++
+		p.Revisions[i].ID = s.revID
+	}
+	text := p.Revisions[len(p.Revisions)-1].Text
+	p.Links, p.Annotations, p.Categories = ParseWikitext(text)
+	p.Redirect = parseRedirect(text)
+	s.pages[key] = p
+	return p, nil
+}
+
 // Put creates or updates a page with new wikitext, recording a revision.
 // It returns the parsed page.
 func (s *Store) Put(title, author, text, comment string) (*Page, error) {

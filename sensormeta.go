@@ -144,6 +144,10 @@ type RefreshStats struct {
 
 	Recommender recommend.Stats `json:"recommender"`
 	Tagging     tagging.Stats   `json:"tagging"`
+
+	// WAL reports the durable-journal position and segment counters
+	// (zero-valued, Enabled false, for in-memory systems).
+	WAL smr.WALStats `json:"wal"`
 }
 
 // Stats reports the current refresh observability counters.
@@ -161,6 +165,7 @@ func (s *System) Stats() RefreshStats {
 		PageRankSkipped: s.stats.PageRankSkipped,
 		PageRankWarm:    s.stats.PageRankWarm,
 		PageRankCold:    s.stats.PageRankCold,
+		WAL:             s.Repo.WALStats(),
 	}
 	if s.Tags != nil {
 		st.Tagging = s.Tags.Stats()
@@ -179,6 +184,32 @@ func New() (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	return wire(repo)
+}
+
+// Open restores a system from a durable data directory (smr.Open): the
+// newest snapshot plus the write-ahead-log tail past it. The first Refresh
+// runs inside Open and is incremental — every derived consumer catches up
+// by applying the restored journal, with no RefreshFull/Engine.Rebuild —
+// so a cold-started replica is query-ready in time bounded by the snapshot
+// size and the tail length, not by the full write history. Close the
+// system when done so the log is flushed.
+func Open(dir string, opts smr.DurableOptions) (*System, error) {
+	repo, err := smr.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := wire(repo)
+	if err != nil {
+		repo.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// wire builds the derived stack around a repository and brings it current
+// through the incremental refresh path.
+func wire(repo *smr.Repository) (*System, error) {
 	s := &System{Repo: repo}
 	s.Engine = search.NewEngine(repo)
 	s.Tags = tagging.NewPipeline(repo, true)
@@ -188,6 +219,10 @@ func New() (*System, error) {
 	}
 	return s, nil
 }
+
+// Close releases the repository's durable resources (the write-ahead log).
+// A no-op for in-memory systems.
+func (s *System) Close() error { return s.Repo.Close() }
 
 // QueryCombined runs a combined SQL + SPARQL + keyword query through the
 // Query Management module and returns the joined, ranked, ACL-filtered
