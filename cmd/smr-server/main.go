@@ -1,15 +1,22 @@
 // Command smr-server runs the sensor-metadata search web application. With
 // -demo it pre-loads a synthetic Swiss-Experiment-style corpus so every
-// endpoint has data to show.
+// endpoint has data to show. With -follow it runs as a read replica of
+// another smr-server: it bootstraps from the primary's snapshot, tails its
+// write-ahead log, and serves the full read API while rejecting writes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	sensormeta "repro"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/smr"
 	"repro/internal/wal"
@@ -28,19 +35,66 @@ func main() {
 		"WAL fsync policy with -data-dir: always (sync every write) or none (leave flushing to the OS)")
 	autoRefresh := flag.Duration("auto-refresh", 0,
 		"refresh derived structures automatically after writes, debounced by this duration (0 disables)")
+	follow := flag.String("follow", "",
+		"run as a read replica of the primary at this base URL (requires -data-dir for the local WAL)")
+	maxLag := flag.Uint64("max-lag", 0,
+		"with -follow: serve 503 instead of reads once the replica lags the primary by more than this many sequence numbers (0 disables)")
+	shutdownWait := flag.Duration("shutdown-wait", 10*time.Second,
+		"how long to let in-flight requests drain on SIGINT/SIGTERM before forcing exit")
 	flag.Parse()
 
-	var sys *sensormeta.System
-	var err error
-	if *dataDir != "" {
-		if *snapshot != "" {
-			log.Fatal("-snapshot and -data-dir are mutually exclusive (a data dir manages its own snapshots)")
-		}
-		policy, err := wal.ParseSyncPolicy(*fsync)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	policy := wal.SyncAlways
+	if *dataDir != "" || *follow != "" {
+		p, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
 			log.Fatal(err)
 		}
+		policy = p
+	}
+
+	var sys *sensormeta.System
+	var opts server.Options
+	opts.AutoRefresh = *autoRefresh
+	var follower *replica.Follower
+
+	switch {
+	case *follow != "":
+		if *dataDir == "" {
+			log.Fatal("-follow requires -data-dir (the follower re-logs applied records locally)")
+		}
+		if *demo || *snapshot != "" {
+			log.Fatal("-follow is incompatible with -demo and -snapshot (a replica only replays the primary's log)")
+		}
 		start := time.Now()
+		f, err := replica.Open(ctx, replica.Config{
+			PrimaryURL: *follow,
+			Dir:        *dataDir,
+			Durable:    smr.DurableOptions{Fsync: policy},
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		follower = f
+		sys = follower.System()
+		if err := sys.Refresh(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("following %s: %d pages at seq %d (fsync=%s) in %v",
+			*follow, sys.Repo.Wiki.Len(), sys.Repo.LastSeq(), policy, time.Since(start).Round(time.Millisecond))
+		opts.ReadOnly = true
+		opts.Primary = *follow
+		opts.Replica = follower
+		opts.MaxLagSeq = *maxLag
+	case *dataDir != "":
+		if *snapshot != "" {
+			log.Fatal("-snapshot and -data-dir are mutually exclusive (a data dir manages its own snapshots)")
+		}
+		start := time.Now()
+		var err error
 		sys, err = sensormeta.Open(*dataDir, smr.DurableOptions{Fsync: policy})
 		if err != nil {
 			log.Fatal(err)
@@ -49,7 +103,8 @@ func main() {
 		log.Printf("data dir %s: %d pages restored (journal seq %d, snapshot seq %d, %d WAL segment(s), fsync=%s) in %v",
 			*dataDir, sys.Repo.Wiki.Len(), st.WAL.LastSeq, st.WAL.SnapshotSeq, st.WAL.Segments,
 			policy, time.Since(start).Round(time.Millisecond))
-	} else {
+	default:
+		var err error
 		sys, err = sensormeta.New()
 		if err != nil {
 			log.Fatal(err)
@@ -67,10 +122,10 @@ func main() {
 			time.Since(start).Round(time.Millisecond))
 	}
 	if *demo {
-		opts := workload.DefaultCorpus()
-		opts.Sensors = *sensors
+		corpus := workload.DefaultCorpus()
+		corpus.Sensors = *sensors
 		start := time.Now()
-		stats, err := workload.BuildCorpus(sys.Repo, opts)
+		stats, err := workload.BuildCorpus(sys.Repo, corpus)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,11 +139,65 @@ func main() {
 	if *autoRefresh > 0 {
 		log.Printf("auto-refresh on write enabled (debounce %v)", *autoRefresh)
 	}
-	log.Printf("sensor metadata search listening on %s (legacy GET APIs + POST /api/v1/query)", *addr)
+	handler := server.NewWithOptions(sys, opts)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithOptions(sys, server.Options{AutoRefresh: *autoRefresh}),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// The replication loop and the HTTP listener both run until the first
+	// fatal error or shutdown signal; either one ending stops the other.
+	errc := make(chan error, 2)
+	if follower != nil {
+		go func() {
+			err := follower.Run(ctx)
+			if errors.Is(err, context.Canceled) {
+				err = nil
+			}
+			errc <- err
+		}()
+	}
+	go func() {
+		log.Printf("sensor metadata search listening on %s (legacy GET APIs + POST /api/v1/query)", *addr)
+		err := srv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errc <- err
+	}()
+
+	exitErr := waitForShutdown(ctx, errc)
+
+	// Graceful drain: stop accepting connections, give in-flight requests a
+	// deadline, then close the repository so the WAL is cleanly released.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v (forcing close)", err)
+		srv.Close()
+	}
+	handler.Close()
+	if err := sys.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	if exitErr != nil {
+		log.Fatal(exitErr)
+	}
+	log.Printf("clean shutdown")
+}
+
+// waitForShutdown blocks until a shutdown signal arrives or one of the
+// long-running goroutines fails, and returns the error to exit with.
+func waitForShutdown(ctx context.Context, errc <-chan error) error {
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining")
+		return nil
+	case err := <-errc:
+		if err != nil {
+			log.Printf("fatal: %v", err)
+		}
+		return err
+	}
 }

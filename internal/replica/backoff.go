@@ -1,0 +1,91 @@
+// Package replica implements WAL-shipped read replication: a Follower
+// bootstraps from a primary's snapshot over HTTP, tails the primary's
+// write-ahead log through the long-poll wal endpoint, and applies every
+// record through the smr replay path — so a follower serves the full read
+// API with zero rebuild, survives hostile networks with jittered
+// exponential backoff and resume-from-last-applied-seq, and survives its
+// own crashes because each applied record lands in its local WAL at the
+// primary's sequence number.
+package replica
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a jittered exponential retry schedule. Next returns the delay
+// before the next attempt, growing by Factor per call up to Max, with the
+// top Jitter fraction of each step randomized so a fleet of followers
+// reconnecting after a primary restart doesn't stampede in lockstep.
+// Reset (on any successful fetch) returns the schedule to Base.
+//
+// The zero value is usable and picks the defaults below. Not safe for
+// concurrent use; each follower loop owns one.
+type Backoff struct {
+	Base   time.Duration // first delay (default 100ms)
+	Max    time.Duration // delay ceiling (default 15s)
+	Factor float64       // growth per attempt (default 2)
+	Jitter float64       // fraction of each step randomized, in [0, 1] (default 0.5; negative disables)
+	// Rand supplies the jitter source, returning values in [0, 1).
+	// Defaults to math/rand; tests inject a deterministic one.
+	Rand func() float64
+
+	attempt int
+}
+
+const (
+	defaultBase   = 100 * time.Millisecond
+	defaultMax    = 15 * time.Second
+	defaultFactor = 2.0
+	defaultJitter = 0.5
+)
+
+// Next returns the delay to sleep before the next attempt and advances the
+// schedule. The returned delay is drawn uniformly from
+// [step·(1−Jitter), step] where step = min(Max, Base·Factor^attempt).
+func (b *Backoff) Next() time.Duration {
+	base, max, factor, jitter := b.Base, b.Max, b.Factor, b.Jitter
+	if base <= 0 {
+		base = defaultBase
+	}
+	if max <= 0 {
+		max = defaultMax
+	}
+	if factor < 1 {
+		factor = defaultFactor
+	}
+	if jitter < 0 {
+		jitter = 0
+	} else if b.Jitter == 0 {
+		jitter = defaultJitter
+	} else if jitter > 1 {
+		jitter = 1
+	}
+	step := float64(base)
+	for i := 0; i < b.attempt; i++ {
+		step *= factor
+		if step >= float64(max) {
+			step = float64(max)
+			break
+		}
+	}
+	b.attempt++
+	rnd := b.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	// Uniform in [step·(1−jitter), step].
+	d := step * (1 - jitter*rnd())
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Attempts reports how many delays have been handed out since the last
+// Reset — the consecutive-failure count.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// Reset returns the schedule to its base delay. Call it after any
+// successful attempt.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,98 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+// The backoff tests need no wall clock at all: Next returns durations and
+// the jitter source is injected, so the whole schedule is deterministic.
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2,
+		Jitter: -1} // jitter off: the deterministic upper envelope
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond,
+		2 * time.Second, 2 * time.Second, 2 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: %v, want %v", i, got, w)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Fatalf("Attempts() = %d, want %d", b.Attempts(), len(want))
+	}
+}
+
+func TestBackoffJitterStaysInEnvelope(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 0.999999} {
+		b := &Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2,
+			Jitter: 0.5, Rand: func() float64 { return r }}
+		step := 100 * time.Millisecond
+		for i := 0; i < 6; i++ {
+			got := b.Next()
+			lo := time.Duration(float64(step) * 0.5)
+			if got < lo || got > step {
+				t.Fatalf("rand=%v attempt %d: %v outside [%v, %v]", r, i, got, lo, step)
+			}
+			step *= 2
+		}
+	}
+}
+
+func TestBackoffJitterSpreads(t *testing.T) {
+	// Two followers with different random draws must not sleep in lockstep.
+	seq := []float64{0.1, 0.9, 0.3, 0.7}
+	i, j := 0, 0
+	a := &Backoff{Jitter: 0.5, Rand: func() float64 { v := seq[i%len(seq)]; i++; return v }}
+	c := &Backoff{Jitter: 0.5, Rand: func() float64 { v := seq[(j+1)%len(seq)]; j++; return v }}
+	same := true
+	for k := 0; k < 4; k++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("jittered schedules identical across different random draws")
+	}
+}
+
+func TestBackoffResetOnSuccess(t *testing.T) {
+	b := &Backoff{Base: 50 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: -1}
+	b.Next()
+	b.Next()
+	if got := b.Next(); got != 200*time.Millisecond {
+		t.Fatalf("third delay %v, want 200ms", got)
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("Attempts() after Reset = %d", b.Attempts())
+	}
+	if got := b.Next(); got != 50*time.Millisecond {
+		t.Fatalf("post-reset delay %v, want base 50ms", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	b := &Backoff{Jitter: -1}
+	if got := b.Next(); got != defaultBase {
+		t.Fatalf("zero-value first delay %v, want %v", got, defaultBase)
+	}
+	for i := 0; i < 20; i++ {
+		if got := b.Next(); got > defaultMax {
+			t.Fatalf("delay %v exceeded default ceiling %v", got, defaultMax)
+		}
+	}
+	// Default jitter is active when Jitter is unset.
+	j := &Backoff{Rand: func() float64 { return 0.999 }}
+	if got := j.Next(); got >= defaultBase {
+		t.Fatalf("default jitter had no effect: %v", got)
+	}
+	// Delays never collapse to zero.
+	tiny := &Backoff{Base: 1, Max: 1, Jitter: 0.5, Rand: func() float64 { return 0.999999 }}
+	if got := tiny.Next(); got < 1 {
+		t.Fatalf("delay collapsed to %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package faultnet is a fault-injecting http.RoundTripper for exercising
+// replication code against hostile networks: requests can be dropped,
+// stalled, answered with 5xx bursts, or have their response bodies
+// truncated mid-chunk. All faults are driven by a seeded random source so
+// property tests replay deterministically, and every injected fault is
+// counted for assertions.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport wraps a base RoundTripper with probabilistic faults. Rates are
+// probabilities in [0, 1], checked independently per request in the order
+// drop → stall → 5xx → truncate (a stalled request can still be truncated;
+// a dropped one never reaches the wire).
+type Transport struct {
+	// Base performs real requests. Defaults to http.DefaultTransport.
+	Base http.RoundTripper
+
+	DropRate     float64 // fail the request with a connection error
+	StallRate    float64 // delay the request by StallFor before sending
+	ErrorRate    float64 // return a synthesized 503 without reaching Base
+	TruncateRate float64 // cut the response body off partway
+
+	// StallFor is how long a stalled request waits (default 50ms). The
+	// stall respects the request context: a deadline shorter than the
+	// stall turns it into a timeout, like a real saturated link.
+	StallFor time.Duration
+
+	// Seed fixes the fault schedule; 0 seeds from 1 (still deterministic).
+	Seed int64
+
+	// Counters for test assertions.
+	Drops, Stalls, Errors, Truncations atomic.Uint64
+	Requests                           atomic.Uint64
+
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+// New returns a Transport with the given independent fault rates and seed.
+func New(seed int64, drop, stall, errRate, truncate float64) *Transport {
+	return &Transport{Seed: seed, DropRate: drop, StallRate: stall,
+		ErrorRate: errRate, TruncateRate: truncate}
+}
+
+func (t *Transport) roll() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rnd == nil {
+		seed := t.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		t.rnd = rand.New(rand.NewSource(seed))
+	}
+	return t.rnd.Float64()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.Requests.Add(1)
+	if t.DropRate > 0 && t.roll() < t.DropRate {
+		t.Drops.Add(1)
+		return nil, fmt.Errorf("faultnet: connection dropped (%s %s)", req.Method, req.URL.Path)
+	}
+	if t.StallRate > 0 && t.roll() < t.StallRate {
+		t.Stalls.Add(1)
+		stall := t.StallFor
+		if stall <= 0 {
+			stall = 50 * time.Millisecond
+		}
+		timer := time.NewTimer(stall)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, fmt.Errorf("faultnet: stalled past deadline: %w", req.Context().Err())
+		case <-timer.C:
+		}
+	}
+	if t.ErrorRate > 0 && t.roll() < t.ErrorRate {
+		t.Errors.Add(1)
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader("faultnet: injected 503\n")),
+			Request:       req,
+			ContentLength: -1,
+		}, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if t.TruncateRate > 0 && t.roll() < t.TruncateRate {
+		t.Truncations.Add(1)
+		// Pass roughly half the body through, then fail the read the way a
+		// torn connection does — after real bytes have been consumed.
+		n := resp.ContentLength / 2
+		if n <= 0 {
+			n = 512
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: n}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// truncatedBody yields remaining bytes then fails with ErrUnexpectedEOF.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("faultnet: response truncated: %w", io.ErrUnexpectedEOF)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		return n, err // body ended before the cut: nothing to inject
+	}
+	if b.remaining <= 0 && err == nil {
+		err = fmt.Errorf("faultnet: response truncated: %w", io.ErrUnexpectedEOF)
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

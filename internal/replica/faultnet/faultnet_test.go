@@ -1,0 +1,127 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestDropAndErrorFaults(t *testing.T) {
+	srv := testServer(t, "ok")
+	tr := New(7, 0.5, 0, 0.3, 0)
+	client := &http.Client{Transport: tr}
+	var drops, errs, oks int
+	for i := 0; i < 200; i++ {
+		resp, err := client.Get(srv.URL)
+		switch {
+		case err != nil:
+			if !strings.Contains(err.Error(), "dropped") {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			drops++
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			errs++
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			oks++
+		}
+	}
+	if drops == 0 || errs == 0 || oks == 0 {
+		t.Fatalf("fault mix degenerate: drops=%d errs=%d oks=%d", drops, errs, oks)
+	}
+	if got := tr.Drops.Load(); got != uint64(drops) {
+		t.Fatalf("drop counter %d, observed %d", got, drops)
+	}
+	if got := tr.Errors.Load(); got != uint64(errs) {
+		t.Fatalf("error counter %d, observed %d", got, errs)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	srv := testServer(t, "ok")
+	outcomes := func(seed int64) string {
+		tr := New(seed, 0.4, 0, 0.3, 0)
+		client := &http.Client{Transport: tr}
+		var b strings.Builder
+		for i := 0; i < 50; i++ {
+			resp, err := client.Get(srv.URL)
+			switch {
+			case err != nil:
+				b.WriteByte('d')
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				b.WriteByte('e')
+			default:
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	if outcomes(42) != outcomes(42) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	if outcomes(42) == outcomes(43) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	full := strings.Repeat("x", 4096)
+	srv := testServer(t, full)
+	tr := New(3, 0, 0, 0, 1.0)
+	resp, err := (&http.Client{Transport: tr}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated read error: %v, want ErrUnexpectedEOF", err)
+	}
+	if len(data) == 0 || len(data) >= len(full) {
+		t.Fatalf("truncated body delivered %d of %d bytes", len(data), len(full))
+	}
+	if tr.Truncations.Load() != 1 {
+		t.Fatalf("truncation counter %d", tr.Truncations.Load())
+	}
+}
+
+func TestStallRespectsContext(t *testing.T) {
+	srv := testServer(t, "ok")
+	tr := New(5, 0, 1.0, 0, 0)
+	tr.StallFor = 5 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := (&http.Client{Transport: tr}).Do(req)
+	if err == nil {
+		t.Fatal("stalled request succeeded despite expired context")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stall ignored the context deadline: took %v", elapsed)
+	}
+	if tr.Stalls.Load() != 1 {
+		t.Fatalf("stall counter %d", tr.Stalls.Load())
+	}
+}

@@ -289,15 +289,17 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	props, facets := facetAccumulators(opts.Facets)
 	res := &ExecResult{Facets: facets}
 
-	// Facet fast path: a keyword-free expression whose match set the
+	// Exact-set fast path: a keyword-free expression whose match set the
 	// metaIndex derives exactly has Matched and every facet answered by
 	// set arithmetic over the index snapshot. The ACL still filters the
 	// match set (a title check, no page fetch). Result materialization —
-	// when requested — proceeds below with per-visit facet accumulation
-	// switched off.
+	// when requested — then skips query.Eval entirely: membership IS the
+	// match, and a keyword-free expression's relevance score is always
+	// zero, so each result needs only its title and rank. Matched display
+	// pairs are filled in afterwards for just the returned page.
 	var exact []string
 	exactOK := false
-	if !opts.DisablePruning && !opts.DisableFacetIndex && (opts.CountOnly || len(props) > 0) {
+	if !opts.DisablePruning && !opts.DisableFacetIndex {
 		if s, isExact, ok := meta.candidates(norm, titles); ok && isExact {
 			kept := s[:0]
 			for _, t := range s {
@@ -330,32 +332,46 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	eligible := 0 // matches after the cursor (== Matched when no cursor)
 	var maxRel, maxRank float64
 	visit := func(title string, driverScore float64, hasDriver bool) {
-		page, ok := e.repo.Wiki.Get(title)
-		if !ok {
-			return
-		}
-		if !e.repo.ACL.CanRead(opts.User, title) {
-			return
-		}
-		d := docView{page: page, title: title, kws: kws}
-		if hasDriver && hasDriverLeaf {
-			d.driverText, d.driverAny = driver.Text, driver.Any
-			d.driverScore, d.hasDriver = driverScore, true
-		}
-		m := query.Eval(norm, d)
-		if !m.OK {
-			return
-		}
-		res.Matched++
-		for _, p := range props {
-			for _, v := range page.PropertyValues(p) {
-				facets[p][v]++
+		var r Result
+		if exactOK {
+			// The exact set is already ACL-filtered and facet-counted;
+			// only a liveness check stands between membership and a result.
+			if _, ok := e.repo.Wiki.Get(title); !ok {
+				return
 			}
+			res.Matched++
+			if opts.CountOnly {
+				return
+			}
+			r = Result{Title: title, Rank: ranks[title]}
+		} else {
+			page, ok := e.repo.Wiki.Get(title)
+			if !ok {
+				return
+			}
+			if !e.repo.ACL.CanRead(opts.User, title) {
+				return
+			}
+			d := docView{page: page, title: title, kws: kws}
+			if hasDriver && hasDriverLeaf {
+				d.driverText, d.driverAny = driver.Text, driver.Any
+				d.driverScore, d.hasDriver = driverScore, true
+			}
+			m := query.Eval(norm, d)
+			if !m.OK {
+				return
+			}
+			res.Matched++
+			for _, p := range props {
+				for _, v := range page.PropertyValues(p) {
+					facets[p][v]++
+				}
+			}
+			if opts.CountOnly {
+				return
+			}
+			r = Result{Title: title, Relevance: m.Score, Rank: ranks[title], Matched: m.Matched}
 		}
-		if opts.CountOnly {
-			return
-		}
-		r := Result{Title: title, Relevance: m.Score, Rank: ranks[title], Matched: m.Matched}
 		if fusing {
 			// The fused comparator needs the matching set's normalizers, so
 			// cursor filtering and selection run after enumeration.
@@ -428,6 +444,20 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	}
 	if opts.Limit > 0 && opts.Limit < len(out) {
 		out = out[:opts.Limit]
+	}
+	if exactOK {
+		// The Eval-skipped fast path still owes the returned page its
+		// matched display pairs — evaluate just these results, not the
+		// whole matching set.
+		for i := range out {
+			page, ok := e.repo.Wiki.Get(out[i].Title)
+			if !ok {
+				continue
+			}
+			if m := query.Eval(norm, docView{page: page, title: out[i].Title, kws: kws}); m.OK {
+				out[i].Matched = m.Matched
+			}
+		}
 	}
 	res.Results = out
 	if opts.Limit > 0 && len(out) == opts.Limit && eligible > opts.Offset+opts.Limit {

@@ -35,6 +35,22 @@ type Options struct {
 	// the last write of the burst. Zero disables (writes require an
 	// explicit POST /api/refresh, as before).
 	AutoRefresh time.Duration
+	// ReadOnly rejects the write endpoints (/api/pages, /api/tags,
+	// /bulkload) with a structured 403 pointing at Primary — the follower
+	// mode of a read replica.
+	ReadOnly bool
+	// Primary is the primary server's URL, included in the read-only error
+	// envelope so clients know where to send writes.
+	Primary string
+	// Replica, when set, marks this server as a follower: read responses
+	// carry an X-Replica-Lag-Seq header and /api/admin/stats gains a
+	// replication block.
+	Replica ReplicaSource
+	// MaxLagSeq, when positive (and Replica is set), degrades reads to 503
+	// once the follower lags more than this many sequence numbers behind
+	// the primary (or has never synced) — graceful degradation instead of
+	// arbitrarily stale responses. Admin endpoints are exempt.
+	MaxLagSeq uint64
 }
 
 // Server is the HTTP application. It implements http.Handler.
@@ -77,7 +93,9 @@ func NewWithOptions(sys *sensormeta.System, opts Options) *Server {
 	handle("/api/tags", s.handleAddTag)
 	handle("/api/refresh", s.handleRefresh)
 	handle("/api/admin/snapshot", s.handleAdminSnapshot)
+	handle("/api/admin/snapshot/latest", s.handleAdminSnapshotLatest)
 	handle("/api/admin/stats", s.handleAdminStats)
+	handle("/api/admin/wal", s.handleAdminWAL)
 	handle("/api/sql", s.handleSQL)
 	handle("/api/sparql", s.handleSPARQL)
 	handle("/api/combined", s.handleCombined)
@@ -107,8 +125,12 @@ func (s *Server) Close() {
 	}
 }
 
-// ServeHTTP dispatches to the router.
+// ServeHTTP applies the replica gates (read-only writes, lag header,
+// max-lag degradation), then dispatches to the router.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.gateReplica(w, r) {
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -520,9 +542,11 @@ func (s *Server) handleAdminStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Refresh       sensormeta.RefreshStats `json:"refresh"`
 		AutoRefreshMs int64                   `json:"autoRefreshMs"`
+		Replica       any                     `json:"replica,omitempty"`
 	}{
 		Refresh:       s.sys.Stats(),
 		AutoRefreshMs: s.opts.AutoRefresh.Milliseconds(),
+		Replica:       s.replicaStatsBlock(),
 	})
 }
 

@@ -1,0 +1,207 @@
+package smr
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// streamRecords pulls every record past the follower's position from the
+// primary and applies it, like the replica loop does over HTTP.
+func streamRecords(t *testing.T, primary, follower *Repository) {
+	t.Helper()
+	for {
+		recs, last, err := primary.WALRecords(follower.LastSeq(), 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := follower.ApplyReplicated(rec); err != nil {
+				t.Fatalf("apply seq %d: %v", rec.Seq, err)
+			}
+		}
+		if follower.LastSeq() >= last {
+			return
+		}
+	}
+}
+
+func TestApplyReplicatedConvergesAndSurvivesRestart(t *testing.T) {
+	primary := openRepo(t, t.TempDir(), DurableOptions{Fsync: wal.SyncNever})
+	followerDir := t.TempDir()
+	follower := openRepo(t, followerDir, DurableOptions{Fsync: wal.SyncNever})
+
+	for _, m := range crashScript() {
+		applyMutation(t, primary, m)
+	}
+	streamRecords(t, primary, follower)
+
+	if got, want := fingerprint(t, follower), fingerprint(t, primary); got != want {
+		t.Fatalf("follower diverged after stream:\nprimary:\n%s\nfollower:\n%s", want, got)
+	}
+	if follower.LastSeq() != primary.LastSeq() {
+		t.Fatalf("seq mismatch: follower %d, primary %d", follower.LastSeq(), primary.LastSeq())
+	}
+
+	// Re-applying the whole stream is a no-op (resume-behind idempotency).
+	recs, _, err := primary.WALRecords(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fingerprint(t, follower)
+	for _, rec := range recs {
+		if err := follower.ApplyReplicated(rec); err != nil {
+			t.Fatalf("re-apply seq %d: %v", rec.Seq, err)
+		}
+	}
+	if fingerprint(t, follower) != before {
+		t.Fatal("re-applying already-applied records changed follower state")
+	}
+
+	// A gap is refused.
+	future := wal.Record{Seq: follower.LastSeq() + 2, Data: []byte(`{"op":"del","title":"Sensor:A"}`)}
+	if err := follower.ApplyReplicated(future); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap apply: %v, want gap error", err)
+	}
+
+	// The applied stream landed in the follower's own WAL: a restart from
+	// its directory reproduces the state and keeps the primary's numbering.
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := openRepo(t, followerDir, DurableOptions{Fsync: wal.SyncNever})
+	if got, want := fingerprint(t, reopened), fingerprint(t, primary); got != want {
+		t.Fatalf("reopened follower diverged:\nprimary:\n%s\nfollower:\n%s", want, got)
+	}
+	if reopened.LastSeq() != primary.LastSeq() {
+		t.Fatalf("reopened follower at seq %d, primary at %d", reopened.LastSeq(), primary.LastSeq())
+	}
+
+	// More primary writes stream onto the reopened follower.
+	applyMutation(t, primary, mutation{op: "put", title: "Sensor:Z", text: "[[measures::snow depth]]", by: "eve"})
+	streamRecords(t, primary, reopened)
+	if got, want := fingerprint(t, reopened), fingerprint(t, primary); got != want {
+		t.Fatalf("follower diverged after resume:\nprimary:\n%s\nfollower:\n%s", want, got)
+	}
+}
+
+func TestApplyReplicatedPreservesTimestamps(t *testing.T) {
+	primary := openRepo(t, t.TempDir(), DurableOptions{Fsync: wal.SyncNever})
+	at := time.Date(2011, 4, 11, 9, 30, 0, 0, time.UTC)
+	primary.Wiki.SetClock(func() time.Time { return at })
+	if _, err := primary.PutPage("Sensor:T", "amy", "text", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.AddTag("Sensor:T", "alpine", "amy"); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := openRepo(t, t.TempDir(), DurableOptions{Fsync: wal.SyncNever})
+	streamRecords(t, primary, follower)
+	p, ok := follower.Wiki.Get("Sensor:T")
+	if !ok || !p.Revisions[0].Timestamp.Equal(at) {
+		t.Fatalf("replicated revision timestamp %v, want %v", p.Revisions[0].Timestamp, at)
+	}
+	rs, err := follower.QuerySQL("SELECT created FROM tags WHERE page = 'Sensor:T'")
+	if err != nil || len(rs.Rows) != 1 {
+		t.Fatalf("tag row: %v rows=%d", err, len(rs.Rows))
+	}
+	if got := rs.Rows[0][0].Text0(); got != at.Format(time.RFC3339Nano) {
+		t.Fatalf("replicated tag created %q, want %q", got, at.Format(time.RFC3339Nano))
+	}
+	// The follower's live clock is restored after each apply.
+	if follower.Wiki.Now().Equal(at) {
+		t.Fatal("follower clock left swapped after ApplyReplicated")
+	}
+}
+
+func TestApplyReplicatedDivergenceDetection(t *testing.T) {
+	follower := openRepo(t, t.TempDir(), DurableOptions{Fsync: wal.SyncNever})
+	rec := wal.Record{Seq: 1, Data: []byte(`{"op":"del","title":"Sensor:Ghost","at":"2011-04-11T00:00:00Z"}`)}
+	if err := follower.ApplyReplicated(rec); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("delete of unknown page: %v, want divergence error", err)
+	}
+	bad := wal.Record{Seq: 1, Data: []byte(`{"op":"zap","title":"X","at":"2011-04-11T00:00:00Z"}`)}
+	if err := follower.ApplyReplicated(bad); err == nil || !strings.Contains(err.Error(), "unknown replicated op") {
+		t.Fatalf("unknown op: %v, want unknown-op error", err)
+	}
+}
+
+func TestSnapshotReaderBootstrap(t *testing.T) {
+	primary := openRepo(t, t.TempDir(), DurableOptions{Fsync: wal.SyncNever})
+	for _, m := range crashScript() {
+		applyMutation(t, primary, m)
+	}
+	// No snapshot on disk yet: SnapshotReader creates one at the head.
+	seq, rc, err := primary.SnapshotReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != primary.LastSeq() {
+		t.Fatalf("snapshot seq %d, primary head %d", seq, primary.LastSeq())
+	}
+
+	follower, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.LoadSnapshot(strings.NewReader(string(data))); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, primary); got != want {
+		t.Fatalf("snapshot bootstrap diverged:\nprimary:\n%s\nfollower:\n%s", want, got)
+	}
+	if follower.LastSeq() != seq {
+		t.Fatalf("bootstrapped follower at seq %d, snapshot seq %d", follower.LastSeq(), seq)
+	}
+
+	// Second call reuses the on-disk snapshot.
+	seq2, rc2, err := primary.SnapshotReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc2.Close()
+	if seq2 != seq {
+		t.Fatalf("second SnapshotReader seq %d, want %d", seq2, seq)
+	}
+
+	mem, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mem.SnapshotReader(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("in-memory SnapshotReader: %v, want ErrNotDurable", err)
+	}
+	if _, _, err := mem.WALRecords(0, 0, 0); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("in-memory WALRecords: %v, want ErrNotDurable", err)
+	}
+	if mem.WALWait(0, time.Millisecond, nil) {
+		t.Fatal("in-memory WALWait reported records")
+	}
+}
+
+func TestWALRecordsCompactedAfterSnapshot(t *testing.T) {
+	primary := openRepo(t, t.TempDir(), DurableOptions{Fsync: wal.SyncNever, SegmentBytes: 64})
+	for _, m := range crashScript() {
+		applyMutation(t, primary, m)
+	}
+	if _, err := primary.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := primary.WALRecords(0, 0, 0); !errors.Is(err, wal.ErrCompacted) {
+		t.Fatalf("WALRecords(0) after compaction: %v, want ErrCompacted", err)
+	}
+	// From the head: fine.
+	if _, _, err := primary.WALRecords(primary.LastSeq(), 0, 0); err != nil {
+		t.Fatalf("WALRecords(head) after compaction: %v", err)
+	}
+}

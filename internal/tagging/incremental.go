@@ -176,18 +176,33 @@ func (s *tagStore) apply(fetch func() (*TagData, error)) (dirty []string, applie
 	if len(changes) == 0 {
 		return nil, 0, false, nil
 	}
+	// Titles with a page-level change anywhere in the run are re-read from
+	// the repository's current state, which already reflects every live tag
+	// row — so their ChangeTag entries must be dropped rather than applied
+	// directly. A direct apply can resurrect a dead assignment: the entry
+	// may predate a delete (and even a re-create) of the page later in the
+	// same run, where the existence check alone passes but the tag row is
+	// gone. Snapshot restore makes this ordering routine — it journals every
+	// restored tag after every restored page, so a replayed tail holding a
+	// delete+re-create lands behind tag entries for the same title.
 	reread := make(map[string]bool, len(changes))
+	pageChanged := make(map[string]bool, len(changes))
+	for _, c := range changes {
+		if c.Kind != smr.ChangeTag {
+			pageChanged[c.Title] = true
+		}
+	}
 	dirtySet := map[string]bool{}
 	for _, c := range changes {
 		if c.Kind == smr.ChangeTag {
-			// Guard against a page deleted later in the same run: the
-			// repository is read at its current state, and the delete's
-			// own entry may coalesce into an earlier re-read of the
-			// title — without the existence check the assignment would
-			// resurrect the page in the tag mirror.
-			if _, ok := s.repo.Wiki.Get(c.Title); ok {
-				if s.addTagAssignment(c.Title, c.Tag) {
-					dirtySet[c.Tag] = true
+			// The existence check guards the tag-only path: the page may
+			// have been deleted in an earlier run after this assignment
+			// was journalled.
+			if !pageChanged[c.Title] {
+				if _, ok := s.repo.Wiki.Get(c.Title); ok {
+					if s.addTagAssignment(c.Title, c.Tag) {
+						dirtySet[c.Tag] = true
+					}
 				}
 			}
 			applied++

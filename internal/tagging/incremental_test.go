@@ -119,6 +119,56 @@ func TestIncrementalCloudAfterJournalTrim(t *testing.T) {
 	}
 }
 
+// TestTagEntryBeforeDeleteRecreateInOneRun pins the coalescing corner that
+// bit WAL-shipped replicas: a single journal run holding, in order, an
+// upsert of a page, a tag assignment on it, its deletion, and a re-create.
+// The upsert's re-read coalesces the later delete/re-create away, so the
+// tag entry must be dropped too — applying it directly would resurrect the
+// dead assignment in the mirror (the page exists again, so an existence
+// check alone cannot catch it). Snapshot restore produces exactly this
+// ordering: restored tags are journalled after restored pages, ahead of a
+// replayed WAL tail that may delete and re-create the page.
+func TestTagEntryBeforeDeleteRecreateInOneRun(t *testing.T) {
+	repo, err := smr.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(repo, true)
+	if _, err := repo.PutPage("Sensor:Stable", "t", "[[measures::wind]]", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Cloud(CloudOptions{UsePivot: true}); err != nil {
+		t.Fatal(err)
+	}
+	// One unconsumed run: put, tag, delete, re-create of the same title.
+	if _, err := repo.PutPage("Sensor:X", "t", "[[measures::pressure]]", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.AddTag("Sensor:X", "pressure", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if !repo.DeletePage("Sensor:X") {
+		t.Fatal("delete failed")
+	}
+	if _, err := repo.PutPage("Sensor:X", "t", "relocated, no annotations", ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Cloud(CloudOptions{UsePivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := p.FetchTagData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudsEqual(t, "tag-before-delete-recreate", got, BuildCloud(td, CloudOptions{UsePivot: true}))
+	for _, e := range got.Entries {
+		if e.Tag == "pressure" {
+			t.Fatalf("dead tag %q resurrected in the mirror: %+v", e.Tag, e)
+		}
+	}
+}
+
 // TestEmptyCloudsAgree pins the empty-vocabulary corner: neither path may
 // report a clique for an empty tag set.
 func TestEmptyCloudsAgree(t *testing.T) {

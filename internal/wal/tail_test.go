@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func openTailLog(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendN(t *testing.T, l *Log, from, to uint64) {
+	t.Helper()
+	for seq := from; seq <= to; seq++ {
+		if err := l.Append(seq, []byte(fmt.Sprintf("record-%d", seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadFromRanges(t *testing.T) {
+	// Small segments so the range spans several files.
+	l := openTailLog(t, t.TempDir(), Options{SegmentBytes: 128, Sync: SyncNever})
+	appendN(t, l, 1, 40)
+
+	recs, last, err := l.ReadFrom(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 40 || len(recs) != 40 {
+		t.Fatalf("ReadFrom(0): %d records, last %d", len(recs), last)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || string(r.Data) != fmt.Sprintf("record-%d", r.Seq) {
+			t.Fatalf("record %d: seq %d data %q", i, r.Seq, r.Data)
+		}
+	}
+
+	recs, _, err = l.ReadFrom(25, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 15 || recs[0].Seq != 26 {
+		t.Fatalf("ReadFrom(25): %d records, first %d", len(recs), recs[0].Seq)
+	}
+
+	// maxRecords bounds the batch; resuming from the last returned seq
+	// walks the rest.
+	recs, _, err = l.ReadFrom(0, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 || recs[6].Seq != 7 {
+		t.Fatalf("bounded batch: %d records, last seq %d", len(recs), recs[len(recs)-1].Seq)
+	}
+	recs, _, err = l.ReadFrom(7, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 33 || recs[0].Seq != 8 {
+		t.Fatalf("resumed batch: %d records, first %d", len(recs), recs[0].Seq)
+	}
+
+	// maxBytes bounds the batch by payload size.
+	recs, _, err = l.ReadFrom(0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 1 || len(recs) >= 40 {
+		t.Fatalf("byte-bounded batch returned %d records", len(recs))
+	}
+
+	// At the head: empty batch, no error.
+	recs, last, err = l.ReadFrom(40, 0, 0)
+	if err != nil || len(recs) != 0 || last != 40 {
+		t.Fatalf("ReadFrom(head): %d records, last %d, err %v", len(recs), last, err)
+	}
+	// Beyond the head behaves like the head (caller is confused but not
+	// broken; the next append resolves it).
+	if recs, _, err = l.ReadFrom(99, 0, 0); err != nil || len(recs) != 0 {
+		t.Fatalf("ReadFrom(beyond head): %d records, err %v", len(recs), err)
+	}
+}
+
+func TestReadFromSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := openTailLog(t, dir, Options{SegmentBytes: 128, Sync: SyncNever})
+	appendN(t, l, 1, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTailLog(t, dir, Options{SegmentBytes: 128, Sync: SyncNever})
+	appendN(t, l2, 11, 15)
+	recs, last, err := l2.ReadFrom(8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 15 || len(recs) != 7 || recs[0].Seq != 9 || recs[6].Seq != 15 {
+		t.Fatalf("ReadFrom after reopen: %d records %v..%v last %d",
+			len(recs), recs[0].Seq, recs[len(recs)-1].Seq, last)
+	}
+}
+
+func TestReadFromCompacted(t *testing.T) {
+	l := openTailLog(t, t.TempDir(), Options{SegmentBytes: 64, Sync: SyncNever})
+	appendN(t, l, 1, 30)
+	if _, err := l.TruncatePrefix(20); err != nil {
+		t.Fatal(err)
+	}
+	// The prefix is gone: a reader parked before it cannot catch up.
+	if _, _, err := l.ReadFrom(0, 0, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom(0) after compaction: %v, want ErrCompacted", err)
+	}
+	// A reader positioned inside the retained suffix still streams.
+	recs, _, err := l.ReadFrom(25, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Seq != 26 {
+		t.Fatalf("retained suffix: %d records, first %d", len(recs), recs[0].Seq)
+	}
+}
+
+func TestWaitForWakesOnAppend(t *testing.T) {
+	l := openTailLog(t, t.TempDir(), Options{Sync: SyncNever})
+	appendN(t, l, 1, 3)
+
+	// Records already present: returns immediately.
+	if !l.WaitFor(2, time.Millisecond, nil) {
+		t.Fatal("WaitFor(2) with head at 3 should not block")
+	}
+	// Timeout path.
+	start := time.Now()
+	if l.WaitFor(3, 20*time.Millisecond, nil) {
+		t.Fatal("WaitFor(3) at the head returned true without an append")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("WaitFor returned before its timeout")
+	}
+	// Wake-up path.
+	done := make(chan bool, 1)
+	go func() { done <- l.WaitFor(3, 5*time.Second, nil) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := l.Append(4, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("WaitFor woke but reported no records")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitFor did not wake on append")
+	}
+	// Cancellation path.
+	cancel := make(chan struct{})
+	go func() { time.Sleep(10 * time.Millisecond); close(cancel) }()
+	if l.WaitFor(4, 5*time.Second, cancel) {
+		t.Fatal("cancelled WaitFor reported records")
+	}
+	// Close wakes blocked waiters.
+	go func() { time.Sleep(10 * time.Millisecond); l.Close() }()
+	if l.WaitFor(4, 5*time.Second, nil) {
+		t.Fatal("WaitFor on a closed log reported records")
+	}
+}

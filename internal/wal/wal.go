@@ -34,6 +34,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -42,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // SyncPolicy selects when appended records are fsynced.
@@ -143,7 +145,15 @@ type Log struct {
 	// appending past torn bytes would let the next Open silently drop
 	// every later record as part of the "tail", so the log fail-stops.
 	failed bool
+	// watch is closed (and replaced) on every successful append, waking
+	// long-poll readers blocked in WaitFor. Lazily allocated.
+	watch chan struct{}
 }
+
+// ErrCompacted reports a ReadFrom position whose successor records have
+// been removed by TruncatePrefix: the caller can no longer catch up from
+// the log alone and must re-bootstrap from a snapshot.
+var ErrCompacted = errors.New("wal: requested records have been compacted away")
 
 // Open opens (or creates) the log in dir and replays every intact record
 // through fn in sequence order. A torn tail in the newest segment is
@@ -333,7 +343,119 @@ func (l *Log) Append(seq uint64, data []byte) error {
 		}
 		l.syncs++
 	}
+	l.wakeLocked()
 	return nil
+}
+
+// wakeLocked wakes every WaitFor blocked on new records. Caller holds mu.
+func (l *Log) wakeLocked() {
+	if l.watch != nil {
+		close(l.watch)
+		l.watch = nil
+	}
+}
+
+// WaitFor blocks until the log holds a record with Seq > seq, the timeout
+// elapses, or cancel fires; it reports whether new records are available.
+// This is the long-poll primitive behind the replication feed: a follower
+// caught up to the head parks here instead of busy-polling.
+func (l *Log) WaitFor(seq uint64, timeout time.Duration, cancel <-chan struct{}) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		l.mu.Lock()
+		if l.lastSeq > seq {
+			l.mu.Unlock()
+			return true
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return false
+		}
+		if l.watch == nil {
+			l.watch = make(chan struct{})
+		}
+		ch := l.watch
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return false
+		case <-cancel:
+			return false
+		}
+	}
+}
+
+// ReadFrom returns intact records with Seq > fromSeq in sequence order —
+// the seq-ranged iteration a replication feed serves. maxRecords and
+// maxBytes (payload bytes) bound one batch; zero means unbounded. The
+// second return is the log's current last sequence number, so callers can
+// report how far behind fromSeq is even when the batch was truncated.
+//
+// Segment files are append-only and every record is CRC-framed, so reading
+// runs concurrently with appends: the segment list and sizes are captured
+// under the lock, then file contents up to those sizes are decoded without
+// blocking writers. ErrCompacted reports that TruncatePrefix has removed
+// record fromSeq+1 — the caller must re-bootstrap from a snapshot.
+func (l *Log) ReadFrom(fromSeq uint64, maxRecords int, maxBytes int64) ([]Record, uint64, error) {
+	l.mu.Lock()
+	last := l.lastSeq
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+	if fromSeq >= last {
+		return nil, last, nil
+	}
+	oldest := uint64(0)
+	for _, seg := range segs {
+		if seg.lastSeq != 0 {
+			oldest = seg.firstSeq
+			break
+		}
+	}
+	if oldest == 0 || oldest > fromSeq+1 {
+		return nil, last, fmt.Errorf("%w (want seq %d, oldest retained %d)", ErrCompacted, fromSeq+1, oldest)
+	}
+	var out []Record
+	var bytes int64
+	for _, seg := range segs {
+		if seg.lastSeq == 0 || seg.lastSeq <= fromSeq {
+			continue
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Compacted away between the capture and the read.
+				return nil, last, fmt.Errorf("%w (segment %s removed)", ErrCompacted, seg.path)
+			}
+			return nil, last, fmt.Errorf("wal: %w", err)
+		}
+		if int64(len(data)) > seg.size {
+			// Appends landed after the capture; everything past the
+			// captured size belongs to a later batch.
+			data = data[:seg.size]
+		}
+		if len(data) < len(magic) || [8]byte(data[:len(magic)]) != magic {
+			return nil, last, fmt.Errorf("wal: segment %s lost its header", seg.path)
+		}
+		off := len(magic)
+		for off < len(data) {
+			rec, n, ok := decodeRecord(data[off:])
+			if !ok {
+				return nil, last, fmt.Errorf("wal: corrupt record in %s at offset %d", seg.path, off)
+			}
+			off += n
+			if rec.Seq <= fromSeq {
+				continue
+			}
+			out = append(out, rec)
+			bytes += int64(len(rec.Data))
+			if (maxRecords > 0 && len(out) >= maxRecords) || (maxBytes > 0 && bytes >= maxBytes) {
+				return out, last, nil
+			}
+		}
+	}
+	return out, last, nil
 }
 
 // ensureSegmentLocked opens the active segment, rotating when it is over
@@ -476,6 +598,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.wakeLocked() // blocked WaitFor callers observe the close
 	if l.f == nil {
 		return nil
 	}
