@@ -14,6 +14,9 @@ package sensormeta
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -86,7 +89,10 @@ func BenchmarkFig3bSolverTime(b *testing.B) {
 	}
 }
 
-// benchSystem builds the shared Fig-2/6/7 corpus once.
+// benchSystem builds a private Fig-2/6/7 corpus for benchmarks that
+// mutate the repository (churn, tag writes). Read-only benchmarks should
+// use benchSystemShared instead so the corpus is built once per size, not
+// once per benchmark.
 func benchSystem(b *testing.B, sensors int) *System {
 	b.Helper()
 	sys, err := New()
@@ -104,22 +110,68 @@ func benchSystem(b *testing.B, sensors int) *System {
 	return sys
 }
 
-// BenchmarkFig2Search measures the advanced-search path feeding the Fig-2
-// tabular view.
-func BenchmarkFig2Search(b *testing.B) {
-	sys := benchSystem(b, 600)
-	q := search.Query{Keywords: "temperature", SortBy: search.SortRank, Limit: 20}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sys.Search(q); err != nil {
-			b.Fatal(err)
+// benchShared memoizes read-only benchmark systems by sensor count.
+// Benchmarks within one `go test -bench` process run sequentially, so a
+// plain map is safe. The contract: callers must not write to the shared
+// repository — a corpus rebuild per benchmark was the old behavior and it
+// dominated wall time (building the 5k corpus takes far longer than most
+// measured loops).
+var benchShared = map[int]*System{}
+
+func benchSystemShared(b *testing.B, sensors int) *System {
+	b.Helper()
+	if sys, ok := benchShared[sensors]; ok {
+		return sys
+	}
+	sys := benchSystem(b, sensors)
+	benchShared[sensors] = sys
+	return sys
+}
+
+// benchShardCounts returns the shard counts the scaling sub-benchmarks
+// compare: the serial baseline and the machine's parallel width.
+// SMR_BENCH_SHARDS overrides with an explicit comma-separated list (for
+// measuring fan-out overhead on machines whose CPU count hides it).
+func benchShardCounts() []int {
+	if env := os.Getenv("SMR_BENCH_SHARDS"); env != "" {
+		var out []int
+		for _, part := range strings.Split(env, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				panic("SMR_BENCH_SHARDS must be a comma-separated list of positive integers")
+			}
+			out = append(out, n)
 		}
+		return out
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkFig2Search measures the advanced-search path feeding the Fig-2
+// tabular view, at one shard and at NumCPU shards (per-shard top-k heaps
+// k-way merged; results are identical at every count).
+func BenchmarkFig2Search(b *testing.B) {
+	sys := benchSystemShared(b, 600)
+	q := search.Query{Keywords: "temperature", SortBy: search.SortRank, Limit: 20}
+	for _, shards := range benchShardCounts() {
+		eng := search.NewEngineShards(sys.Repo, shards)
+		eng.SetRanks(sys.Ranker.Scores())
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Search(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkFig2Charts measures the bar/pie renderers over live facets.
 func BenchmarkFig2Charts(b *testing.B) {
-	sys := benchSystem(b, 600)
+	sys := benchSystemShared(b, 600)
 	rs, err := sys.Search(search.Query{Namespace: "Sensor"})
 	if err != nil {
 		b.Fatal(err)
@@ -140,7 +192,7 @@ func BenchmarkFig2Charts(b *testing.B) {
 
 // BenchmarkFig2Map measures marker extraction + clustering + SVG.
 func BenchmarkFig2Map(b *testing.B) {
-	sys := benchSystem(b, 600)
+	sys := benchSystemShared(b, 600)
 	rs, err := sys.Search(search.Query{Namespace: "Sensor"})
 	if err != nil {
 		b.Fatal(err)
@@ -155,7 +207,7 @@ func BenchmarkFig2Map(b *testing.B) {
 
 // BenchmarkFig2Hypergraph measures the Poincaré-disk layout + SVG.
 func BenchmarkFig2Hypergraph(b *testing.B) {
-	sys := benchSystem(b, 600)
+	sys := benchSystemShared(b, 600)
 	g := sys.Repo.LinkGraph()
 	focus := sys.Ranker.TopPages(1)[0]
 	b.ResetTimer()
@@ -337,7 +389,7 @@ func BenchmarkExtensionSolvers(b *testing.B) {
 // BenchmarkAblationTagCache compares the tagging pipeline with and without
 // the cache module (paper Section IV-A).
 func BenchmarkAblationTagCache(b *testing.B) {
-	sys := benchSystem(b, 300)
+	sys := benchSystemShared(b, 300)
 	for _, disable := range []bool{false, true} {
 		name := "cached"
 		if disable {
@@ -434,7 +486,7 @@ func BenchmarkAblationIndexVsScan(b *testing.B) {
 
 // BenchmarkQueryMix replays the generated advanced-search workload.
 func BenchmarkQueryMix(b *testing.B) {
-	sys := benchSystem(b, 600)
+	sys := benchSystemShared(b, 600)
 	queries := workload.BuildQueryMix(workload.QueryMixOptions{Count: 50, Seed: 9})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -447,7 +499,7 @@ func BenchmarkQueryMix(b *testing.B) {
 
 // BenchmarkAutocomplete measures the trie behind the query box.
 func BenchmarkAutocomplete(b *testing.B) {
-	sys := benchSystem(b, 600)
+	sys := benchSystemShared(b, 600)
 	prefixes := []string{"Sen", "Deployment:", "temp", "wi", "Fieldsite:W"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -457,7 +509,7 @@ func BenchmarkAutocomplete(b *testing.B) {
 
 // BenchmarkSPARQLJoin measures a three-pattern BGP join on the corpus RDF.
 func BenchmarkSPARQLJoin(b *testing.B) {
-	sys := benchSystem(b, 600)
+	sys := benchSystemShared(b, 600)
 	q := `SELECT ?sensor ?site WHERE {
 		?sensor <smr://prop/partof> ?dep .
 		?dep <smr://prop/locatedin> ?site .
@@ -473,7 +525,7 @@ func BenchmarkSPARQLJoin(b *testing.B) {
 
 // BenchmarkRecommend measures the recommendation scoring path.
 func BenchmarkRecommend(b *testing.B) {
-	sys := benchSystem(b, 600)
+	sys := benchSystemShared(b, 600)
 	seeds := sys.Repo.Wiki.PagesInNamespace("Sensor")[:5]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -658,7 +710,7 @@ func BenchmarkIncrementalTagging(b *testing.B) {
 // (Search building a full []Result, then Facets) against the streaming
 // FacetCounts accumulation, on the chart-endpoint query shape.
 func BenchmarkFacetCounts(b *testing.B) {
-	sys := benchSystem(b, 5000)
+	sys := benchSystemShared(b, 5000)
 	q := search.Query{Namespace: "Sensor"}
 	props := []string{"measures", "status"}
 	b.Run("materialize", func(b *testing.B) {
@@ -687,7 +739,7 @@ func BenchmarkFacetCounts(b *testing.B) {
 // or evaluated. Two query shapes: a broad namespace scope (counts over
 // most of the corpus) and a selective property filter.
 func BenchmarkFacetIndexVsStream(b *testing.B) {
-	sys := benchSystem(b, 5000)
+	sys := benchSystemShared(b, 5000)
 	sensors := sys.Repo.Wiki.PagesInNamespace("Sensor")
 	page, ok := sys.Repo.Wiki.Get(sensors[0])
 	if !ok {
@@ -738,7 +790,7 @@ func BenchmarkFacetIndexVsStream(b *testing.B) {
 // in-executor path buffers the matching set once and heap-selects the
 // fused top 20 — O(n log k) instead of two O(n log n) sorts.
 func BenchmarkAlphaFusion(b *testing.B) {
-	sys := benchSystem(b, 5000)
+	sys := benchSystemShared(b, 5000)
 	expr := query.Keyword{Text: "sensor temperature", Any: true}
 	alpha := 0.5
 	fused, err := sys.Engine.Execute(expr, search.ExecOptions{Alpha: &alpha, Limit: 20})
@@ -782,7 +834,7 @@ func BenchmarkAlphaFusion(b *testing.B) {
 // before filtering, the pruned path intersects the (property, value)
 // posting set first and scores keywords only over the survivors.
 func BenchmarkFilterPushdown(b *testing.B) {
-	sys := benchSystem(b, 5000)
+	sys := benchSystemShared(b, 5000)
 	sensors := sys.Repo.Wiki.PagesInNamespace("Sensor")
 	page, ok := sys.Repo.Wiki.Get(sensors[0])
 	if !ok {
@@ -800,24 +852,28 @@ func BenchmarkFilterPushdown(b *testing.B) {
 	if hi := len(sensors) / 20; sel.Matched == 0 || sel.Matched > hi {
 		b.Fatalf("filter matches %d of %d sensors; want selective (<%d)", sel.Matched, len(sensors), hi)
 	}
-	for _, c := range []struct {
-		name    string
-		noPrune bool
-	}{{"score-then-filter", true}, {"pruned", false}} {
-		b.Run(c.name, func(b *testing.B) {
-			b.ReportMetric(float64(sel.Matched), "matches")
-			for i := 0; i < b.N; i++ {
-				res, err := sys.Engine.Execute(expr, search.ExecOptions{
-					Limit: 20, DisablePruning: c.noPrune,
-				})
-				if err != nil {
-					b.Fatal(err)
+	for _, shards := range benchShardCounts() {
+		eng := search.NewEngineShards(sys.Repo, shards)
+		eng.SetRanks(sys.Ranker.Scores())
+		for _, c := range []struct {
+			name    string
+			noPrune bool
+		}{{"score-then-filter", true}, {"pruned", false}} {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, c.name), func(b *testing.B) {
+				b.ReportMetric(float64(sel.Matched), "matches")
+				for i := 0; i < b.N; i++ {
+					res, err := eng.Execute(expr, search.ExecOptions{
+						Limit: 20, DisablePruning: c.noPrune,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Matched != sel.Matched {
+						b.Fatalf("matched %d, want %d", res.Matched, sel.Matched)
+					}
 				}
-				if res.Matched != sel.Matched {
-					b.Fatalf("matched %d, want %d", res.Matched, sel.Matched)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -830,7 +886,7 @@ func BenchmarkFilterPushdown(b *testing.B) {
 // (candidates ≈ corpus — the index's worst case, where it must not regress
 // below the scan by more than its bookkeeping).
 func BenchmarkRecommendIndexVsScan(b *testing.B) {
-	sys := benchSystem(b, 5000)
+	sys := benchSystemShared(b, 5000)
 	profiles := []struct {
 		name  string
 		seeds []string
@@ -861,7 +917,7 @@ func BenchmarkRecommendIndexVsScan(b *testing.B) {
 // interface actually serves (20 results per page), at both the engine and
 // the raw index level.
 func BenchmarkTopKSearch(b *testing.B) {
-	sys := benchSystem(b, 5000)
+	sys := benchSystemShared(b, 5000)
 	kw := "temperature sensor"
 	cases := []struct {
 		name string

@@ -35,6 +35,8 @@ func main() {
 		"WAL fsync policy with -data-dir: always (sync every write) or none (leave flushing to the OS)")
 	autoRefresh := flag.Duration("auto-refresh", 0,
 		"refresh derived structures automatically after writes, debounced by this duration (0 disables)")
+	shards := flag.Int("shards", 0,
+		"index shard count for parallel query execution (0 = min(GOMAXPROCS, 8); results are identical at every count)")
 	follow := flag.String("follow", "",
 		"run as a read replica of the primary at this base URL (requires -data-dir for the local WAL)")
 	maxLag := flag.Uint64("max-lag", 0,
@@ -73,6 +75,7 @@ func main() {
 			PrimaryURL: *follow,
 			Dir:        *dataDir,
 			Durable:    smr.DurableOptions{Fsync: policy},
+			Shards:     *shards,
 			Logf:       log.Printf,
 		})
 		if err != nil {
@@ -95,7 +98,7 @@ func main() {
 		}
 		start := time.Now()
 		var err error
-		sys, err = sensormeta.Open(*dataDir, smr.DurableOptions{Fsync: policy})
+		sys, err = sensormeta.OpenShards(*dataDir, smr.DurableOptions{Fsync: policy}, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,7 +108,7 @@ func main() {
 			policy, time.Since(start).Round(time.Millisecond))
 	default:
 		var err error
-		sys, err = sensormeta.New()
+		sys, err = sensormeta.NewShards(*shards)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -135,6 +138,8 @@ func main() {
 		log.Printf("demo corpus: %d pages (%d sites, %d deployments, %d sensors), %d tags in %v",
 			stats.Pages, stats.Sites, stats.Deployments, stats.Sensors, stats.Tags, time.Since(start).Round(time.Millisecond))
 	}
+
+	log.Printf("index shards: %d (parallel query fan-out; -shards to override)", sys.Engine.ShardCount())
 
 	if *autoRefresh > 0 {
 		log.Printf("auto-refresh on write enabled (debounce %v)", *autoRefresh)

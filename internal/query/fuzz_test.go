@@ -1,0 +1,96 @@
+package query
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// fuzzDocs is a small fixed document battery the round-trip property is
+// checked against: whatever a query matches before re-marshalling it must
+// match after.
+func fuzzDocs() []fakeDoc {
+	return randomDocs(rand.New(rand.NewSource(11)), 12)
+}
+
+// FuzzQueryUnmarshal drives arbitrary JSON through the full query
+// pipeline: Unmarshal → Validate → Normalize → Marshal → Unmarshal.
+// Invariants: no stage panics; errors are structured *query.Error values;
+// a valid expression survives the marshal round-trip; and normalization
+// plus round-tripping preserve evaluation (matched set AND scores) over a
+// document battery.
+func FuzzQueryUnmarshal(f *testing.F) {
+	seeds := []string{
+		`{"keyword":"wind snow"}`,
+		`{"keyword":"wind","any":true}`,
+		`{"all":true}`,
+		`{"and":[{"keyword":"wind"},{"property":"measures","op":"=","value":"wind"}]}`,
+		`{"or":[{"namespace":"Sensor"},{"category":"Fieldsites"}]}`,
+		`{"not":{"property":"canton","op":"=","value":"GR"}}`,
+		`{"property":"altitude","op":">","value":"1000"}`,
+		`{"range":{"property":"altitude","min":"500","max":"2000"}}`,
+		`{"hasProperty":"latitude"}`,
+		`{"titlePrefix":"Sensor:"}`,
+		`{"not":{"not":{"and":[{"keyword":"ridge"},{"all":true}]}}}`,
+		`{"and":[]}`,
+		`{"keyword":""}`,
+		`{"property":"measures","op":"??","value":"x"}`,
+		`[1,2,3]`,
+		`{"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	docs := fuzzDocs()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		expr, err := Unmarshal(data)
+		if err != nil {
+			var qe *Error
+			if !errors.As(err, &qe) {
+				t.Fatalf("Unmarshal error is not a *query.Error: %T %v", err, err)
+			}
+			return
+		}
+		if err := Validate(expr); err != nil {
+			var qe *Error
+			if !errors.As(err, &qe) {
+				t.Fatalf("Validate error is not a *query.Error: %T %v", err, err)
+			}
+			return
+		}
+		norm := Normalize(expr)
+		if err := Validate(norm); err != nil {
+			t.Fatalf("normalized form of a valid query fails validation: %v\ninput: %s", err, data)
+		}
+
+		out, err := Marshal(norm)
+		if err != nil {
+			t.Fatalf("Marshal of a valid normalized query failed: %v\ninput: %s", err, data)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("round-trip Unmarshal failed: %v\nencoded: %s", err, out)
+		}
+		out2, err := Marshal(back)
+		if err != nil {
+			t.Fatalf("second Marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("marshal round-trip is not a fixpoint:\nfirst  = %s\nsecond = %s", out, out2)
+		}
+
+		// Evaluation must be invariant under normalization and the JSON
+		// round-trip: same matched documents, same keyword scores.
+		for _, d := range docs {
+			m0 := Eval(expr, d)
+			for _, e := range []Expr{norm, back} {
+				m := Eval(e, d)
+				if m.OK != m0.OK || m.Score != m0.Score {
+					t.Fatalf("doc %s: eval diverges (ok %v→%v, score %v→%v)\ninput: %s",
+						d.title, m0.OK, m.OK, m0.Score, m.Score, data)
+				}
+			}
+		}
+	})
+}

@@ -178,11 +178,13 @@ func TestRecommendIndexMatchesScan(t *testing.T) {
 			t.Fatalf("round %d: journal overran", round)
 		}
 		want := New(repo, rk.Scores())
-		if !reflect.DeepEqual(rec.pairPages, want.pairPages) {
-			t.Fatalf("round %d: pair index diverges from rebuild", round)
-		}
-		if !reflect.DeepEqual(rec.pagePairs, want.pagePairs) {
-			t.Fatalf("round %d: page pair sets diverge from rebuild", round)
+		for si := range rec.shards {
+			if !reflect.DeepEqual(rec.shards[si].pairPages, want.shards[si].pairPages) {
+				t.Fatalf("round %d shard %d: pair index diverges from rebuild", round, si)
+			}
+			if !reflect.DeepEqual(rec.shards[si].pagePairs, want.shards[si].pagePairs) {
+				t.Fatalf("round %d shard %d: page pair sets diverge from rebuild", round, si)
+			}
 		}
 	}
 }

@@ -47,6 +47,26 @@ type Stats struct {
 	PagesApplied int    // cumulative pages applied by deltas
 }
 
+// recShard is one hash partition of the recommender's posting state: the
+// property → pages and (property, value) pair → pages inverted indexes,
+// plus each owned page's pair set. Placement follows sortedset.Shard over
+// page titles — the same function the search engine shards by — so a
+// changed page routes to exactly one shard and Recommend can scan
+// candidate lists shard-parallel.
+type recShard struct {
+	propPages map[string][]string
+	pagePairs map[string][]string
+	pairPages map[string][]string
+}
+
+func newRecShard() *recShard {
+	return &recShard{
+		propPages: make(map[string][]string),
+		pagePairs: make(map[string][]string),
+		pairPages: make(map[string][]string),
+	}
+}
+
 // Recommender derives property importance from PageRank scores and keeps it
 // current against the repository's change journal. Safe for concurrent use:
 // Update/SetRanks serialize against queries.
@@ -58,34 +78,63 @@ type Recommender struct {
 	// names — the state needed to retract a page's contribution when it
 	// changes or disappears.
 	pageProps map[string][]string
-	// propPages holds, per property, the contributing pages as a sorted
-	// title set; pageRank the PageRank each page's contributions currently
-	// reflect. propScore[p] is always the sum of pageRank over
-	// propPages[p] in slice order, which keeps incremental recomputation
-	// bit-identical to a rebuild.
-	propPages map[string][]string
+	// shards partitions the posting indexes by page title. Per property,
+	// the shard lists k-way merge (sortedset.MergeK) back into the one
+	// sorted contribution list scoring folds over; pageRank records the
+	// PageRank each page's contributions currently reflect, and
+	// propScore[p] is always the sum of pageRank over the MERGED list in
+	// slice order — the same title-sorted order an unsharded build
+	// produces, which keeps property scores bit-identical across shard
+	// counts and across incremental vs rebuilt state.
+	shards    []*recShard
 	pageRank  map[string]float64
 	propScore map[string]float64
-	// pagePairs records each page's sorted distinct (property, value)
-	// pair keys, and pairPages inverts it: pair key → sorted page titles.
-	// This is the inverted index that makes Recommend O(candidates) — the
-	// pages sharing at least one pair with the seed set — instead of a
-	// corpus scan. Both are maintained from the same journal deltas as the
-	// property scores.
-	pagePairs map[string][]string
-	pairPages map[string][]string
 	seq       uint64
 	stats     Stats
 }
 
-// New builds a recommender from the repository and a PageRank score map
-// (page title → score), scanning the current corpus once.
+// New builds an unsharded recommender from the repository and a PageRank
+// score map (page title → score), scanning the current corpus once.
 func New(repo *smr.Repository, ranks map[string]float64) *Recommender {
-	r := &Recommender{repo: repo, ranks: ranks}
+	return NewSharded(repo, ranks, 1)
+}
+
+// NewSharded builds a recommender whose posting indexes are partitioned
+// into n hash shards (n <= 0 selects 1). Recommendations are byte-identical
+// whatever the shard count; the count only sets how many goroutines a
+// Recommend call can fan candidate scanning across.
+func NewSharded(repo *smr.Repository, ranks map[string]float64, n int) *Recommender {
+	if n <= 0 {
+		n = 1
+	}
+	r := &Recommender{repo: repo, ranks: ranks, shards: make([]*recShard, n)}
 	r.mu.Lock()
 	r.rebuildLocked()
 	r.mu.Unlock()
 	return r
+}
+
+// shardFor routes a page title to its owning shard. Caller holds at least
+// the read lock.
+func (r *Recommender) shardFor(title string) *recShard {
+	return r.shards[sortedset.Shard(title, len(r.shards))]
+}
+
+// mergedPropPages folds a property's per-shard contribution lists back
+// into one sorted title set. Shards partition titles, so the merge has no
+// duplicates and MergeK reproduces exactly the list an unsharded build
+// appends. Caller holds at least the read lock.
+func (r *Recommender) mergedPropPages(key string) []string {
+	if len(r.shards) == 1 {
+		return r.shards[0].propPages[key]
+	}
+	lists := make([][]string, 0, len(r.shards))
+	for _, sh := range r.shards {
+		if l := sh.propPages[key]; len(l) > 0 {
+			lists = append(lists, l)
+		}
+	}
+	return sortedset.MergeK(lists)
 }
 
 // rebuildLocked rescans the corpus from scratch. Caller holds the write
@@ -95,33 +144,40 @@ func (r *Recommender) rebuildLocked() {
 	// be double-applied by a later Update, which is idempotent.
 	r.seq = r.repo.LastSeq()
 	r.pageProps = make(map[string][]string)
-	r.propPages = make(map[string][]string)
 	r.pageRank = make(map[string]float64)
 	r.propScore = make(map[string]float64)
-	r.pagePairs = make(map[string][]string)
-	r.pairPages = make(map[string][]string)
+	for i := range r.shards {
+		r.shards[i] = newRecShard()
+	}
 	// Wiki.Each iterates in sorted title order, so appends build the
 	// per-property contribution lists (and pair postings) already
-	// title-sorted.
+	// title-sorted within each shard.
 	r.repo.Wiki.Each(func(p *wiki.Page) {
 		title := p.Title.String()
 		props := distinctProps(p)
 		if len(props) == 0 {
 			return
 		}
+		sh := r.shardFor(title)
 		r.pageProps[title] = props
 		r.pageRank[title] = r.ranks[title]
 		for _, key := range props {
-			r.propPages[key] = append(r.propPages[key], title)
+			sh.propPages[key] = append(sh.propPages[key], title)
 		}
 		pairs := distinctPairs(p)
-		r.pagePairs[title] = pairs
+		sh.pagePairs[title] = pairs
 		for _, pair := range pairs {
-			r.pairPages[pair] = append(r.pairPages[pair], title)
+			sh.pairPages[pair] = append(sh.pairPages[pair], title)
 		}
 	})
-	for key, list := range r.propPages {
-		r.propScore[key] = r.sumRanks(list)
+	keys := make(map[string]bool)
+	for _, sh := range r.shards {
+		for key := range sh.propPages {
+			keys[key] = true
+		}
+	}
+	for key := range keys {
+		r.propScore[key] = r.sumRanks(r.mergedPropPages(key))
 	}
 	r.stats.FullRebuilds++
 	r.stats.Seq = r.seq
@@ -192,6 +248,9 @@ func (r *Recommender) Update() UpdateStats {
 		seen[c.Title] = true
 		stats.Applied++
 		title := c.Title
+		// The changed page routes to its owning shard: only that shard's
+		// posting lists move, the sibling shards' state is untouched.
+		sh := r.shardFor(title)
 		oldProps := r.pageProps[title]
 		var newProps, newPairs []string
 		if page, exists := r.repo.Wiki.Get(title); exists {
@@ -207,11 +266,16 @@ func (r *Recommender) Update() UpdateStats {
 		// properties insert or retract one contribution.
 		sortedset.DiffWalk(oldProps, newProps,
 			func(p string) {
-				r.propPages[p], _ = sortedset.Remove(r.propPages[p], title)
+				list, _ := sortedset.Remove(sh.propPages[p], title)
+				if len(list) == 0 {
+					delete(sh.propPages, p)
+				} else {
+					sh.propPages[p] = list
+				}
 				dirty[p] = true
 			},
 			func(p string) {
-				r.propPages[p], _ = sortedset.Insert(r.propPages[p], title)
+				sh.propPages[p], _ = sortedset.Insert(sh.propPages[p], title)
 				dirty[p] = true
 			},
 			func(p string) {
@@ -228,28 +292,30 @@ func (r *Recommender) Update() UpdateStats {
 		}
 		// Merge-diff the sorted old and new pair sets the same way, keeping
 		// the inverted (property, value) → pages index current.
-		sortedset.DiffWalk(r.pagePairs[title], newPairs,
+		sortedset.DiffWalk(sh.pagePairs[title], newPairs,
 			func(pair string) {
-				list, _ := sortedset.Remove(r.pairPages[pair], title)
+				list, _ := sortedset.Remove(sh.pairPages[pair], title)
 				if len(list) == 0 {
-					delete(r.pairPages, pair)
+					delete(sh.pairPages, pair)
 				} else {
-					r.pairPages[pair] = list
+					sh.pairPages[pair] = list
 				}
 			},
 			func(pair string) {
-				r.pairPages[pair], _ = sortedset.Insert(r.pairPages[pair], title)
+				sh.pairPages[pair], _ = sortedset.Insert(sh.pairPages[pair], title)
 			},
 			nil)
 		if len(newPairs) == 0 {
-			delete(r.pagePairs, title)
+			delete(sh.pagePairs, title)
 		} else {
-			r.pagePairs[title] = newPairs
+			sh.pagePairs[title] = newPairs
 		}
 	}
 	for key := range dirty {
-		if list := r.propPages[key]; len(list) == 0 {
-			delete(r.propPages, key)
+		// Rescoring folds over the shard lists merged back into global
+		// title order — the same accumulation order as a rebuild, so the
+		// incremental sum stays bit-identical.
+		if list := r.mergedPropPages(key); len(list) == 0 {
 			delete(r.propScore, key)
 		} else {
 			r.propScore[key] = r.sumRanks(list)
@@ -274,8 +340,8 @@ func (r *Recommender) SetRanks(ranks map[string]float64) {
 	for title := range r.pageRank {
 		r.pageRank[title] = ranks[title]
 	}
-	for key, list := range r.propPages {
-		r.propScore[key] = r.sumRanks(list)
+	for key := range r.propScore {
+		r.propScore[key] = r.sumRanks(r.mergedPropPages(key))
 	}
 	r.stats.Rescores++
 }
@@ -359,28 +425,52 @@ func (r *Recommender) Recommend(seeds []string, user string, k int) []Recommenda
 	// (zero-weight pairs can never contribute score). Enumeration order is
 	// irrelevant: the final ordering is a strict total order (score
 	// descending, unique-title tie-break), so the output is identical to
-	// the scan path's regardless of how candidates are discovered.
-	seen := make(map[string]bool)
-	var out []Recommendation
-	for pair, w := range pairWeight {
-		if w <= 0 {
-			continue
+	// the scan path's regardless of how candidates are discovered. Shards
+	// partition titles, so each can scan its own pair postings (with its
+	// own dedup set) in parallel and the per-shard candidate sets stay
+	// disjoint.
+	collect := func(sh *recShard) []Recommendation {
+		seen := make(map[string]bool)
+		var out []Recommendation
+		for pair, w := range pairWeight {
+			if w <= 0 {
+				continue
+			}
+			for _, title := range sh.pairPages[pair] {
+				if seen[title] {
+					continue
+				}
+				seen[title] = true
+				if seedSet[title] || !r.repo.ACL.CanRead(user, title) {
+					continue
+				}
+				page, ok := r.repo.Wiki.Get(title)
+				if !ok {
+					continue
+				}
+				if rec, ok := scorePage(page, title, pairWeight, r.ranks[title]); ok {
+					out = append(out, rec)
+				}
+			}
 		}
-		for _, title := range r.pairPages[pair] {
-			if seen[title] {
-				continue
-			}
-			seen[title] = true
-			if seedSet[title] || !r.repo.ACL.CanRead(user, title) {
-				continue
-			}
-			page, ok := r.repo.Wiki.Get(title)
-			if !ok {
-				continue
-			}
-			if rec, ok := scorePage(page, title, pairWeight, r.ranks[title]); ok {
-				out = append(out, rec)
-			}
+		return out
+	}
+	var out []Recommendation
+	if len(r.shards) == 1 {
+		out = collect(r.shards[0])
+	} else {
+		parts := make([][]Recommendation, len(r.shards))
+		var wg sync.WaitGroup
+		for i, sh := range r.shards {
+			wg.Add(1)
+			go func(i int, sh *recShard) {
+				defer wg.Done()
+				parts[i] = collect(sh)
+			}(i, sh)
+		}
+		wg.Wait()
+		for _, p := range parts {
+			out = append(out, p...)
 		}
 	}
 	return topRecommendations(out, k)

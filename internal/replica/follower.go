@@ -56,6 +56,10 @@ type Config struct {
 	FetchTimeout time.Duration
 	// BatchMax caps records per fetch (default 1024).
 	BatchMax int
+	// Shards partitions the local search engine at construction time
+	// (<= 0 selects the default), keeping the shard epoch at zero just
+	// like a fresh primary started with the same count.
+	Shards int
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -120,7 +124,7 @@ func Open(ctx context.Context, cfg Config) (*Follower, error) {
 	bo := c.Backoff
 	bootstrappedEmpty := false
 	for {
-		sys, err := sensormeta.Open(c.Dir, c.Durable)
+		sys, err := sensormeta.OpenShards(c.Dir, c.Durable, c.Shards)
 		if err != nil {
 			return nil, fmt.Errorf("replica: opening local state: %w", err)
 		}

@@ -87,7 +87,12 @@ func waitCaughtUp(t *testing.T, f *Follower, primary *sensormeta.System, timeout
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		seqLag, _, synced := f.ReplicaLag()
-		if synced && seqLag == 0 && f.System().Repo.LastSeq() == primary.Repo.LastSeq() {
+		// Require the derived structures (engine seq) to reach the primary
+		// head too: the apply loop refreshes after each batch, so between
+		// "records applied" and "refresh done" the repo seqs already agree
+		// while searches still serve the previous batch's index and ranks.
+		if synced && seqLag == 0 && f.System().Repo.LastSeq() == primary.Repo.LastSeq() &&
+			f.System().Stats().EngineSeq == primary.Repo.LastSeq() {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)

@@ -93,27 +93,89 @@ const (
 // itself stays ignorant of how they are computed. The engine consumes the
 // repository's change journal (Update) to keep its index and trie current
 // without rebuilding them; Rebuild remains the from-scratch fallback.
+//
+// The keyword postings and structural metaIndex are partitioned into hash
+// shards over page titles (see shard.go): Execute fans out across shards
+// in parallel and k-way merges per-shard results, and Update routes each
+// changed page to its owning shard, so refresh and query contend on
+// per-shard locks instead of one index-wide lock. The autocomplete trie
+// and the TF-IDF term statistics stay global.
 type Engine struct {
-	mu    sync.RWMutex
-	repo  *smr.Repository
-	index *Index
-	trie  *Trie
-	meta  *metaIndex
-	ranks map[string]float64
-	seq   uint64 // journal position the index reflects
+	mu     sync.RWMutex
+	repo   *smr.Repository
+	shards []*engineShard
+	trie   *Trie
+	stats  *TermStats
+	ranks  map[string]float64
+	seq    uint64 // journal position the index reflects
+	epoch  uint64 // bumped by SetShards; keyset cursors bind to it
 
-	// writeMu serializes Rebuild/Update against each other. Applying one
-	// journal run is idempotent, but two interleaved runs would each see
-	// the pre-apply state (e.g. both observe a page as new) and
-	// double-count trie references.
+	// writeMu serializes Rebuild/Update/SetShards against each other.
+	// Applying one journal run is idempotent, but two interleaved runs
+	// would each see the pre-apply state (e.g. both observe a page as new)
+	// and double-count trie references.
 	writeMu sync.Mutex
 }
 
-// NewEngine builds an engine and indexes the current repository content.
+// NewEngine builds an engine with the default shard count
+// (min(GOMAXPROCS, 8)) and indexes the current repository content.
 func NewEngine(repo *smr.Repository) *Engine {
-	e := &Engine{repo: repo, ranks: map[string]float64{}}
+	return NewEngineShards(repo, 0)
+}
+
+// NewEngineShards builds an engine partitioned into the given number of
+// shards (<= 0 selects the default) and indexes the current repository
+// content. Results are byte-identical whatever the shard count; the count
+// only chooses how much of the machine a query or refresh can use.
+func NewEngineShards(repo *smr.Repository, shards int) *Engine {
+	if shards <= 0 {
+		shards = DefaultShardCount()
+	}
+	e := &Engine{repo: repo, ranks: map[string]float64{}, shards: make([]*engineShard, shards)}
 	e.Rebuild()
 	return e
+}
+
+// ShardCount returns the number of index shards.
+func (e *Engine) ShardCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.shards)
+}
+
+// ShardEpoch returns the current shard epoch. Keyset cursors are minted
+// under an epoch and rejected (code "stale_cursor") once SetShards moves
+// it, since per-shard walk state does not survive repartitioning. Ordinary
+// Update/Rebuild churn does NOT move the epoch — cursors deliberately
+// survive refreshes.
+func (e *Engine) ShardEpoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
+
+// SetShards repartitions the engine into n shards (<= 0 selects the
+// default), rebuilding the derived structures and bumping the shard epoch
+// so outstanding cursors are invalidated cleanly instead of silently
+// paging a differently-partitioned index. A no-op when n already matches.
+func (e *Engine) SetShards(n int) {
+	if n <= 0 {
+		n = DefaultShardCount()
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.mu.RLock()
+	cur := len(e.shards)
+	e.mu.RUnlock()
+	if n == cur {
+		return
+	}
+	// rebuildShards swaps fully-built shards in atomically; queries racing
+	// the repartition keep the old snapshot until then.
+	e.rebuildShards(n)
+	e.mu.Lock()
+	e.epoch++
+	e.mu.Unlock()
 }
 
 // buildDocText renders the indexable text of a page: title, wikitext and
@@ -133,36 +195,43 @@ func buildDocText(p *wiki.Page) string {
 	return b.String()
 }
 
-// upsertPage (re)indexes one page and keeps the trie's refcounts and the
-// structural metaIndex in step: one title reference per live page, one
-// term reference per (page, term), one posting per structural key.
-func upsertPage(ix *Index, tr *Trie, mi *metaIndex, p *wiki.Page) {
+// upsertPage (re)indexes one page into its shard and keeps the trie's
+// refcounts, the global term statistics and the structural metaIndex in
+// step: one title reference per live page, one term reference per
+// (page, term), one posting per structural key, one df count per
+// (live page, term).
+func upsertPage(sh *engineShard, tr *Trie, stats *TermStats, p *wiki.Page) {
 	title := p.Title.String()
-	isNew := !ix.Has(title)
-	added, removed := ix.Add(title, buildDocText(p))
+	isNew := !sh.index.Has(title)
+	added, removed := sh.index.Add(title, buildDocText(p))
+	docDelta := 0
 	if isNew {
 		tr.Insert(title, titleWeight)
+		docDelta = 1
 	}
+	stats.apply(added, removed, docDelta)
 	for _, t := range removed {
 		tr.Remove(t, termWeight)
 	}
 	for _, t := range added {
 		tr.Insert(t, termWeight)
 	}
-	mi.upsert(title, pageMetaKeys(p), pageAnnCounts(p))
+	sh.meta.upsert(title, pageMetaKeys(p), pageAnnCounts(p))
 }
 
-// deletePage drops one page from the index and releases its trie entries
-// and structural postings.
-func deletePage(ix *Index, tr *Trie, mi *metaIndex, title string) {
-	if !ix.Has(title) {
+// deletePage drops one page from its shard and releases its trie entries,
+// df counts and structural postings.
+func deletePage(sh *engineShard, tr *Trie, stats *TermStats, title string) {
+	if !sh.index.Has(title) {
 		return
 	}
-	for _, t := range ix.Remove(title) {
+	removed := sh.index.Remove(title)
+	stats.apply(nil, removed, -1)
+	for _, t := range removed {
 		tr.Remove(t, termWeight)
 	}
 	tr.Remove(title, titleWeight)
-	mi.remove(title)
+	sh.meta.remove(title)
 }
 
 // Rebuild re-indexes every page from scratch and swaps the fresh structures
@@ -175,17 +244,29 @@ func (e *Engine) Rebuild() {
 
 // rebuildLocked is Rebuild's body; the caller holds writeMu.
 func (e *Engine) rebuildLocked() {
+	e.mu.RLock()
+	n := len(e.shards)
+	e.mu.RUnlock()
+	e.rebuildShards(n)
+}
+
+// rebuildShards rebuilds into n fresh shards and swaps them in. Caller
+// holds writeMu.
+func (e *Engine) rebuildShards(n int) {
 	// Capture the journal position first: changes racing with the scan may
 	// be double-applied by a later Update, which is idempotent.
 	seq := e.repo.LastSeq()
-	index := NewIndex()
+	stats := newTermStats()
+	shards := make([]*engineShard, n)
+	for i := range shards {
+		shards[i] = newEngineShard(stats)
+	}
 	trie := NewTrie()
-	meta := newMetaIndex()
 	e.repo.Wiki.Each(func(p *wiki.Page) {
-		upsertPage(index, trie, meta, p)
+		upsertPage(shards[shardOf(p.Title.String(), n)], trie, stats, p)
 	})
 	e.mu.Lock()
-	e.index, e.trie, e.meta, e.seq = index, trie, meta, seq
+	e.shards, e.trie, e.stats, e.seq = shards, trie, stats, seq
 	e.mu.Unlock()
 }
 
@@ -240,16 +321,52 @@ func (e *Engine) Update() UpdateStats {
 		}
 	}
 	e.mu.RLock()
-	ix, tr, mi := e.index, e.trie, e.meta
+	shards, tr, ts := e.shards, e.trie, e.stats
 	e.mu.RUnlock()
+	// Route each changed title to its owning shard, then apply the groups
+	// in parallel: within a shard application stays sequential (ordering
+	// per title matters), across shards only the trie and term stats are
+	// shared and both take their own locks. A query touching shard A never
+	// waits on a refresh writing shard B.
+	groups := make([][]string, len(shards))
 	for _, title := range titles {
-		if page, ok := e.repo.Wiki.Get(title); ok {
-			upsertPage(ix, tr, mi, page)
-		} else {
-			deletePage(ix, tr, mi, title)
-		}
-		stats.Applied++
+		s := shardOf(title, len(shards))
+		groups[s] = append(groups[s], title)
 	}
+	apply := func(si int) {
+		for _, title := range groups[si] {
+			if page, ok := e.repo.Wiki.Get(title); ok {
+				upsertPage(shards[si], tr, ts, page)
+			} else {
+				deletePage(shards[si], tr, ts, title)
+			}
+		}
+	}
+	busy := 0
+	for si := range groups {
+		if len(groups[si]) > 0 {
+			busy++
+		}
+	}
+	if busy <= 1 {
+		for si := range groups {
+			apply(si)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for si := range groups {
+			if len(groups[si]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				apply(si)
+			}(si)
+		}
+		wg.Wait()
+	}
+	stats.Applied = len(titles)
 	e.mu.Lock()
 	if stats.Seq > e.seq {
 		e.seq = stats.Seq

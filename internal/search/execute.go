@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/query"
 	"repro/internal/sortedset"
@@ -145,13 +146,18 @@ func (es estimator) EstimateLeaf(leaf query.Expr) int {
 
 // cursorPayload is the decoded keyset cursor: the sort key values of the
 // last item served, plus a signature binding the cursor to the query,
-// sort and fusion parameters it was minted for.
+// sort and fusion parameters it was minted for, and the shard epoch it
+// was minted under (Epoch): resharding repartitions the index, so cursors
+// from before a SetShards are rejected as stale instead of silently
+// paging a differently-partitioned engine. Ordinary refresh churn keeps
+// the epoch, so cursors survive index updates as before.
 type cursorPayload struct {
 	Sort  string  `json:"s"`
 	Order string  `json:"o"`
 	Rel   float64 `json:"r"`
 	Rank  float64 `json:"k"`
 	Title string  `json:"t"`
+	Epoch uint64  `json:"e"`
 	Sig   uint64  `json:"g"`
 }
 
@@ -177,7 +183,7 @@ func clamp01(v float64) float64 {
 	return v
 }
 
-func decodeCursor(s string, sig uint64, key SortKey, order Order) (*cursorPayload, error) {
+func decodeCursor(s string, sig uint64, key SortKey, order Order, epoch uint64) (*cursorPayload, error) {
 	var p cursorPayload
 	if err := DecodeCursorToken(s, &p); err != nil {
 		return nil, err
@@ -185,6 +191,10 @@ func decodeCursor(s string, sig uint64, key SortKey, order Order) (*cursorPayloa
 	if p.Sig != sig || p.Sort != string(key) || p.Order != string(order) {
 		return nil, &query.Error{Code: "bad_cursor", Field: "cursor",
 			Message: "cursor was issued for a different query or sort order"}
+	}
+	if p.Epoch != epoch {
+		return nil, &query.Error{Code: "stale_cursor", Field: "cursor",
+			Message: "cursor predates a reshard of the index; restart the walk from the first page"}
 	}
 	return &p, nil
 }
@@ -238,18 +248,18 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	}
 
 	e.mu.RLock()
-	ix, meta, ranks := e.index, e.meta, e.ranks
+	shards, ranks, epoch := e.shards, e.ranks, e.epoch
 	e.mu.RUnlock()
 
 	// norm is what gets evaluated per page: deterministic for a given
 	// input expression, so matched display pairs follow the author's
 	// operand order and the cursor signature survives index churn between
-	// pages. planned additionally reorders And operands most-selective
-	// first from the current index statistics — it only steers candidate
-	// planning, never evaluation.
+	// pages. Each shard additionally reorders And operands most-selective
+	// first from its own index statistics — reordering only steers
+	// candidate planning, never evaluation, so shard-local plans cannot
+	// change what matches or how it scores.
 	norm := query.Normalize(expr)
-	es := estimator{meta: meta, ix: ix, n: e.repo.Wiki.Len()}
-	planned := query.Reorder(norm, es)
+	corpusN := e.repo.Wiki.Len()
 
 	key, order := opts.SortBy, opts.Order
 	if key == "" {
@@ -257,12 +267,18 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	}
 	less := resultLessKeyed(key, order)
 
-	var titlesMemo []string
-	titles := func() []string {
-		if titlesMemo == nil {
-			titlesMemo = e.repo.Wiki.Titles()
+	// The corpus title list is fetched and hash-partitioned once, lazily:
+	// only executions that need a shard's title universe (Not complements,
+	// corpus scans) pay for it.
+	var titlesOnce sync.Once
+	var shardTitles [][]string
+	titlesFor := func(si int) func() []string {
+		return func() []string {
+			titlesOnce.Do(func() {
+				shardTitles = partitionTitles(e.repo.Wiki.Titles(), len(shards))
+			})
+			return shardTitles[si]
 		}
-		return titlesMemo
 	}
 
 	var cur *cursorPayload
@@ -275,7 +291,7 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		sig = execCursorSignature(canonical, key, order, opts.Alpha)
 	}
 	if opts.Cursor != "" {
-		p, err := decodeCursor(opts.Cursor, sig, key, order)
+		p, err := decodeCursor(opts.Cursor, sig, key, order, epoch)
 		if err != nil {
 			return nil, err
 		}
@@ -286,130 +302,197 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		curResult = Result{Title: cur.Title, Relevance: cur.Rel, Rank: cur.Rank}
 	}
 
-	props, facets := facetAccumulators(opts.Facets)
-	res := &ExecResult{Facets: facets}
+	// Each shard runs the full enumerate/prune/score pipeline over its own
+	// partition and returns a shardOut; shards share only read-only state
+	// (norm, cursor, ranks snapshot) plus their own locks. Because titles
+	// partition across shards, per-shard match sets are disjoint: Matched,
+	// eligible and facet counts sum, and sorted per-shard prefixes k-way
+	// merge into the global prefix (every display order is a strict total
+	// order with a unique-title tie-break).
+	type shardOut struct {
+		results  []Result // heap-sorted top-(limit+offset) when sel ran, else unsorted buffer
+		matched  int
+		eligible int
+		facets   map[string]map[string]int
+		maxRel   float64
+		maxRank  float64
+		kws      *kwMatchers
+		exact    bool
+	}
 
-	// Exact-set fast path: a keyword-free expression whose match set the
-	// metaIndex derives exactly has Matched and every facet answered by
-	// set arithmetic over the index snapshot. The ACL still filters the
-	// match set (a title check, no page fetch). Result materialization —
-	// when requested — then skips query.Eval entirely: membership IS the
-	// match, and a keyword-free expression's relevance score is always
-	// zero, so each result needs only its title and rank. Matched display
-	// pairs are filled in afterwards for just the returned page.
-	var exact []string
-	exactOK := false
-	if !opts.DisablePruning && !opts.DisableFacetIndex {
-		if s, isExact, ok := meta.candidates(norm, titles); ok && isExact {
-			kept := s[:0]
-			for _, t := range s {
-				if e.repo.ACL.CanRead(opts.User, t) {
-					kept = append(kept, t)
+	run := func(si int) *shardOut {
+		sh := shards[si]
+		titles := titlesFor(si)
+		so := &shardOut{kws: newKwMatchers(sh.index)}
+		props, facets := facetAccumulators(opts.Facets)
+		so.facets = facets
+		planned := query.Reorder(norm, estimator{meta: sh.meta, ix: sh.index, n: corpusN})
+
+		// Exact-set fast path: a keyword-free expression whose match set
+		// the metaIndex derives exactly has Matched and every facet
+		// answered by set arithmetic over the shard snapshot. The ACL
+		// still filters the match set (a title check, no page fetch).
+		// Exactness is decided by the expression's shape, so every shard
+		// takes the same branch here.
+		var exact []string
+		if !opts.DisablePruning && !opts.DisableFacetIndex {
+			if s, isExact, ok := sh.meta.candidates(norm, titles); ok && isExact {
+				kept := s[:0]
+				for _, t := range s {
+					if e.repo.ACL.CanRead(opts.User, t) {
+						kept = append(kept, t)
+					}
 				}
+				exact, so.exact = kept, true
+				sh.meta.facetsInto(props, facets, exact)
+				props = nil
 			}
-			exact, exactOK = kept, true
-			meta.facetsInto(props, facets, exact)
-			props = nil
 		}
-	}
-	if opts.CountOnly && exactOK {
-		res.Matched = len(exact)
-		return res, nil
-	}
+		if opts.CountOnly && so.exact {
+			so.matched = len(exact)
+			return so
+		}
 
-	var sel *topK[Result]
-	var out []Result
-	if !opts.CountOnly && !fusing && opts.Limit > 0 {
-		sel = newTopK(opts.Limit+opts.Offset, less)
-	}
-
-	kws := newKwMatchers(ix)
-	// The driver leaf must come from the SAME tree enumerate drives with:
-	// with two keyword conjuncts, reordering can change which one drives,
-	// and installing the driven score under the other leaf's text would
-	// corrupt both match decisions and scores.
-	driver, hasDriverLeaf := requiredKeyword(planned)
-	eligible := 0 // matches after the cursor (== Matched when no cursor)
-	var maxRel, maxRank float64
-	visit := func(title string, driverScore float64, hasDriver bool) {
-		var r Result
-		if exactOK {
-			// The exact set is already ACL-filtered and facet-counted;
-			// only a liveness check stands between membership and a result.
-			if _, ok := e.repo.Wiki.Get(title); !ok {
+		var sel *topK[Result]
+		if !opts.CountOnly && !fusing && opts.Limit > 0 {
+			sel = newTopK(opts.Limit+opts.Offset, less)
+		}
+		// The driver leaf must come from the SAME tree enumerate drives
+		// with: with two keyword conjuncts, reordering can change which
+		// one drives, and installing the driven score under the other
+		// leaf's text would corrupt both match decisions and scores.
+		driver, hasDriverLeaf := requiredKeyword(planned)
+		visit := func(title string, driverScore float64, hasDriver bool) {
+			var r Result
+			if so.exact {
+				// The exact set is already ACL-filtered and facet-counted;
+				// only a liveness check stands between membership and a
+				// result.
+				if _, ok := e.repo.Wiki.Get(title); !ok {
+					return
+				}
+				so.matched++
+				if opts.CountOnly {
+					return
+				}
+				r = Result{Title: title, Rank: ranks[title]}
+			} else {
+				page, ok := e.repo.Wiki.Get(title)
+				if !ok {
+					return
+				}
+				if !e.repo.ACL.CanRead(opts.User, title) {
+					return
+				}
+				d := docView{page: page, title: title, kws: so.kws}
+				if hasDriver && hasDriverLeaf {
+					d.driverText, d.driverAny = driver.Text, driver.Any
+					d.driverScore, d.hasDriver = driverScore, true
+				}
+				m := query.Eval(norm, d)
+				if !m.OK {
+					return
+				}
+				so.matched++
+				for _, p := range props {
+					for _, v := range page.PropertyValues(p) {
+						facets[p][v]++
+					}
+				}
+				if opts.CountOnly {
+					return
+				}
+				r = Result{Title: title, Relevance: m.Score, Rank: ranks[title], Matched: m.Matched}
+			}
+			if fusing {
+				// The fused comparator needs the whole matching set's
+				// normalizers, so cursor filtering and selection run after
+				// the fan-in merges per-shard maxima.
+				if r.Relevance > so.maxRel {
+					so.maxRel = r.Relevance
+				}
+				if r.Rank > so.maxRank {
+					so.maxRank = r.Rank
+				}
+				so.results = append(so.results, r)
 				return
 			}
-			res.Matched++
-			if opts.CountOnly {
-				return
+			if cur != nil && !less(curResult, r) {
+				return // at or before the cursor position in the total order
 			}
-			r = Result{Title: title, Rank: ranks[title]}
+			so.eligible++
+			if sel != nil {
+				sel.push(r)
+			} else {
+				so.results = append(so.results, r)
+			}
+		}
+
+		if so.exact {
+			// The facet fast path already derived (and ACL-filtered) the
+			// exact match set; enumerate over it directly instead of
+			// re-deriving candidates from the index.
+			for _, t := range exact {
+				visit(t, 0, false)
+			}
 		} else {
-			page, ok := e.repo.Wiki.Get(title)
-			if !ok {
-				return
-			}
-			if !e.repo.ACL.CanRead(opts.User, title) {
-				return
-			}
-			d := docView{page: page, title: title, kws: kws}
-			if hasDriver && hasDriverLeaf {
-				d.driverText, d.driverAny = driver.Text, driver.Any
-				d.driverScore, d.hasDriver = driverScore, true
-			}
-			m := query.Eval(norm, d)
-			if !m.OK {
-				return
-			}
-			res.Matched++
-			for _, p := range props {
-				for _, v := range page.PropertyValues(p) {
-					facets[p][v]++
-				}
-			}
-			if opts.CountOnly {
-				return
-			}
-			r = Result{Title: title, Relevance: m.Score, Rank: ranks[title], Matched: m.Matched}
+			e.enumerate(sh, planned, titles, driver, hasDriverLeaf, opts.DisablePruning, visit)
 		}
-		if fusing {
-			// The fused comparator needs the matching set's normalizers, so
-			// cursor filtering and selection run after enumeration.
-			if r.Relevance > maxRel {
-				maxRel = r.Relevance
-			}
-			if r.Rank > maxRank {
-				maxRank = r.Rank
-			}
-			out = append(out, r)
-			return
-		}
-		if cur != nil && !less(curResult, r) {
-			return // at or before the cursor position in the total order
-		}
-		eligible++
 		if sel != nil {
-			sel.push(r)
-		} else {
-			out = append(out, r)
+			so.results = sel.sorted()
 		}
+		return so
 	}
 
-	if exactOK {
-		// The facet fast path already derived (and ACL-filtered) the exact
-		// match set; enumerate over it directly instead of re-deriving
-		// candidates from the index.
-		for _, t := range exact {
-			visit(t, 0, false)
-		}
+	outs := make([]*shardOut, len(shards))
+	if len(shards) == 1 {
+		outs[0] = run(0)
 	} else {
-		e.enumerate(planned, ix, meta, titles, driver, hasDriverLeaf, opts.DisablePruning, visit)
+		var wg sync.WaitGroup
+		for si := range shards {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				outs[si] = run(si)
+			}(si)
+		}
+		wg.Wait()
 	}
 
+	// Fan-in: counts sum, facet counts merge by value, result lists merge
+	// under the same strict total order each shard selected with.
+	_, mergedFacets := facetAccumulators(opts.Facets)
+	res := &ExecResult{Facets: mergedFacets}
+	for _, so := range outs {
+		res.Matched += so.matched
+		for p, counts := range so.facets {
+			for v, n := range counts {
+				mergedFacets[p][v] += n
+			}
+		}
+	}
 	if opts.CountOnly {
 		return res, nil
 	}
+
+	eligible := 0 // matches after the cursor (== Matched when no cursor)
+	var out []Result
 	if fusing {
+		var maxRel, maxRank float64
+		total := 0
+		for _, so := range outs {
+			total += len(so.results)
+			if so.maxRel > maxRel {
+				maxRel = so.maxRel
+			}
+			if so.maxRank > maxRank {
+				maxRank = so.maxRank
+			}
+		}
+		out = make([]Result, 0, total)
+		for _, so := range outs {
+			out = append(out, so.results...)
+		}
 		less = fusedResultLess(alpha, maxRel, maxRank, order)
 		if cur != nil {
 			kept := out[:0]
@@ -430,10 +513,34 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		} else {
 			sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
 		}
-	} else if sel != nil {
-		out = sel.sorted()
 	} else {
-		sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+		for _, so := range outs {
+			eligible += so.eligible
+		}
+		if opts.Limit > 0 {
+			// Each shard holds its own sorted top-(limit+offset); the k-way
+			// merge of disjoint sorted lists under a strict total order is
+			// exactly the global sorted prefix.
+			lists := make([][]Result, 0, len(outs))
+			for _, so := range outs {
+				if len(so.results) > 0 {
+					lists = append(lists, so.results)
+				}
+			}
+			if len(lists) == 1 {
+				out = lists[0]
+			} else if len(lists) > 1 {
+				out = sortedset.Merge(lists, less)
+			}
+			if keep := opts.Limit + opts.Offset; len(out) > keep {
+				out = out[:keep]
+			}
+		} else {
+			for _, so := range outs {
+				out = append(out, so.results...)
+			}
+			sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+		}
 	}
 	if opts.Offset > 0 {
 		if opts.Offset >= len(out) {
@@ -445,15 +552,16 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 	if opts.Limit > 0 && opts.Limit < len(out) {
 		out = out[:opts.Limit]
 	}
-	if exactOK {
+	if len(out) > 0 && outs[0].exact {
 		// The Eval-skipped fast path still owes the returned page its
 		// matched display pairs — evaluate just these results, not the
-		// whole matching set.
+		// whole matching set, each against its owning shard's matchers.
 		for i := range out {
 			page, ok := e.repo.Wiki.Get(out[i].Title)
 			if !ok {
 				continue
 			}
+			kws := outs[shardOf(out[i].Title, len(shards))].kws
 			if m := query.Eval(norm, docView{page: page, title: out[i].Title, kws: kws}); m.OK {
 				out[i].Matched = m.Matched
 			}
@@ -464,7 +572,8 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		last := out[len(out)-1]
 		res.NextCursor = EncodeCursorToken(cursorPayload{
 			Sort: string(key), Order: string(order),
-			Rel: last.Relevance, Rank: last.Rank, Title: last.Title, Sig: sig,
+			Rel: last.Relevance, Rank: last.Rank, Title: last.Title,
+			Epoch: epoch, Sig: sig,
 		})
 	}
 	return res, nil
@@ -486,8 +595,10 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 //     candidates or keyword hits) — enumerate the union;
 //  4. full corpus scan.
 //
-// titles supplies the sorted corpus title list, memoized by the caller.
-func (e *Engine) enumerate(planned query.Expr, ix *Index, meta *metaIndex, titles func() []string, kw query.Keyword, kwOK, noPrune bool, visit func(title string, driverScore float64, hasDriver bool)) {
+// titles supplies the shard's sorted title partition, memoized by the
+// caller; every strategy therefore stays within the shard's own universe.
+func (e *Engine) enumerate(sh *engineShard, planned query.Expr, titles func() []string, kw query.Keyword, kwOK, noPrune bool, visit func(title string, driverScore float64, hasDriver bool)) {
+	ix, meta := sh.index, sh.meta
 	mode := ModeAll
 	if kw.Any {
 		mode = ModeAny
@@ -514,7 +625,7 @@ func (e *Engine) enumerate(planned query.Expr, ix *Index, meta *metaIndex, title
 		return
 	}
 	if !noPrune {
-		if union, ok := e.orUnion(planned, ix, meta, titles); ok {
+		if union, ok := orUnion(planned, ix, meta, titles); ok {
 			for _, t := range union {
 				visit(t, 0, false)
 			}
@@ -530,7 +641,7 @@ func (e *Engine) enumerate(planned query.Expr, ix *Index, meta *metaIndex, title
 // are each posting-derivable: structural branches via the metaIndex,
 // keyword branches via their hit lists. An Or of rare keywords then costs
 // O(Σ hits) instead of a corpus scan.
-func (e *Engine) orUnion(planned query.Expr, ix *Index, meta *metaIndex, titles func() []string) ([]string, bool) {
+func orUnion(planned query.Expr, ix *Index, meta *metaIndex, titles func() []string) ([]string, bool) {
 	or, ok := planned.(query.Or)
 	if !ok {
 		return nil, false
@@ -583,15 +694,19 @@ func requiredKeyword(e query.Expr) (query.Keyword, bool) {
 // filter principals themselves.
 func (e *Engine) CompileMatcher(expr query.Expr) func(title string) bool {
 	e.mu.RLock()
-	ix := e.index
+	shards := e.shards
 	e.mu.RUnlock()
-	kws := newKwMatchers(ix)
+	kws := make([]*kwMatchers, len(shards))
+	for i, sh := range shards {
+		kws[i] = newKwMatchers(sh.index)
+	}
 	return func(title string) bool {
 		page, ok := e.repo.Wiki.Get(title)
 		if !ok {
 			return false
 		}
-		return query.Matches(expr, docView{page: page, title: page.Title.String(), kws: kws})
+		t := page.Title.String()
+		return query.Matches(expr, docView{page: page, title: t, kws: kws[shardOf(t, len(kws))]})
 	}
 }
 

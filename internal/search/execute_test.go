@@ -411,25 +411,30 @@ func TestExecuteOrKeywordUnion(t *testing.T) {
 func TestDocScoreMatchesSearch(t *testing.T) {
 	_, e := executeFixture(t, 50)
 	e.mu.RLock()
-	ix := e.index
+	shards := e.shards
 	e.mu.RUnlock()
 	for _, q := range []string{"temperature sensor", `"wind speed"`, "station"} {
 		for _, mode := range []Mode{ModeAll, ModeAny} {
-			hits := ix.Search(q, mode)
-			if len(hits) == 0 {
+			total := 0
+			for _, sh := range shards {
+				ix := sh.index
+				hits := ix.Search(q, mode)
+				total += len(hits)
+				for _, h := range hits {
+					score, ok := ix.DocScore(h.ID, q, mode)
+					if !ok {
+						t.Fatalf("DocScore(%s, %q) reports no match", h.ID, q)
+					}
+					if score != h.Score {
+						t.Errorf("DocScore(%s, %q) = %v, Search = %v", h.ID, q, score, h.Score)
+					}
+				}
+				if _, ok := ix.DocScore("Deployment:D-00", `"wind speed"`, ModeAll); ok {
+					t.Error("DocScore matched a phrase the document lacks")
+				}
+			}
+			if total == 0 {
 				t.Fatalf("no hits for %q", q)
-			}
-			for _, h := range hits {
-				score, ok := ix.DocScore(h.ID, q, mode)
-				if !ok {
-					t.Fatalf("DocScore(%s, %q) reports no match", h.ID, q)
-				}
-				if score != h.Score {
-					t.Errorf("DocScore(%s, %q) = %v, Search = %v", h.ID, q, score, h.Score)
-				}
-			}
-			if _, ok := ix.DocScore("Deployment:D-00", `"wind speed"`, ModeAll); ok {
-				t.Error("DocScore matched a phrase the document lacks")
 			}
 		}
 	}

@@ -32,6 +32,13 @@ type Index struct {
 	docTerms [][]string // distinct terms per live doc, sorted
 	free     []int      // slots released by Remove, reused by Add
 	accPool  sync.Pool  // *accumulator, reused across searches
+
+	// stats, when set, supplies the corpus-global TF-IDF inputs (document
+	// count and per-term document frequencies) instead of this index's own
+	// — the hook that keeps every shard of a partitioned engine scoring
+	// bit-identically to one unsharded index. The engine maintains it from
+	// the same Add/Remove deltas it already applies to the trie.
+	stats *TermStats
 }
 
 // NewIndex returns an empty index.
@@ -283,20 +290,20 @@ func (ix *Index) collect(query string, mode Mode, emit func(Hit)) {
 		}
 	}
 
+	n, dfs := ix.termDFs(uniq)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	n := len(ix.docIdx)
-	if n == 0 {
+	if n == 0 || len(ix.docIdx) == 0 {
 		return
 	}
 	acc := ix.acquireAcc(len(ix.docs))
 	defer ix.releaseAcc(acc)
-	for _, term := range uniq {
+	for ti, term := range uniq {
 		list := ix.postings[term]
 		if len(list) == 0 {
 			continue
 		}
-		idf := math.Log(float64(n)/float64(len(list))) + 1
+		idf := math.Log(float64(n)/float64(dfs[ti])) + 1
 		for i := range list {
 			p := &list[i]
 			if acc.matched[p.doc] == 0 {
@@ -370,22 +377,22 @@ func (dm *DocMatcher) Score(id string) (float64, bool) {
 	if len(dm.uniq) == 0 {
 		return 0, false
 	}
+	n, dfs := ix.termDFs(dm.uniq)
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	n := len(ix.docIdx)
 	doc, ok := ix.docIdx[id]
 	if n == 0 || !ok {
 		return 0, false
 	}
 	var score float64
 	matched := 0
-	for _, term := range dm.uniq {
+	for ti, term := range dm.uniq {
 		p := ix.findPosting(term, doc)
 		if p == nil {
 			continue
 		}
 		matched++
-		idf := math.Log(float64(n)/float64(len(ix.postings[term]))) + 1
+		idf := math.Log(float64(n)/float64(dfs[ti])) + 1
 		tf := float64(p.freq) / float64(ix.docLen[doc])
 		score += tf * idf
 	}
@@ -491,6 +498,23 @@ func (ix *Index) hasPhraseLocked(doc int, tokens []string) bool {
 		}
 	}
 	return false
+}
+
+// termDFs resolves the TF-IDF inputs for a term list: the corpus document
+// count n and each term's document frequency. With a shared TermStats
+// installed (shard indexes) these are the global corpus statistics;
+// otherwise the index's own.
+func (ix *Index) termDFs(terms []string) (n int, dfs []int) {
+	if ix.stats != nil {
+		return ix.stats.lookup(terms)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	dfs = make([]int, len(terms))
+	for i, t := range terms {
+		dfs[i] = len(ix.postings[t])
+	}
+	return len(ix.docIdx), dfs
 }
 
 // findPosting binary-searches term's doc-sorted posting list.

@@ -1,0 +1,133 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sortedset"
+)
+
+// Sharded execution: the engine partitions its keyword postings and
+// structural metaIndex into P hash shards over page titles
+// (sortedset.Shard), so Execute can fan enumeration, pruning and scoring
+// out across shards in parallel goroutines and k-way merge per-shard
+// top-k heaps. Correctness rests on three invariants:
+//
+//   - placement partitions the corpus: every title lives in exactly one
+//     shard, so per-shard match sets are disjoint and their counts
+//     (Matched, facet values) sum to the global ones;
+//   - TF-IDF inputs are global: every shard index shares one TermStats
+//     carrying corpus-wide n and per-term document frequencies, so a
+//     document's score is bit-identical whatever shard holds it (and
+//     identical to a single unsharded index);
+//   - every display order is a strict total order (unique-title
+//     tie-break), so k-way merging per-shard sorted prefixes reproduces
+//     the global sorted prefix exactly.
+//
+// The property suite in sharded_test.go pins all three: results, facets,
+// recommendations, autocomplete and full cursor walks must be
+// byte-identical across shard counts.
+
+// maxDefaultShards caps the GOMAXPROCS-derived default: beyond a handful
+// of shards the per-query goroutine fan-out costs more than the
+// parallelism returns on typical corpora.
+const maxDefaultShards = 8
+
+// DefaultShardCount picks the shard count for engines that don't choose
+// one: min(GOMAXPROCS, 8), at least 1.
+func DefaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxDefaultShards {
+		n = maxDefaultShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardOf routes a page title to its owning shard.
+func shardOf(title string, n int) int {
+	return sortedset.Shard(title, n)
+}
+
+// partitionTitles splits a sorted title list into per-shard sorted lists.
+// With one shard the input slice is returned as-is.
+func partitionTitles(all []string, n int) [][]string {
+	if n <= 1 {
+		return [][]string{all}
+	}
+	parts := make([][]string, n)
+	for _, t := range all {
+		s := shardOf(t, n)
+		parts[s] = append(parts[s], t)
+	}
+	return parts
+}
+
+// engineShard is one partition of the engine's derived structures: the
+// keyword posting index and the structural metaIndex for the titles the
+// shard owns. The trie (autocomplete is not partitioned) and the TermStats
+// (global by design) live on the engine.
+type engineShard struct {
+	index *Index
+	meta  *metaIndex
+}
+
+func newEngineShard(stats *TermStats) *engineShard {
+	ix := NewIndex()
+	ix.stats = stats
+	return &engineShard{index: ix, meta: newMetaIndex()}
+}
+
+// TermStats holds the corpus-global TF-IDF inputs shared by every shard
+// index: the live document count and each term's document frequency.
+// Shard indexes resolve idf from here instead of their local postings, so
+// a sharded engine scores every document bit-identically to an unsharded
+// one. Safe for concurrent use.
+type TermStats struct {
+	mu sync.RWMutex
+	df map[string]int
+	n  int
+}
+
+func newTermStats() *TermStats {
+	return &TermStats{df: make(map[string]int)}
+}
+
+// apply folds one document's indexing delta into the global stats: terms
+// the document gained and lost, plus the live-document delta (+1 insert,
+// -1 delete, 0 re-index).
+func (s *TermStats) apply(added, removed []string, docDelta int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += docDelta
+	for _, t := range added {
+		s.df[t]++
+	}
+	for _, t := range removed {
+		if s.df[t] <= 1 {
+			delete(s.df, t)
+		} else {
+			s.df[t]--
+		}
+	}
+}
+
+// lookup resolves the corpus size and each term's document frequency in
+// one lock acquisition.
+func (s *TermStats) lookup(terms []string) (n int, dfs []int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dfs = make([]int, len(terms))
+	for i, t := range terms {
+		// A term can briefly be visible in a shard's postings before (or
+		// after) its global count moves — stats and postings are two lock
+		// domains. Clamp to 1 so a racing read scores finitely; quiescent
+		// state always has df >= 1 for any posted term.
+		if dfs[i] = s.df[t]; dfs[i] < 1 {
+			dfs[i] = 1
+		}
+	}
+	return s.n, dfs
+}

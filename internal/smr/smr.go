@@ -202,9 +202,9 @@ func linkFingerprint(page *wiki.Page) []string {
 func (r *Repository) PutPage(title, author, text, comment string) (*wiki.Page, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	// Snapshot the previous link structure before Put replaces the parsed
-	// page in place (the slice headers captured by the fingerprint stay
-	// valid because Put assigns fresh slices).
+	// Snapshot the previous link structure before Put installs the new
+	// revision. Put is copy-on-write — the old *Page stays an immutable
+	// snapshot — so the fingerprint reads a stable view either way.
 	var oldLinks []string
 	old, existed := r.Wiki.Get(title)
 	if existed {

@@ -349,3 +349,25 @@ func DiffWalkFunc[T any](prev, next []T, cmp func(a, b T) int, onRemoved, onAdde
 		}
 	}
 }
+
+// Shard maps a key to one of n hash shards (FNV-1a). It is the single
+// placement function every sharded posting structure uses, so the search
+// engine and the recommender agree on which shard owns a title. n <= 1
+// always yields shard 0.
+func Shard(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inlined FNV-1a (32-bit) to keep placement allocation-free on the
+	// routing hot path.
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}

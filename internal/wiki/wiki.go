@@ -171,7 +171,9 @@ func (s *Store) Install(title string, revisions []Revision) (*Page, error) {
 }
 
 // Put creates or updates a page with new wikitext, recording a revision.
-// It returns the parsed page.
+// It returns the parsed page. A published *Page is never mutated: Put
+// installs a fresh copy, so pointers handed out earlier by Get/Each stay
+// valid immutable snapshots for concurrent readers.
 func (s *Store) Put(title, author, text, comment string) (*Page, error) {
 	t := ParseTitle(title)
 	if t.Name == "" {
@@ -180,10 +182,11 @@ func (s *Store) Put(title, author, text, comment string) (*Page, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := t.String()
-	p, ok := s.pages[key]
-	if !ok {
-		p = &Page{Title: t}
-		s.pages[key] = p
+	p := &Page{Title: t}
+	if old, ok := s.pages[key]; ok {
+		p.Title = old.Title
+		p.Revisions = make([]Revision, len(old.Revisions), len(old.Revisions)+1)
+		copy(p.Revisions, old.Revisions)
 	}
 	s.revID++
 	p.Revisions = append(p.Revisions, Revision{
@@ -195,6 +198,7 @@ func (s *Store) Put(title, author, text, comment string) (*Page, error) {
 	})
 	p.Links, p.Annotations, p.Categories = ParseWikitext(text)
 	p.Redirect = parseRedirect(text)
+	s.pages[key] = p
 	return p, nil
 }
 

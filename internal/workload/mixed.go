@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/search"
+)
+
+// OpKind discriminates the operations of a mixed read/write stream.
+type OpKind int
+
+const (
+	OpPut OpKind = iota
+	OpDelete
+	OpSearch
+	OpRecommend
+	OpAutocomplete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpSearch:
+		return "search"
+	case OpRecommend:
+		return "recommend"
+	case OpAutocomplete:
+		return "autocomplete"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one operation of a mixed stream. Exactly the fields its Kind
+// needs are set.
+type Op struct {
+	Kind   OpKind
+	Title  string       // OpPut, OpDelete
+	Text   string       // OpPut
+	Query  search.Query // OpSearch
+	Seeds  []string     // OpRecommend
+	Prefix string       // OpAutocomplete
+}
+
+// MixOptions configures a mixed read/write stream. Percentages are out of
+// 100; whatever PutPct+DeletePct+RecommendPct+AutocompletePct leaves over
+// goes to searches. WritePool bounds the set of titles that puts and
+// deletes cycle through, so the same pages are created, overwritten and
+// removed repeatedly — the churn pattern that stresses incremental
+// maintenance.
+type MixOptions struct {
+	Ops             int
+	Seed            int64
+	PutPct          int
+	DeletePct       int
+	RecommendPct    int
+	AutocompletePct int
+	WritePool       int
+}
+
+// DefaultMix is a read-mostly stream: 20% puts, 5% deletes, 10%
+// recommendations, 5% autocompletes, 60% searches.
+func DefaultMix() MixOptions {
+	return MixOptions{Ops: 1000, Seed: 1, PutPct: 20, DeletePct: 5,
+		RecommendPct: 10, AutocompletePct: 5, WritePool: 200}
+}
+
+// BuildMixed generates a mixed read/write operation stream. The stream is
+// fully determined by the options — two calls with equal options return
+// identical slices, so a failure seen under one run (a race stress, a
+// benchmark regression) replays exactly from its seed.
+func BuildMixed(opts MixOptions) []Op {
+	if opts.Ops <= 0 {
+		opts.Ops = 1000
+	}
+	if opts.WritePool <= 0 {
+		opts.WritePool = 200
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	queries := BuildQueryMix(QueryMixOptions{Count: 64, Seed: opts.Seed + 1})
+	prefixes := []string{"Sensor:", "temp", "wi", "sn", "Deployment:", "so"}
+
+	writeTitle := func() string {
+		return fmt.Sprintf("Sensor:mixed-%04d", rng.Intn(opts.WritePool))
+	}
+	writeText := func() string {
+		return fmt.Sprintf(
+			"Mixed-stream %s sensor revision %d.\n[[partOf::Deployment:mixed-%d]]\n[[measures::%s]]\n[[samplingRate::%d]]\n[[Category:Sensors]]\n",
+			measurands[rng.Intn(len(measurands))], rng.Intn(1<<20), rng.Intn(12),
+			measurands[rng.Intn(len(measurands))], []int{1, 10, 60, 600}[rng.Intn(4)])
+	}
+
+	out := make([]Op, 0, opts.Ops)
+	for i := 0; i < opts.Ops; i++ {
+		p := rng.Intn(100)
+		switch {
+		case p < opts.PutPct:
+			out = append(out, Op{Kind: OpPut, Title: writeTitle(), Text: writeText()})
+		case p < opts.PutPct+opts.DeletePct:
+			out = append(out, Op{Kind: OpDelete, Title: writeTitle()})
+		case p < opts.PutPct+opts.DeletePct+opts.RecommendPct:
+			seeds := make([]string, 1+rng.Intn(3))
+			for si := range seeds {
+				seeds[si] = writeTitle()
+			}
+			out = append(out, Op{Kind: OpRecommend, Seeds: seeds})
+		case p < opts.PutPct+opts.DeletePct+opts.RecommendPct+opts.AutocompletePct:
+			out = append(out, Op{Kind: OpAutocomplete, Prefix: prefixes[rng.Intn(len(prefixes))]})
+		default:
+			out = append(out, Op{Kind: OpSearch, Query: queries[rng.Intn(len(queries))]})
+		}
+	}
+	return out
+}

@@ -142,6 +142,12 @@ type RefreshStats struct {
 	PageRankWarm    int `json:"pagerankWarm"`
 	PageRankCold    int `json:"pagerankCold"`
 
+	// Sharding: how many hash shards the search engine (and recommender)
+	// partition their posting structures into, and the current shard
+	// epoch keyset cursors are bound to (bumped by SetShards).
+	Shards     int    `json:"shards"`
+	ShardEpoch uint64 `json:"shardEpoch"`
+
 	Recommender recommend.Stats `json:"recommender"`
 	Tagging     tagging.Stats   `json:"tagging"`
 
@@ -165,6 +171,8 @@ func (s *System) Stats() RefreshStats {
 		PageRankSkipped: s.stats.PageRankSkipped,
 		PageRankWarm:    s.stats.PageRankWarm,
 		PageRankCold:    s.stats.PageRankCold,
+		Shards:          s.Engine.ShardCount(),
+		ShardEpoch:      s.Engine.ShardEpoch(),
 		WAL:             s.Repo.WALStats(),
 	}
 	if s.Tags != nil {
@@ -180,11 +188,21 @@ func (s *System) Stats() RefreshStats {
 
 // New creates an empty system.
 func New() (*System, error) {
+	return NewShards(0)
+}
+
+// NewShards creates an empty system whose search engine (and, through it,
+// the recommender) is partitioned into n hash shards from the start
+// (n <= 0 selects the GOMAXPROCS-aware default). Unlike SetShards on a
+// live system, construction-time partitioning keeps the shard epoch at
+// zero — there are no outstanding cursors to invalidate — so two fresh
+// processes mint byte-identical cursor tokens whatever their shard count.
+func NewShards(n int) (*System, error) {
 	repo, err := smr.New()
 	if err != nil {
 		return nil, err
 	}
-	return wire(repo)
+	return wire(repo, n)
 }
 
 // Open restores a system from a durable data directory (smr.Open): the
@@ -195,11 +213,18 @@ func New() (*System, error) {
 // size and the tail length, not by the full write history. Close the
 // system when done so the log is flushed.
 func Open(dir string, opts smr.DurableOptions) (*System, error) {
+	return OpenShards(dir, opts, 0)
+}
+
+// OpenShards is Open with a construction-time shard count, as NewShards
+// is to New: the engine is born partitioned and the shard epoch stays
+// zero. n <= 0 selects the default.
+func OpenShards(dir string, opts smr.DurableOptions, n int) (*System, error) {
 	repo, err := smr.Open(dir, opts)
 	if err != nil {
 		return nil, err
 	}
-	s, err := wire(repo)
+	s, err := wire(repo, n)
 	if err != nil {
 		repo.Close()
 		return nil, err
@@ -208,10 +233,11 @@ func Open(dir string, opts smr.DurableOptions) (*System, error) {
 }
 
 // wire builds the derived stack around a repository and brings it current
-// through the incremental refresh path.
-func wire(repo *smr.Repository) (*System, error) {
+// through the incremental refresh path. shards <= 0 selects the default
+// engine partitioning.
+func wire(repo *smr.Repository, shards int) (*System, error) {
 	s := &System{Repo: repo}
-	s.Engine = search.NewEngine(repo)
+	s.Engine = search.NewEngineShards(repo, shards)
 	s.Tags = tagging.NewPipeline(repo, true)
 	s.QueryManager = core.NewManager(repo, s.Engine)
 	if err := s.Refresh(); err != nil {
@@ -334,6 +360,30 @@ func (s *System) RefreshFull() error {
 	return nil
 }
 
+// SetShards repartitions the search engine (and the recommender's posting
+// indexes) into n hash shards; n <= 0 selects the GOMAXPROCS-aware
+// default. Queries and recommendations are byte-identical at every shard
+// count — the count only sets how many goroutines a query, refresh or
+// recommendation can fan out across. Outstanding keyset cursors are
+// invalidated (the shard epoch moves); everything else is transparent.
+func (s *System) SetShards(n int) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	before := s.Engine.ShardCount()
+	s.Engine.SetShards(n)
+	if s.Engine.ShardCount() == before {
+		return // no-op repartition: keep the recommender (and its stats)
+	}
+	if rec := s.recommender(); rec != nil {
+		if rk := s.ranker(); rk != nil {
+			fresh := recommend.NewSharded(s.Repo, rk.Scores(), s.Engine.ShardCount())
+			s.ptrMu.Lock()
+			s.Recommender = fresh
+			s.ptrMu.Unlock()
+		}
+	}
+}
+
 // solveRanking recomputes PageRank, warm-starting Gauss–Seidel from the
 // previous score vector when the configured method permits it. warm reports
 // whether the previous scores seeded the solve.
@@ -359,7 +409,7 @@ func (s *System) installRanking(rk *ranking.Ranker, rebuildRecommender bool) {
 	s.rankingDirty = false
 	rec := s.Recommender
 	if rebuildRecommender || rec == nil {
-		rec = recommend.New(s.Repo, rk.Scores())
+		rec = recommend.NewSharded(s.Repo, rk.Scores(), s.Engine.ShardCount())
 	} else {
 		rec.Update()
 		rec.SetRanks(rk.Scores())
