@@ -1,0 +1,289 @@
+// Command smr-lint runs the repository's invariant analyzers
+// (internal/analysis/...) in two modes:
+//
+// Standalone, over package patterns — the local entry point:
+//
+//	go run ./cmd/smr-lint ./...
+//
+// As a go vet tool, speaking cmd/go's vet.cfg protocol (the same
+// contract golang.org/x/tools' unitchecker implements, rebuilt here on
+// the standard library because the module carries no dependencies):
+//
+//	go build -o bin/smr-lint ./cmd/smr-lint
+//	go vet -vettool=$PWD/bin/smr-lint ./...
+//
+// In vettool mode cmd/go fans the tool out over every package, including
+// dependencies and test variants; smr-lint analyzes exactly the module's
+// production packages (per the scope table in internal/analysis/smrlint)
+// and no-ops everywhere else, so the sweep stays fast and the invariants
+// gate the code that ships rather than the tests that probe it.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/smrlint"
+)
+
+var (
+	versionFlag = flag.String("V", "", "print version and exit (cmd/go's tool-ID handshake)")
+	flagsFlag   = flag.Bool("flags", false, "print the tool's flags as JSON and exit (cmd/go's handshake)")
+	jsonFlag    = flag.Bool("json", false, "emit diagnostics as JSON instead of text")
+)
+
+func main() {
+	enabled := make(map[string]*bool)
+	for _, a := range smrlint.All() {
+		enabled[a.Name] = flag.Bool(a.Name, false, "run only the named analyzers: "+a.Doc)
+	}
+	flag.Parse()
+	switch {
+	case *versionFlag != "":
+		printVersion()
+	case *flagsFlag:
+		printFlags()
+	default:
+		args := flag.Args()
+		if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+			os.Exit(vettool(args[0], selected(enabled)))
+		}
+		if len(args) == 0 {
+			args = []string{"./..."}
+		}
+		os.Exit(standalone(args, selected(enabled)))
+	}
+}
+
+// selected applies the analyzer toggle flags: with none set, the whole
+// suite runs; naming analyzers runs exactly those.
+func selected(enabled map[string]*bool) []*analysis.Analyzer {
+	any := false
+	for _, on := range enabled {
+		any = any || *on
+	}
+	all := smrlint.All()
+	if !any {
+		return all
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// printVersion answers `smr-lint -V=full`. cmd/go keys its vet-result
+// cache on this line, so it must change whenever the binary does: report
+// the "devel" form with the executable's own content hash as build ID.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("smr-lint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// printFlags answers `smr-lint -flags`: the JSON flag inventory cmd/go
+// uses to validate what may follow -vettool on the go vet command line.
+func printFlags() {
+	type jsonFlagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlagDesc
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		_, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlagDesc{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fatalf("marshaling flags: %v", err)
+	}
+	os.Stdout.Write(data)
+}
+
+// standalone lints package patterns via the go list loader.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := driver.Load(wd, patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var all []driver.Finding
+	for _, p := range pkgs {
+		if !inModule(p.ImportPath) {
+			continue
+		}
+		for _, terr := range p.TypeErrors {
+			fatalf("%s does not type-check: %v", p.ImportPath, terr)
+		}
+		fs, err := driver.Run(p, analyzers, smrlint.Scope)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		all = append(all, fs...)
+	}
+	if *jsonFlag {
+		printJSON("", all)
+		return 0
+	}
+	for _, f := range all {
+		fmt.Println(f)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "smr-lint: %d finding(s)\n", len(all))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes for each vetted package (see
+// buildVetConfig in cmd/go/internal/work); fields the tool does not
+// consume are omitted.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool handles one vet.cfg invocation from `go vet -vettool=smr-lint`.
+func vettool(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading %s: %v", cfgPath, err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgPath, err)
+	}
+	// cmd/go caches the vetx (facts) output; these analyzers produce no
+	// facts, so an empty file both satisfies the cache and marks the
+	// package done.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("no-facts\n"), 0o666); err != nil {
+			fatalf("writing %s: %v", cfg.VetxOutput, err)
+		}
+	}
+	// Dependencies (VetxOnly), packages outside the module, and test
+	// variants (recompiled "path [path.test]" packages, external _test
+	// packages carrying the same bracket, and the synthesized path.test
+	// main) are out of scope: the suite gates production code.
+	if cfg.VetxOnly || !inModule(cfg.ImportPath) ||
+		strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	// When a package has in-package tests, cmd/go hands the tool the
+	// test-augmented variant: same ImportPath, but _test.go files appended
+	// to GoFiles. Tests are out of scope, and production files never
+	// depend on test files, so dropping them leaves a complete package.
+	files := cfg.GoFiles[:0:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := driver.TypeCheck(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("%s does not type-check: %v", cfg.ImportPath, pkg.TypeErrors[0])
+	}
+	findings, err := driver.Run(pkg, analyzers, smrlint.Scope)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *jsonFlag {
+		printJSON(cfg.ID, findings)
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printJSON renders findings in the unitchecker JSON shape:
+// {"pkgid": {"analyzer": [{"posn": ..., "message": ...}]}}.
+func printJSON(pkgID string, findings []driver.Finding) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byPkg := make(map[string]map[string][]jsonDiag)
+	for _, f := range findings {
+		id := pkgID
+		if id == "" {
+			id = "command-line-arguments"
+		}
+		byAnalyzer := byPkg[id]
+		if byAnalyzer == nil {
+			byAnalyzer = make(map[string][]jsonDiag)
+			byPkg[id] = byAnalyzer
+		}
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{Posn: f.Pos.String(), Message: f.Message})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(byPkg); err != nil {
+		fatalf("encoding diagnostics: %v", err)
+	}
+}
+
+func inModule(path string) bool {
+	return path == smrlint.ModulePath || strings.HasPrefix(path, smrlint.ModulePath+"/")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smr-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Package analysis is a minimal, dependency-free go/analysis-style
+// framework: an Analyzer inspects one type-checked package and reports
+// Diagnostics. It exists because the repository's replication and
+// determinism invariants (map-order-free persisted bytes, injected clocks
+// on every replay path, mutex-guarded field access, one sorted-set
+// implementation, structured HTTP error envelopes, caller-plumbed
+// contexts) were each re-discovered as a production bug before being
+// enforced; the analyzers under this package turn them into compile-time
+// gates, driven by cmd/smr-lint either standalone or as a `go vet
+// -vettool`.
+//
+// The module deliberately has no external dependencies, so this package
+// mirrors the shape of golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic, analysistest-style golden tests) on top of go/ast and
+// go/types alone. Facts and modular analysis are not supported — every
+// analyzer here is a single-package syntax+types check, which is all the
+// enforced invariants need.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named invariant check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //smrlint:ignore directives. It must be a valid Go identifier.
+	Name string
+	// Doc is a one-paragraph description: the invariant, and the
+	// historical bug class that motivated it.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report.
+	// The returned error aborts the whole lint run (reserved for
+	// analyzer-internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// PkgFunc reports whether the call's callee is the package-level function
+// pkgPath.name (e.g. "net/http".Error), resolved through the type
+// information so aliased imports and shadowing are handled.
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return PkgSymbol(info, sel, pkgPath, name)
+}
+
+// PkgSymbol reports whether sel is a reference to the package-level
+// symbol pkgPath.name (function, var or type), i.e. its X resolves to an
+// import of pkgPath.
+func PkgSymbol(info *types.Info, sel *ast.SelectorExpr, pkgPath, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// writerIface is io.Writer built from first principles, so analyzers can
+// test "implements io.Writer" without the analyzed package importing io.
+var writerIface = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", errType),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// ImplementsIOWriter reports whether t (or *t) satisfies io.Writer. An
+// invalid type (e.g. the un-type a package qualifier carries) never
+// does — types.Implements would vacuously say yes.
+func ImplementsIOWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Invalid {
+		return false
+	}
+	return types.Implements(t, writerIface) || types.Implements(types.NewPointer(t), writerIface)
+}
+
+// NamedType unwraps pointers and reports the defining package path and
+// name of t when it is a named type.
+func NamedType(t types.Type) (pkgPath, name string, ok bool) {
+	for {
+		ptr, isPtr := t.(*types.Pointer)
+		if !isPtr {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}

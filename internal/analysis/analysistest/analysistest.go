@@ -1,0 +1,158 @@
+// Package analysistest is the golden-test harness for the smr-lint
+// analyzers, a stdlib-only cousin of x/tools' package of the same name:
+// fixture packages live under testdata/src/<name>, compile like normal Go
+// (go list/go build resolve them by explicit path; wildcards skip
+// testdata, so `go vet ./...` never lints the deliberately-bad code), and
+// every expected finding is declared in-line with a trailing
+//
+//	// want `regexp`
+//
+// comment. Extra findings, missing findings and unmatched expectations
+// all fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies
+// the analyzer (unscoped — fixtures stand in for the packages the
+// real scope table names), and matches findings against // want
+// comments. Framework diagnostics for malformed //smrlint:ignore
+// directives participate like any other finding, so directive handling
+// is testable in fixtures too.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		loaded, err := driver.Load(testdata, "./src/"+pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
+		}
+		for _, p := range loaded {
+			if len(p.TypeErrors) > 0 {
+				t.Fatalf("fixture %s has type errors: %v", pkg, p.TypeErrors)
+			}
+			findings, err := driver.Run(p, []*analysis.Analyzer{a}, nil)
+			if err != nil {
+				t.Fatalf("running %s on fixture %s: %v", a.Name, pkg, err)
+			}
+			check(t, p, findings)
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.+)$")
+
+func check(t *testing.T, p *driver.Package, findings []driver.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, p.Fset, c)...)
+			}
+		}
+	}
+	for _, fd := range findings {
+		if w := match(wants, fd); w == nil {
+			t.Errorf("%s: unexpected finding: %s (%s)", fd.Pos, fd.Message, fd.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	m := wantRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var out []*want
+	rest := strings.TrimSpace(m[1])
+	for rest != "" {
+		var lit string
+		var err error
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquote in want comment", pos)
+			}
+			lit, rest = rest[1:1+end], strings.TrimSpace(rest[end+2:])
+		case '"':
+			// Walk to the closing quote of a Go string literal.
+			end := 1
+			for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+				end++
+			}
+			if end == len(rest) {
+				t.Fatalf("%s: unterminated quote in want comment", pos)
+			}
+			lit, err = strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want literal: %v", pos, err)
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		default:
+			t.Fatalf("%s: want expects quoted regexps, got %q", pos, rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp: %v", pos, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return out
+}
+
+func match(wants []*want, fd driver.Finding) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == fd.Pos.Filename && w.line == fd.Pos.Line && w.re.MatchString(fd.Message) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// Fprint is a debugging helper: it renders findings the way the driver
+// does, for use in table-driven failure messages.
+func Fprint(findings []driver.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+// Package ctxplumb enforces context plumbing in library request paths:
+// internal/replica and internal/server code runs under a caller's
+// deadline (a long-poll fetch, an HTTP request, a graceful drain), and a
+// context.Background() there detaches the work from cancellation — a
+// stalled primary would hang a follower forever past its FetchTimeout.
+// Roots belong in main functions and tests, which this suite does not
+// lint.
+package ctxplumb
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags context.Background() and context.TODO() calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxplumb",
+	Doc: "forbid context.Background/TODO in library request paths; " +
+		"ctx must flow from the caller so deadlines and shutdown propagate",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"Background", "TODO"} {
+				if analysis.PkgFunc(pass.TypesInfo, call, "context", name) {
+					pass.Reportf(call.Pos(),
+						"context.%s() detaches this path from the caller's deadline and shutdown; accept and thread a ctx parameter instead", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

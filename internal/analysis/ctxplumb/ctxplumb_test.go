@@ -1,0 +1,12 @@
+package ctxplumb_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxplumb"
+)
+
+func TestCtxplumb(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxplumb.Analyzer, "a")
+}

@@ -1,0 +1,37 @@
+// Package a is the ctxplumb fixture: library request paths minting their
+// own context roots instead of accepting the caller's, detaching
+// long-poll fetches from deadlines and shutdown.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// fetchHistorical detaches from the caller: a stalled peer hangs this
+// forever regardless of the caller's deadline.
+func fetchHistorical(c *http.Client, url string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second) // want `context\.Background\(\) detaches this path`
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+// fetchFixed threads the caller's ctx.
+func fetchFixed(ctx context.Context, c *http.Client, url string) (*http.Response, error) {
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+func placeholder() context.Context {
+	return context.TODO() // want `context\.TODO\(\) detaches this path`
+}

@@ -1,0 +1,120 @@
+// Package detmarshal flags map iteration whose body writes bytes: the
+// PR-5 bug class, where relational DB.Save emitted secondary-index names
+// in map-iteration order, so two saves of identical state produced
+// different snapshot bytes and broke snapshot equivalence checks and
+// replica convergence. Persistence code must collect and sort map keys
+// before anything reaches an io.Writer, an encoder, or a byte slice.
+package detmarshal
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags `for ... range m` over a map whose body reaches a byte
+// sink: a method call on an io.Writer value, fmt.Fprint*/io.WriteString/
+// binary.Write, (*json.Encoder).Encode / (*gob.Encoder).Encode, or an
+// append to a []byte. Map iteration order is randomized per run, so any
+// of these makes the persisted bytes nondeterministic.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmarshal",
+	Doc: "forbid map-iteration order from reaching persisted bytes " +
+		"(sort the keys first); motivated by the PR-5 nondeterministic-snapshot bug",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(pass.TypesInfo, rng.Body); sink != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration order reaches %s; persisted bytes become nondeterministic — collect the keys, sort, then iterate the slice", sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findSink walks a range body for the first byte sink and describes it.
+func findSink(info *types.Info, body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s := describeSink(info, call); s != "" {
+			sink = s
+			return false
+		}
+		return true
+	})
+	return sink
+}
+
+func describeSink(info *types.Info, call *ast.CallExpr) string {
+	// append(b, ...) where b is a []byte.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if sl, ok := info.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok {
+				if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+					return "an append to a []byte"
+				}
+			}
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Writer-taking helpers: fmt.Fprint*, io.WriteString, binary.Write.
+	for _, fn := range [...]struct{ pkg, name, desc string }{
+		{"fmt", "Fprint", "fmt.Fprint"},
+		{"fmt", "Fprintf", "fmt.Fprintf"},
+		{"fmt", "Fprintln", "fmt.Fprintln"},
+		{"io", "WriteString", "io.WriteString"},
+		{"encoding/binary", "Write", "binary.Write"},
+	} {
+		if analysis.PkgSymbol(info, sel, fn.pkg, fn.name) {
+			return fn.desc
+		}
+	}
+	// Methods on writer-ish receivers. Package-qualified calls other
+	// than the helpers above (fmt.Errorf, fmt.Sprintf, ...) are not
+	// sinks: a package qualifier is not a value, let alone a writer.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return ""
+		}
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil {
+		return ""
+	}
+	if pkg, name, ok := analysis.NamedType(recv); ok {
+		if (pkg == "encoding/json" || pkg == "encoding/gob") && name == "Encoder" && sel.Sel.Name == "Encode" {
+			return "(*" + pkg + ".Encoder).Encode"
+		}
+	}
+	if analysis.ImplementsIOWriter(recv) {
+		return "(" + recv.String() + ")." + sel.Sel.Name + " on an io.Writer"
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package detmarshal_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detmarshal"
+)
+
+func TestDetmarshal(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detmarshal.Analyzer, "a", "suppress")
+}

@@ -1,0 +1,90 @@
+// Package a is the detmarshal fixture: persistence-path encodes that do
+// and do not leak map-iteration order into the output bytes. The first
+// case is the PR-5 bug verbatim in miniature — relational DB.Save walked
+// its secondary-index map while emitting the on-disk header, so two
+// saves of identical state produced different snapshot bytes.
+package a
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+type table struct {
+	indexes map[string][]string
+}
+
+// saveHistorical is the PR-5 nondeterministic-snapshot bug.
+func (t *table) saveHistorical(w *bufio.Writer) {
+	for name := range t.indexes { // want `map iteration order reaches \(\*bufio\.Writer\)\.WriteString on an io.Writer`
+		w.WriteString(name)
+	}
+}
+
+// saveFixed is the shipped fix: sort the keys, iterate the slice.
+func (t *table) saveFixed(w *bufio.Writer) {
+	names := make([]string, 0, len(t.indexes))
+	for name := range t.indexes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w.WriteString(name)
+	}
+}
+
+func encodeRows(w io.Writer, rows map[int]string) {
+	for _, row := range rows { // want `map iteration order reaches fmt\.Fprintf`
+		fmt.Fprintf(w, "%s\n", row)
+	}
+}
+
+func encodeJSON(enc *json.Encoder, rows map[int]string) error {
+	for _, row := range rows { // want `map iteration order reaches \(\*encoding/json\.Encoder\)\.Encode`
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func frameRecords(buf []byte, recs map[uint64][]byte) []byte {
+	for _, rec := range recs { // want `map iteration order reaches an append to a \[\]byte`
+		buf = append(buf, rec...)
+	}
+	return buf
+}
+
+// validate builds an error value inside the walk: fmt.Errorf is not a
+// byte sink (regression — the package qualifier's "invalid type" must
+// not vacuously implement io.Writer).
+func validate(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("bad %s: %d", k, v)
+		}
+	}
+	return nil
+}
+
+// countTags only aggregates; order cannot reach any output bytes.
+func countTags(tags map[string]int) int {
+	total := 0
+	for _, n := range tags {
+		total += n
+	}
+	return total
+}
+
+// collectKeys materializes keys for later sorting — the fix idiom must
+// never be flagged (the appended slice is []string, not []byte).
+func collectKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

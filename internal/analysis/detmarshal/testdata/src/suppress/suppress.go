@@ -1,0 +1,30 @@
+// Package suppress exercises the //smrlint:ignore directive against
+// detmarshal: a reasoned suppression silences the finding, a reason-less
+// one is itself a finding, and a directive that suppresses nothing is
+// reported stale.
+package suppress
+
+import "io"
+
+func digest(w io.Writer, counts map[string]int) {
+	//smrlint:ignore detmarshal the writer is a hash; any order yields the same commutative digest
+	for k := range counts {
+		io.WriteString(w, k)
+	}
+}
+
+func noReason(w io.Writer, counts map[string]int) {
+	//smrlint:ignore detmarshal // want `needs a written reason`
+	for k := range counts { // want `map iteration order reaches io\.WriteString`
+		io.WriteString(w, k)
+	}
+}
+
+//smrlint:ignore detmarshal nothing here to suppress // want `suppresses nothing`
+func clean(counts map[string]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,218 @@
+// Package driver loads type-checked packages for the smr-lint analyzers
+// without golang.org/x/tools: it shells out to `go list -export -json`
+// for package metadata and compiler export data, parses the sources with
+// go/parser, and type-checks them with go/types using the gc importer
+// over the export files. This is the loader behind both the standalone
+// `go run ./cmd/smr-lint ./...` mode and the analysistest golden-test
+// harness; the `go vet -vettool` path skips it because cmd/go hands the
+// tool an equivalent pre-computed configuration.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker complaints; analyzers still run
+	// on what was resolved, mirroring `go vet`'s behaviour of reporting
+	// the load failure loudly.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (relative to dir) the way the go tool does and
+// returns the matched packages, type-checked against compiler export
+// data. Dependencies are loaded for their types only, not returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" && len(p.GoFiles) > 0 {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %s matched no packages", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := typeCheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// TypeCheck parses and type-checks one package from explicit file paths —
+// the shared core of Load and the vettool mode, which receives the file
+// list and importer from cmd/go instead of `go list`.
+func TypeCheck(fset *token.FileSet, imp types.Importer, importPath string, gofiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range gofiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg := &Package{ImportPath: importPath, Fset: fset, Files: files, Info: info}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(importPath, fset, files, info)
+	return pkg, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, t *listPkg) (*Package, error) {
+	paths := make([]string, len(t.GoFiles))
+	for i, name := range t.GoFiles {
+		paths[i] = t.Dir + string(os.PathSeparator) + name
+	}
+	pkg, err := TypeCheck(fset, imp, t.ImportPath, paths)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = t.Dir
+	return pkg, nil
+}
+
+// Finding is one reported diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run executes every analyzer whose scope admits the package, applies the
+// //smrlint:ignore directives, and returns the surviving findings plus
+// the framework's own directive diagnostics, sorted by position. scope
+// may be nil to run everything (the golden-test harness does this).
+func Run(pkg *Package, analyzers []*analysis.Analyzer, scope func(analyzer, pkgPath string) bool) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files, known)
+	var findings []Finding
+	for _, a := range analyzers {
+		if scope != nil && !scope(a.Name, pkg.ImportPath) {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			if sup.Suppressed(name, d.Pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	for _, d := range sup.Malformed() {
+		findings = append(findings, Finding{Analyzer: analysis.FrameworkName, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,73 @@
+package driver_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/smrlint"
+)
+
+// TestLoadAndRun drives the standalone pipeline end to end: go list
+// -export loading, type-checking against compiler export data, analyzer
+// execution, suppression filtering and deterministic ordering.
+func TestLoadAndRun(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := driver.Load(testdata, "./src/probe")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	findings, err := driver.Run(p, smrlint.All(), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the unsuppressed SearchStrings):\n%v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "sortedsetonly" || !strings.Contains(f.Message, "internal/sortedset") {
+		t.Errorf("unexpected finding: %v", f)
+	}
+	if filepath.Base(f.Pos.Filename) != "probe.go" || f.Pos.Line == 0 {
+		t.Errorf("finding position not resolved: %v", f.Pos)
+	}
+}
+
+// TestScope pins the suite's scoping table: module-only, the sortedset
+// carve-out, and the per-package contracts.
+func TestScope(t *testing.T) {
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"sortedsetonly", "repro/internal/search", true},
+		{"sortedsetonly", "repro/internal/sortedset", false},
+		{"sortedsetonly", "sort", false}, // never lint outside the module
+		{"lockguard", "repro", true},
+		{"lockguard", "repro/cmd/smr-server", true},
+		{"detmarshal", "repro/internal/relational", true},
+		{"detmarshal", "repro/internal/search", false},
+		{"replayclock", "repro/internal/wiki", true},
+		{"replayclock", "repro/internal/pagerank", false}, // Elapsed timing is wall-clock by design
+		{"errenvelope", "repro/internal/server", true},
+		{"errenvelope", "repro/internal/replica", false},
+		{"ctxplumb", "repro/internal/replica", true},
+		{"ctxplumb", "repro/cmd/smr-server", false}, // mains are where context roots belong
+	}
+	for _, c := range cases {
+		if got := smrlint.Scope(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("Scope(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}

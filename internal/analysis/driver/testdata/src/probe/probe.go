@@ -1,0 +1,17 @@
+// Package probe is the driver's own fixture: one finding for the scope
+// test, one suppression, exercised by driver_test.go rather than the
+// analyzer golden harness.
+package probe
+
+import "sort"
+
+// Find re-rolls the forbidden idiom once, unsuppressed.
+func Find(xs []string, s string) int {
+	return sort.SearchStrings(xs, s)
+}
+
+// FindQuiet re-rolls it under a reasoned directive.
+func FindQuiet(xs []string, s string) int {
+	//smrlint:ignore sortedsetonly driver fixture demonstrating a reasoned suppression
+	return sort.SearchStrings(xs, s)
+}

@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errenvelope"
+)
+
+func TestErrenvelope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errenvelope.Analyzer, "a")
+}

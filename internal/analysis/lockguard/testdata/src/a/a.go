@@ -1,0 +1,70 @@
+// Package a is the lockguard fixture, modeled on the PR-7
+// published-page mutation: wiki.Store.Put updated fields readers already
+// held. Here the store's fields carry "// guarded by mu" annotations and
+// the analyzer polices every access path.
+package a
+
+import "sync"
+
+type page struct {
+	title string
+	text  string
+}
+
+type store struct {
+	mu sync.RWMutex
+	// pages is the published map; guarded by mu.
+	pages map[string]*page
+	revID int // guarded by mu
+}
+
+// newStore builds the value before publication: composite-literal
+// construction is exempt.
+func newStore() *store {
+	return &store{pages: make(map[string]*page)}
+}
+
+// putHistorical is the PR-7 class: mutating published state with no lock.
+func (s *store) putHistorical(title, text string) {
+	s.revID++                                        // want `field revID is guarded by mu`
+	s.pages[title] = &page{title: title, text: text} // want `field pages is guarded by mu`
+}
+
+// putFixed acquires the guard.
+func (s *store) putFixed(title, text string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revID++
+	s.pages[title] = &page{title: title, text: text}
+}
+
+// get reads under the read lock.
+func (s *store) get(title string) (*page, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[title]
+	return p, ok
+}
+
+// lenLocked inherits the caller's lock by convention.
+func (s *store) lenLocked() int {
+	return len(s.pages)
+}
+
+// leak reads a guarded field with neither lock nor the naming
+// convention.
+func (s *store) leak() int {
+	return len(s.pages) // want `field pages is guarded by mu`
+}
+
+// reach flags free functions too, not just methods.
+func reach(s *store) int {
+	return s.revID // want `field revID is guarded by mu`
+}
+
+// snapshotSuppressed documents its single-goroutine constructor-time
+// access instead of locking.
+func snapshotSuppressed(s *store) int {
+	//smrlint:ignore lockguard constructor-time read before the store is shared
+	return s.revID
+}

@@ -1,0 +1,46 @@
+// Package replayclock forbids direct wall-clock reads in packages whose
+// time source is injected. The repository stamps every mutation through
+// the wiki store's swappable clock so that WAL replay, snapshot restore
+// and replication re-stamp history with the original timestamps; a direct
+// time.Now() bypasses the swap and re-stamps replayed records with the
+// present — the PR-5 replay-clock bug (snapshot restore re-journalling
+// with fresh timestamps) and the PR-6 follower-lag flake both came from
+// exactly this.
+package replayclock
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags every reference to time.Now, time.Since or time.Until —
+// calls and bare function values alike, since storing time.Now in a
+// field smuggles the wall clock past the injection point just as
+// effectively as calling it. The legitimate default-clock wiring sites
+// carry an //smrlint:ignore with the reason on record.
+var Analyzer = &analysis.Analyzer{
+	Name: "replayclock",
+	Doc: "forbid direct time.Now/Since/Until in packages with an injected clock " +
+		"so replayed history keeps its original timestamps; motivated by the PR-5 replay-clock bug",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"Now", "Since", "Until"} {
+				if analysis.PkgSymbol(pass.TypesInfo, sel, "time", name) {
+					pass.Reportf(sel.Pos(),
+						"direct time.%s bypasses the injected clock; read the package clock so replay and replication stay deterministic", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

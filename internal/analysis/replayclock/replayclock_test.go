@@ -1,0 +1,12 @@
+package replayclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/replayclock"
+)
+
+func TestReplayclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), replayclock.Analyzer, "a")
+}

@@ -1,0 +1,57 @@
+// Package a is the replayclock fixture, modeled on the PR-5 replay-clock
+// bug: snapshot restore swapped a historic clock into the wiki store but
+// the tag-replay path stamped rows with time.Now() directly, so restored
+// history carried fresh timestamps and cold starts diverged from the
+// primary byte-for-byte.
+package a
+
+import "time"
+
+type store struct {
+	clock func() time.Time
+	rows  []row
+}
+
+type row struct {
+	name    string
+	created time.Time
+}
+
+// applyHistorical is the bug: a journalled record replayed with the wall
+// clock instead of the injected (possibly historic) one.
+func (s *store) applyHistorical(name string) {
+	s.rows = append(s.rows, row{name: name, created: time.Now()}) // want `direct time\.Now bypasses the injected clock`
+}
+
+// applyFixed reads the injected clock, so replay re-stamps history with
+// the original timestamps.
+func (s *store) applyFixed(name string) {
+	s.rows = append(s.rows, row{name: name, created: s.clock()})
+}
+
+func (s *store) age(r row) time.Duration {
+	return time.Since(r.created) // want `direct time\.Since bypasses the injected clock`
+}
+
+func (s *store) until(r row) time.Duration {
+	return time.Until(r.created) // want `direct time\.Until bypasses the injected clock`
+}
+
+// storedReference shows a bare function value smuggling the wall clock
+// past the injection point — flagged just like a call.
+func storedReference() *store {
+	return &store{clock: time.Now} // want `direct time\.Now bypasses the injected clock`
+}
+
+// wiredDefault is the one legitimate site: the default-clock wiring,
+// suppressed with its reason on record.
+func wiredDefault() *store {
+	//smrlint:ignore replayclock default clock injection point; replay swaps it before stamping history
+	return &store{clock: time.Now}
+}
+
+// timersAreFine: replayclock governs timestamps, not timers — scheduling
+// primitives do not leak wall-clock values into replayed state.
+func timersAreFine(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}

@@ -1,0 +1,95 @@
+// Package smrlint assembles the analyzer suite and its package scopes —
+// the single source of truth for which invariant is enforced where,
+// mirrored in docs/LINT.md and ARCHITECTURE.md's "Enforced invariants"
+// table. cmd/smr-lint consults it in both standalone and vettool modes.
+package smrlint
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxplumb"
+	"repro/internal/analysis/detmarshal"
+	"repro/internal/analysis/errenvelope"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/replayclock"
+	"repro/internal/analysis/sortedsetonly"
+)
+
+// ModulePath is the import-path root the suite lints. Packages outside
+// it (the standard library, when `go vet` fans the tool out over
+// dependencies) are never analyzed.
+const ModulePath = "repro"
+
+// All returns the full analyzer suite, ordered by name.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxplumb.Analyzer,
+		detmarshal.Analyzer,
+		errenvelope.Analyzer,
+		lockguard.Analyzer,
+		replayclock.Analyzer,
+		sortedsetonly.Analyzer,
+	}
+}
+
+// scopes maps each analyzer to the packages whose contract it enforces.
+// nil means module-wide.
+var scopes = map[string][]string{
+	// Persistence paths: the relational projection's Save, the smr
+	// snapshot/WAL encode, and the WAL record framing itself.
+	detmarshal.Analyzer.Name: {
+		"repro/internal/relational",
+		"repro/internal/smr",
+		"repro/internal/wal",
+	},
+	// Packages whose clock is injected: the wiki store owns the
+	// swappable clock, smr replays through it, replica re-stamps
+	// primary history through it.
+	replayclock.Analyzer.Name: {
+		"repro/internal/wiki",
+		"repro/internal/smr",
+		"repro/internal/replica",
+	},
+	// Comment-driven, so safe (and wanted) module-wide.
+	lockguard.Analyzer.Name: nil,
+	// Module-wide except the one package allowed to hold the idiom;
+	// see Scope.
+	sortedsetonly.Analyzer.Name: nil,
+	// The HTTP surface.
+	errenvelope.Analyzer.Name: {"repro/internal/server"},
+	// Library request paths that run under a caller's deadline.
+	ctxplumb.Analyzer.Name: {
+		"repro/internal/replica",
+		"repro/internal/server",
+	},
+}
+
+// Scope reports whether analyzer should run over the package with the
+// given import path. Only module packages are ever in scope; main
+// packages (cmd/, examples/) are exempt from ctxplumb, whose invariant
+// is about library code — mains are where context roots belong.
+func Scope(analyzer, pkgPath string) bool {
+	if pkgPath != ModulePath && !strings.HasPrefix(pkgPath, ModulePath+"/") {
+		return false
+	}
+	if analyzer == analysis.FrameworkName {
+		return true
+	}
+	if analyzer == sortedsetonly.Analyzer.Name {
+		return pkgPath != "repro/internal/sortedset"
+	}
+	pkgs, known := scopes[analyzer]
+	if !known {
+		return false
+	}
+	if pkgs == nil {
+		return true
+	}
+	for _, p := range pkgs {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Package sortedsetonly pins the PR-4 consolidation: before it, five
+// hand-rolled copies of the sorted-string-set idiom (sort.SearchStrings +
+// slice surgery) had drifted apart across the search metaIndex, the
+// recommender and the tagging mirror, and PR-5/6 bugs hid in the drift.
+// internal/sortedset is now the single implementation; everything else
+// must use it.
+package sortedsetonly
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags any reference to sort.SearchStrings outside
+// internal/sortedset — the seed of the insert/remove idiom the
+// consolidation deleted.
+var Analyzer = &analysis.Analyzer{
+	Name: "sortedsetonly",
+	Doc: "forbid sort.SearchStrings outside internal/sortedset so the sorted-set idiom " +
+		"never re-forks; pins the PR-4 consolidation",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if analysis.PkgSymbol(pass.TypesInfo, sel, "sort", "SearchStrings") {
+				pass.Reportf(sel.Pos(),
+					"sorted-string-set surgery belongs in internal/sortedset (Insert/Remove/Contains); do not re-roll the sort.SearchStrings idiom")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package sortedsetonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sortedsetonly"
+)
+
+func TestSortedsetonly(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sortedsetonly.Analyzer, "a")
+}

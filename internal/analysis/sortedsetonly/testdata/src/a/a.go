@@ -1,0 +1,30 @@
+// Package a is the sortedsetonly fixture: the hand-rolled sorted-set
+// insert idiom that PR-4 consolidated into internal/sortedset, which must
+// never re-fork elsewhere.
+package a
+
+import "sort"
+
+// insertHistorical is the idiom five packages each re-rolled before the
+// consolidation.
+func insertHistorical(xs []string, s string) []string {
+	i := sort.SearchStrings(xs, s) // want `sorted-string-set surgery belongs in internal/sortedset`
+	if i < len(xs) && xs[i] == s {
+		return xs
+	}
+	xs = append(xs, "")
+	copy(xs[i+1:], xs[i:])
+	xs[i] = s
+	return xs
+}
+
+// plainSortIsFine: sorting itself is not the idiom being pinned.
+func plainSortIsFine(xs []string) {
+	sort.Strings(xs)
+}
+
+// generalSearchIsFine: sort.Search over non-string domains has no
+// sortedset equivalent.
+func generalSearchIsFine(xs []int, x int) int {
+	return sort.Search(len(xs), func(i int) bool { return xs[i] >= x })
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FrameworkName is the pseudo-analyzer name under which the framework
+// itself reports malformed suppression directives. Those diagnostics are
+// not themselves suppressible.
+const FrameworkName = "smrlint"
+
+// The suppression directive, placed on the flagged line or on its own
+// line directly above:
+//
+//	//smrlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory — an escape hatch without a written
+// justification is itself a finding — and every listed analyzer name must
+// exist, so stale directives surface instead of rotting.
+const directivePrefix = "smrlint:ignore"
+
+type directive struct {
+	names  map[string]bool
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// Suppressions indexes every //smrlint:ignore directive of a package.
+type Suppressions struct {
+	fset *token.FileSet
+	// byLine keys on (filename, line): a directive suppresses matching
+	// findings on its own line and on the line below it.
+	byLine    map[string]map[int][]*directive
+	malformed []Diagnostic
+}
+
+// CollectSuppressions scans the package's comments. known holds the valid
+// analyzer names; directives naming anything else are reported as
+// malformed.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) *Suppressions {
+	s := &Suppressions{fset: fset, byLine: make(map[string]map[int][]*directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				s.add(c.Pos(), rest, known)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Suppressions) add(pos token.Pos, rest string, known map[string]bool) {
+	// A nested "//" ends the directive: trailing commentary (including
+	// the golden tests' "// want" expectations) is not part of the reason.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		s.malformed = append(s.malformed, Diagnostic{Pos: pos,
+			Message: "smrlint:ignore needs an analyzer name and a reason: //smrlint:ignore <analyzer> <reason>"})
+		return
+	}
+	d := &directive{names: make(map[string]bool), pos: pos}
+	for _, name := range strings.Split(fields[0], ",") {
+		if !known[name] {
+			s.malformed = append(s.malformed, Diagnostic{Pos: pos,
+				Message: "smrlint:ignore names unknown analyzer " + strconvQuote(name)})
+			return
+		}
+		d.names[name] = true
+	}
+	d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	if d.reason == "" {
+		s.malformed = append(s.malformed, Diagnostic{Pos: pos,
+			Message: "smrlint:ignore suppressing " + fields[0] + " needs a written reason"})
+		return
+	}
+	p := s.fset.Position(pos)
+	lines := s.byLine[p.Filename]
+	if lines == nil {
+		lines = make(map[int][]*directive)
+		s.byLine[p.Filename] = lines
+	}
+	lines[p.Line] = append(lines[p.Line], d)
+}
+
+// Suppressed reports whether a finding by analyzer at pos is covered by a
+// directive on the same line or the line above, and marks the directive
+// used.
+func (s *Suppressions) Suppressed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	lines := s.byLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range lines[line] {
+			if d.names[analyzer] {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Malformed returns the framework diagnostics for broken directives plus
+// one for every directive that suppressed nothing this run (a stale
+// escape hatch is a lie about the code and must be deleted).
+func (s *Suppressions) Malformed() []Diagnostic {
+	out := append([]Diagnostic(nil), s.malformed...)
+	for _, lines := range s.byLine {
+		for _, ds := range lines {
+			for _, d := range ds {
+				if !d.used {
+					out = append(out, Diagnostic{Pos: d.pos,
+						Message: "smrlint:ignore directive suppresses nothing; delete it"})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// strconvQuote is strconv.Quote without dragging the import into the hot
+// path signature; kept tiny and local.
+func strconvQuote(s string) string {
+	return "\"" + s + "\""
+}

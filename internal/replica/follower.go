@@ -60,6 +60,10 @@ type Config struct {
 	// (<= 0 selects the default), keeping the shard epoch at zero just
 	// like a fresh primary started with the same count.
 	Shards int
+	// Clock supplies wall time for lag accounting (ReplicaLag,
+	// ReplicaStats). Defaults to time.Now; tests inject a fake clock so
+	// lag assertions are deterministic.
+	Clock func() time.Time
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -81,6 +85,10 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Clock == nil {
+		//smrlint:ignore replayclock the one place real wall time enters the package; everything downstream reads cfg.Clock
+		cfg.Clock = time.Now
 	}
 	return cfg
 }
@@ -119,7 +127,7 @@ func Open(ctx context.Context, cfg Config) (*Follower, error) {
 	if c.Dir == "" {
 		return nil, errors.New("replica: no data directory")
 	}
-	f := &Follower{cfg: c, startedAt: time.Now()}
+	f := &Follower{cfg: c, startedAt: c.Clock()}
 	f.state.Store("bootstrapping")
 	bo := c.Backoff
 	bootstrappedEmpty := false
@@ -247,7 +255,7 @@ func (f *Follower) Run(ctx context.Context) error {
 func (f *Follower) noteHead(head uint64) {
 	f.head.Store(head)
 	if f.sys.Repo.LastSeq() >= head {
-		f.syncedAt.Store(time.Now().UnixNano())
+		f.syncedAt.Store(f.cfg.Clock().UnixNano())
 		f.everSynced.Store(true)
 	}
 }
@@ -263,10 +271,11 @@ func (f *Follower) ReplicaLag() (seqLag uint64, wall time.Duration, synced bool)
 		seqLag = head - applied
 	}
 	synced = f.everSynced.Load()
+	now := f.cfg.Clock()
 	if synced {
-		wall = time.Since(time.Unix(0, f.syncedAt.Load()))
+		wall = now.Sub(time.Unix(0, f.syncedAt.Load()))
 	} else {
-		wall = time.Since(f.startedAt)
+		wall = now.Sub(f.startedAt)
 	}
 	return seqLag, wall, synced
 }

@@ -1,0 +1,78 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	sensormeta "repro"
+)
+
+// TestReplicaLagDeterministicClock pins ReplicaLag's wall-clock accounting
+// to an injected clock: before the follower ever reaches the primary's
+// head the lag counts from startup, afterwards from the last synced
+// fetch. With Config.Clock injected the assertions are exact — no real
+// sleeps, no tolerance windows.
+func TestReplicaLagDeterministicClock(t *testing.T) {
+	sys, err := sensormeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	now := time.Unix(1_700_000_000, 0)
+	cfg := Config{PrimaryURL: "http://primary", Clock: func() time.Time { return now }}
+	c := cfg.withDefaults()
+	f := &Follower{sys: sys, cfg: c, startedAt: c.Clock()}
+	f.state.Store("streaming")
+
+	// Never synced: the wall lag counts from startup.
+	now = now.Add(3 * time.Second)
+	seqLag, wall, synced := f.ReplicaLag()
+	if synced {
+		t.Fatal("follower reports synced before ever reaching the head")
+	}
+	if seqLag != 0 {
+		t.Fatalf("seqLag = %d, want 0", seqLag)
+	}
+	if wall != 3*time.Second {
+		t.Fatalf("wall lag since startup = %v, want exactly 3s", wall)
+	}
+
+	// Reaching the head stamps syncedAt; the wall lag now counts from it.
+	f.noteHead(sys.Repo.LastSeq())
+	now = now.Add(1500 * time.Millisecond)
+	seqLag, wall, synced = f.ReplicaLag()
+	if !synced {
+		t.Fatal("follower not synced after reaching the head")
+	}
+	if seqLag != 0 {
+		t.Fatalf("seqLag at head = %d, want 0", seqLag)
+	}
+	if wall != 1500*time.Millisecond {
+		t.Fatalf("wall lag since sync = %v, want exactly 1.5s", wall)
+	}
+
+	// A primary head advance opens a sequence gap; the wall lag keeps
+	// counting from the last time we were provably caught up.
+	f.head.Store(sys.Repo.LastSeq() + 7)
+	now = now.Add(time.Second)
+	seqLag, wall, synced = f.ReplicaLag()
+	if seqLag != 7 {
+		t.Fatalf("seqLag behind advanced head = %d, want 7", seqLag)
+	}
+	if wall != 2500*time.Millisecond {
+		t.Fatalf("wall lag = %v, want exactly 2.5s", wall)
+	}
+	if !synced {
+		t.Fatal("synced flag must stay true once the head was reached")
+	}
+
+	// ReplicaStats surfaces the same numbers.
+	stats, ok := f.ReplicaStats().(Stats)
+	if !ok {
+		t.Fatalf("ReplicaStats returned %T, want Stats", f.ReplicaStats())
+	}
+	if stats.SeqLag != 7 || stats.WallLagMs != 2500 || !stats.Synced {
+		t.Fatalf("stats = %+v, want seqLag 7, wallLagMs 2500, synced", stats)
+	}
+}

@@ -7,6 +7,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -141,9 +142,9 @@ type debouncer struct {
 	mu       sync.Mutex
 	d        time.Duration
 	f        func()
-	timer    *time.Timer
-	deadline time.Time // latest time the pending burst may fire
-	stopped  bool
+	timer    *time.Timer // guarded by mu
+	deadline time.Time   // guarded by mu; latest time the pending burst may fire
+	stopped  bool        // guarded by mu
 }
 
 // debounceMaxWaitFactor bounds how long back-to-back triggers can keep
@@ -209,12 +210,18 @@ func normalizeProperty(p string) string {
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	// Encode to a buffer first: an encoding failure discovered after the
+	// first byte hit the wire could only produce a torn body, so the
+	// status and headers are committed only once the payload is whole.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
 func writeSVG(w http.ResponseWriter, svg string) {
@@ -222,8 +229,31 @@ func writeSVG(w http.ResponseWriter, svg string) {
 	fmt.Fprint(w, svg)
 }
 
+// httpError reports a legacy-route failure in the same structured envelope
+// as /api/v1 (docs/API.md): {"error":{"code":...,"message":...}}, with the
+// code derived from the HTTP status. Before PR-8 this wrapped http.Error's
+// text/plain body, leaving clients two error grammars to parse; now every
+// surface speaks one.
 func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	http.Error(w, fmt.Sprintf(format, args...), code)
+	writeV1Error(w, code, errorCode(code), "", fmt.Sprintf(format, args...))
+}
+
+// errorCode maps an HTTP status onto the envelope's machine-readable code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return fmt.Sprintf("http_%d", status)
+	}
 }
 
 // parseQuery builds a search.Query from URL parameters:

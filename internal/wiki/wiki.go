@@ -105,13 +105,14 @@ func (p *Page) PropertyValues(property string) []string {
 // Store is the page repository. It is safe for concurrent use.
 type Store struct {
 	mu    sync.RWMutex
-	pages map[string]*Page // key: canonical title
-	clock func() time.Time
-	revID int
+	pages map[string]*Page // guarded by mu; key: canonical title
+	clock func() time.Time // guarded by mu
+	revID int              // guarded by mu
 }
 
 // NewStore returns an empty page store.
 func NewStore() *Store {
+	//smrlint:ignore replayclock the injection point: real wall time enters the module here, once; SetClock swaps it out for replay and tests
 	return &Store{pages: make(map[string]*Page), clock: time.Now}
 }
 

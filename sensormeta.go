@@ -104,8 +104,9 @@ type System struct {
 	ptrMu sync.RWMutex
 	// rankingDirty records that a consumed journal delta changed the link
 	// graph but the solve failed, so the next Refresh must not skip it.
+	// guarded by refreshMu.
 	rankingDirty bool
-	// stats accumulates refresh observability counters (also guarded by
+	// stats accumulates refresh observability counters (guarded by
 	// refreshMu), surfaced by Stats and the server's /api/admin/stats.
 	stats refreshCounters
 }
@@ -295,7 +296,7 @@ func (s *System) Refresh() error {
 		} else {
 			s.stats.PageRankCold++
 		}
-		s.installRanking(rk, false)
+		s.installRankingLocked(rk, false)
 	} else {
 		// PageRank stands; annotation edits may still have moved the
 		// recommender's property weights — applied as a journal delta.
@@ -350,7 +351,7 @@ func (s *System) RefreshFull() error {
 	s.stats.PageRankCold++
 	// From-scratch consumers, not delta application: this is the baseline
 	// path the incremental benchmarks compare against.
-	s.installRanking(rk, true)
+	s.installRankingLocked(rk, true)
 	if s.Tags != nil {
 		if err := s.Tags.Rebuild(); err != nil {
 			return fmt.Errorf("sensormeta: refresh: %w", err)
@@ -398,14 +399,14 @@ func (s *System) solveRanking() (rk *ranking.Ranker, warm bool, err error) {
 	return rk, false, err
 }
 
-// installRanking pushes a freshly computed ranker into every consumer.
+// installRankingLocked pushes a freshly computed ranker into every consumer.
 // With rebuildRecommender false (the incremental path) the recommender's
 // per-page property sets are brought up to date with the journal and
 // rescored against the new PageRank vector — no corpus rescan; with true
 // (RefreshFull, first refresh) it is rebuilt from scratch. The new
 // pointers are swapped in under ptrMu so concurrent readers never observe
 // a half-installed state. Caller holds refreshMu.
-func (s *System) installRanking(rk *ranking.Ranker, rebuildRecommender bool) {
+func (s *System) installRankingLocked(rk *ranking.Ranker, rebuildRecommender bool) {
 	s.rankingDirty = false
 	rec := s.Recommender
 	if rebuildRecommender || rec == nil {
