@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/geo"
@@ -26,8 +28,10 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/relational"
 	"repro/internal/search"
+	"repro/internal/smr"
 	"repro/internal/tagging"
 	"repro/internal/viz"
+	"repro/internal/wal"
 	"repro/internal/wiki"
 	"repro/internal/workload"
 )
@@ -951,4 +955,126 @@ func BenchmarkTopKSearch(b *testing.B) {
 			ix.SearchTopK(kw, search.ModeAny, 20)
 		}
 	})
+}
+
+// benchDurableSystem opens a throwaway durable system in a fresh tempdir.
+// Write-path benchmarks mutate the repository, so they never touch the
+// memoized benchSystemShared corpora.
+func benchDurableSystem(b *testing.B, opts smr.DurableOptions) *System {
+	b.Helper()
+	sys, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	return sys
+}
+
+// benchWALMetrics reports the write path's fsync economics for a window of
+// n acknowledged writes.
+func benchWALMetrics(b *testing.B, before, after smr.WALStats, n int) {
+	b.Helper()
+	if n <= 0 {
+		return
+	}
+	b.ReportMetric(float64(after.Syncs-before.Syncs)/float64(n), "fsyncs/op")
+	if gc := after.GroupCommits - before.GroupCommits; gc > 0 {
+		b.ReportMetric(float64(after.GroupedAppends-before.GroupedAppends)/float64(gc), "recs/commit")
+	}
+}
+
+// BenchmarkPutPageDurable measures single-page writes against a durable
+// repository: fsync policy × concurrent-writer count, with the group-commit
+// pipeline disabled as the ablation baseline (the pre-PR write path, one
+// fsync per acknowledged write). The throughput gap between writers=4 and
+// its nogroup twin is the group-commit win at equal durability semantics.
+func BenchmarkPutPageDurable(b *testing.B) {
+	cases := []struct {
+		name    string
+		opts    smr.DurableOptions
+		writers int
+	}{
+		{"fsync=always/writers=1", smr.DurableOptions{Fsync: wal.SyncAlways}, 1},
+		{"fsync=always/writers=4", smr.DurableOptions{Fsync: wal.SyncAlways}, 4},
+		{"fsync=always/writers=4/nogroup", smr.DurableOptions{Fsync: wal.SyncAlways, DisableGroupCommit: true}, 4},
+		{"fsync=none/writers=1", smr.DurableOptions{Fsync: wal.SyncNever}, 1},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sys := benchDurableSystem(b, c.opts)
+			var next atomic.Uint64
+			before := sys.Stats().WAL
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < c.writers; w++ {
+				share := b.N / c.writers
+				if w < b.N%c.writers {
+					share++
+				}
+				wg.Add(1)
+				go func(share int) {
+					defer wg.Done()
+					for i := 0; i < share; i++ {
+						title := fmt.Sprintf("Sensor:W-%09d", next.Add(1))
+						text := "[[measures::temperature]]\n[[partOf::Deployment:D7]]\n[[samplingRate::30]]\n"
+						if _, err := sys.PutPage(title, "bench", text, ""); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(share)
+			}
+			wg.Wait()
+			b.StopTimer()
+			benchWALMetrics(b, before, sys.Stats().WAL, b.N)
+		})
+	}
+}
+
+// BenchmarkBatchIngest measures bulk ingest row throughput: row-at-a-time
+// PutPage against PutPages batches (the pages:batch / bulkload path), under
+// both fsync policies. One benchmark op is one ingested row; at
+// fsync=always the batch path amortizes a single group-committed fsync
+// over the whole batch, which is where the ≥10× ingest win comes from.
+func BenchmarkBatchIngest(b *testing.B) {
+	cases := []struct {
+		name  string
+		opts  smr.DurableOptions
+		batch int
+	}{
+		{"fsync=always/rows=1", smr.DurableOptions{Fsync: wal.SyncAlways}, 1},
+		{"fsync=always/rows=64", smr.DurableOptions{Fsync: wal.SyncAlways}, 64},
+		{"fsync=always/rows=256", smr.DurableOptions{Fsync: wal.SyncAlways}, 256},
+		{"fsync=none/rows=256", smr.DurableOptions{Fsync: wal.SyncNever}, 256},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sys := benchDurableSystem(b, c.opts)
+			pending := make([]smr.PageWrite, 0, c.batch)
+			row := 0
+			before := sys.Stats().WAL
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				row++
+				pending = append(pending, smr.PageWrite{
+					Title:  fmt.Sprintf("Sensor:I-%09d", row),
+					Author: "bench",
+					Text:   "[[measures::humidity]]\n[[partOf::Deployment:D3]]\n",
+				})
+				if len(pending) == c.batch {
+					if _, err := sys.PutPages(pending); err != nil {
+						b.Fatal(err)
+					}
+					pending = pending[:0]
+				}
+			}
+			if len(pending) > 0 {
+				if _, err := sys.PutPages(pending); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			benchWALMetrics(b, before, sys.Stats().WAL, b.N)
+		})
+	}
 }

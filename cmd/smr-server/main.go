@@ -33,6 +33,10 @@ func main() {
 		"durable data directory: restore snapshot + WAL tail at startup, journal every write (empty disables persistence)")
 	fsync := flag.String("fsync", "always",
 		"WAL fsync policy with -data-dir: always (sync every write) or none (leave flushing to the OS)")
+	autoSnapBytes := flag.Int64("auto-snapshot-bytes", 64<<20,
+		"with -data-dir: snapshot + compact in the background once this many WAL bytes accumulate since the last snapshot (0 disables)")
+	autoSnapAge := flag.Duration("auto-snapshot-age", 0,
+		"with -data-dir: additionally snapshot in the background when the newest snapshot is older than this and the log has grown (0 disables)")
 	autoRefresh := flag.Duration("auto-refresh", 0,
 		"refresh derived structures automatically after writes, debounced by this duration (0 disables)")
 	shards := flag.Int("shards", 0,
@@ -74,9 +78,13 @@ func main() {
 		f, err := replica.Open(ctx, replica.Config{
 			PrimaryURL: *follow,
 			Dir:        *dataDir,
-			Durable:    smr.DurableOptions{Fsync: policy},
-			Shards:     *shards,
-			Logf:       log.Printf,
+			Durable: smr.DurableOptions{
+				Fsync:             policy,
+				AutoSnapshotBytes: *autoSnapBytes,
+				AutoSnapshotAge:   *autoSnapAge,
+			},
+			Shards: *shards,
+			Logf:   log.Printf,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -98,7 +106,11 @@ func main() {
 		}
 		start := time.Now()
 		var err error
-		sys, err = sensormeta.OpenShards(*dataDir, smr.DurableOptions{Fsync: policy}, *shards)
+		sys, err = sensormeta.OpenShards(*dataDir, smr.DurableOptions{
+			Fsync:             policy,
+			AutoSnapshotBytes: *autoSnapBytes,
+			AutoSnapshotAge:   *autoSnapAge,
+		}, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}

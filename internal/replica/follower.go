@@ -319,9 +319,13 @@ type walBatch struct {
 	Records []walRecord `json:"records"`
 }
 
+// walRecord's Data is the WAL payload verbatim — binary since record
+// format v2, so it rides the JSON feed as a base64 string and is decoded
+// downstream by smr.DecodeWALOp (which also accepts v1 JSON payloads from
+// an older primary).
 type walRecord struct {
-	Seq  uint64          `json:"seq"`
-	Data json.RawMessage `json:"data"`
+	Seq  uint64 `json:"seq"`
+	Data []byte `json:"data"`
 }
 
 // fetch pulls one batch of records after fromSeq, long-polling for wait

@@ -44,9 +44,10 @@ const (
 // writeRoutes are the endpoints that mutate the repository; a read-only
 // follower rejects them with the structured 403 envelope.
 var writeRoutes = map[string]bool{
-	"/api/pages": true,
-	"/api/tags":  true,
-	"/bulkload":  true,
+	"/api/pages":          true,
+	"/api/tags":           true,
+	"/api/v1/pages:batch": true,
+	"/bulkload":           true,
 }
 
 // gateReplica enforces follower semantics before routing: writes are
@@ -95,10 +96,12 @@ func (s *Server) gateReplica(w http.ResponseWriter, r *http.Request) bool {
 }
 
 // walFeedRecord and walFeedResponse are the wire shape of the wal stream.
-// Data embeds the WAL payload verbatim (the records are JSON walOps).
+// Data carries the WAL payload verbatim; since format v2 the payloads are
+// binary (smr.DecodeWALOp decodes either version), so they ship as a JSON
+// base64 string rather than embedded JSON.
 type walFeedRecord struct {
-	Seq  uint64          `json:"seq"`
-	Data json.RawMessage `json:"data"`
+	Seq  uint64 `json:"seq"`
+	Data []byte `json:"data"`
 }
 
 type walFeedResponse struct {
@@ -146,6 +149,10 @@ func (s *Server) handleAdminWAL(w http.ResponseWriter, r *http.Request) {
 		}
 		wait = min(d, walMaxWait)
 	}
+	// Lease the requested position against background compaction: an
+	// auto-snapshot must not delete the records this follower is about to
+	// read (explicit operator snapshots still compact fully).
+	s.sys.Repo.NoteWALConsumer(from + 1)
 	if wait > 0 {
 		s.sys.Repo.WALWait(from, wait, r.Context().Done())
 		if r.Context().Err() != nil {

@@ -46,8 +46,8 @@ type feedResponse struct {
 	From    uint64 `json:"from"`
 	LastSeq uint64 `json:"lastSeq"`
 	Records []struct {
-		Seq  uint64          `json:"seq"`
-		Data json.RawMessage `json:"data"`
+		Seq  uint64 `json:"seq"`
+		Data []byte `json:"data"`
 	} `json:"records"`
 }
 
@@ -61,11 +61,8 @@ func TestAdminWALFeed(t *testing.T) {
 	if feed.Records[0].Seq != 1 {
 		t.Fatalf("first record seq %d", feed.Records[0].Seq)
 	}
-	var op struct {
-		Op    string `json:"op"`
-		Title string `json:"title"`
-	}
-	if err := json.Unmarshal(feed.Records[0].Data, &op); err != nil {
+	op, err := smr.DecodeWALOp(feed.Records[0].Data)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if op.Op != "put" || op.Title != "Sensor:R-1" {
@@ -199,7 +196,7 @@ func TestAdminSnapshotLatest(t *testing.T) {
 
 func TestReadOnlyModeRejectsWrites(t *testing.T) {
 	_, ts := newDurableTestServer(t, Options{ReadOnly: true, Primary: "http://primary:8080"})
-	for _, route := range []string{"/api/pages", "/api/tags", "/bulkload"} {
+	for _, route := range []string{"/api/pages", "/api/tags", "/api/v1/pages:batch", "/bulkload"} {
 		resp, err := http.Post(ts.URL+route, "application/json", strings.NewReader("{}"))
 		if err != nil {
 			t.Fatal(err)

@@ -102,6 +102,7 @@ func NewWithOptions(sys *sensormeta.System, opts Options) *Server {
 	handle("/api/combined", s.handleCombined)
 	handle("/api/v1/query", s.handleV1Query)
 	handle("/api/v1/combined", s.handleV1Combined)
+	handle("/api/v1/pages:batch", s.handleV1PagesBatch)
 	handle("/bulkload", s.handleBulkLoad)
 	handle("/viz/bar.svg", s.handleBarChart)
 	handle("/viz/pie.svg", s.handlePieChart)

@@ -3,11 +3,13 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/query"
 	"repro/internal/search"
+	"repro/internal/smr"
 )
 
 // The /api/v1 surface: versioned JSON endpoints speaking the compositional
@@ -231,6 +233,62 @@ func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(facets) > 0 {
 		out.Facets = res.Facets
+	}
+	writeJSON(w, out)
+}
+
+// handleV1PagesBatch serves POST /api/v1/pages:batch: a slice of page
+// writes applied as one repository batch — one mutation-lock hold, one
+// group-committed WAL fsync — the bulk-ingest fast path for high-rate
+// sensor registration streams. Rows are applied in order; on a row error
+// the earlier rows stay applied (and durable) and the envelope's field
+// names the failing row index.
+func (s *Server) handleV1PagesBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeV1Error(w, http.StatusMethodNotAllowed, "method_not_allowed", "", "POST required")
+		return
+	}
+	var in struct {
+		// Author is the default for rows that do not set their own.
+		Author string          `json:"author"`
+		Pages  []smr.PageWrite `json:"pages"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		writeV1Error(w, http.StatusBadRequest, "bad_request", "", "request body: "+err.Error())
+		return
+	}
+	if len(in.Pages) == 0 {
+		writeV1Error(w, http.StatusBadRequest, "bad_request", "pages", "pages must hold at least one write")
+		return
+	}
+	writes := make([]smr.PageWrite, len(in.Pages))
+	for i, p := range in.Pages {
+		if p.Author == "" {
+			p.Author = in.Author
+		}
+		writes[i] = p
+	}
+	pages, err := s.sys.PutPages(writes)
+	if len(pages) > 0 {
+		s.wrote()
+	}
+	if err != nil {
+		writeV1Error(w, http.StatusBadRequest, "batch_failed",
+			fmt.Sprintf("pages[%d]", len(pages)), err.Error())
+		return
+	}
+	type batchPage struct {
+		Title     string `json:"title"`
+		Revisions int    `json:"revisions"`
+	}
+	out := struct {
+		Count int         `json:"count"`
+		Pages []batchPage `json:"pages"`
+	}{Count: len(pages), Pages: make([]batchPage, 0, len(pages))}
+	for _, p := range pages {
+		out.Pages = append(out.Pages, batchPage{Title: p.Title.String(), Revisions: len(p.Revisions)})
 	}
 	writeJSON(w, out)
 }

@@ -1,7 +1,6 @@
 package smr
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -97,8 +96,8 @@ func (r *Repository) ApplyReplicated(rec wal.Record) error {
 	if rec.Seq != last+1 {
 		return fmt.Errorf("smr: replication gap: have seq %d, next record is %d", last, rec.Seq)
 	}
-	var op walOp
-	if err := json.Unmarshal(rec.Data, &op); err != nil {
+	op, err := DecodeWALOp(rec.Data)
+	if err != nil {
 		return fmt.Errorf("smr: decoding replicated record %d: %w", rec.Seq, err)
 	}
 	// Stamp the mutation with the primary's timestamp. The swap is visible

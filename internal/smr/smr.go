@@ -92,6 +92,30 @@ type Repository struct {
 	snapMu        sync.Mutex    // serializes Snapshot (save + compact)
 	snapshotSeq   atomic.Uint64 // seq embedded in the newest on-disk snapshot
 	walAppendErrs atomic.Uint64 // WAL appends that failed: live state diverges from the log
+
+	// Per-format record counters: records appended by this process plus
+	// records replayed at Open, per payload format (codec.go).
+	walV1Records atomic.Uint64
+	walV1Bytes   atomic.Uint64
+	walV2Records atomic.Uint64
+	walV2Bytes   atomic.Uint64
+
+	// Auto-snapshot policy state (durable.go). autoSnapBytes, autoSnapAge
+	// and autoSnapStop are set once by Open before any mutation can run.
+	autoSnapBytes    int64
+	autoSnapAge      time.Duration
+	autoSnapStop     chan struct{}
+	autoSnapWG       sync.WaitGroup
+	autoSnapMu       sync.Mutex // orders autoSnapWG.Add against Close's Wait
+	closing          atomic.Bool
+	snapInFlight     atomic.Bool // one background snapshot at a time
+	autoSnapshots    atomic.Uint64
+	lastSnapAt       atomic.Int64 // UnixNano of the newest snapshot (or Open)
+	lastSnapWALBytes atomic.Int64 // wal.Stats().Bytes right after that snapshot
+
+	// Replication-consumer compaction leases (durable.go).
+	consumerMu sync.Mutex
+	consumers  map[uint64]time.Time // guarded by consumerMu; next-needed seq → lease expiry
 }
 
 // New creates an empty repository with its relational schema in place.
@@ -199,9 +223,27 @@ func linkFingerprint(page *wiki.Page) []string {
 // delete path). Such failures are counted in WALStats.AppendErrs, and an
 // unrecoverable partial write fail-stops the log so divergence cannot
 // accumulate silently.
+//
+// The WAL fsync (the expensive part under -fsync always) happens after mu
+// is released, so concurrent writers stage under the lock and then share
+// one group commit — see wal.Log's commit pipeline.
 func (r *Repository) PutPage(title, author, text, comment string) (*wiki.Page, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	page, commit, err := r.putPageLocked(title, author, text, comment)
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.commitStaged(commit); err != nil {
+		return nil, err
+	}
+	return page, nil
+}
+
+// putPageLocked applies one page write to all projections and stages its
+// WAL record. Caller holds mu and must pass the returned commit to
+// commitStaged after releasing it.
+func (r *Repository) putPageLocked(title, author, text, comment string) (*wiki.Page, func() error, error) {
 	// Snapshot the previous link structure before Put installs the new
 	// revision. Put is copy-on-write — the old *Page stays an immutable
 	// snapshot — so the fingerprint reads a stable view either way.
@@ -212,25 +254,72 @@ func (r *Repository) PutPage(title, author, text, comment string) (*wiki.Page, e
 	}
 	page, err := r.Wiki.Put(title, author, text, comment)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	canonical := page.Title.String()
 	if err := r.reprojectRelational(page, author); err != nil {
-		return nil, fmt.Errorf("smr: relational projection of %s: %w", canonical, err)
+		return nil, nil, fmt.Errorf("smr: relational projection of %s: %w", canonical, err)
 	}
 	r.reprojectRDF(page)
 	// A brand-new page always changes the graph (new node); an update only
 	// does when its outgoing edges differ.
 	linksChanged := !existed || !slices.Equal(oldLinks, linkFingerprint(page))
 	seq := r.journal.Append(ChangeUpsert, canonical, linksChanged)
-	if err := r.logMutation(seq, walOp{
+	commit, err := r.stageMutation(seq, WALOp{
 		Op: walOpPut, Title: canonical, Author: author, Text: text,
 		Comment: comment, At: page.Revisions[len(page.Revisions)-1].Timestamp,
-	}); err != nil {
-		r.walAppendErrs.Add(1)
-		return nil, err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return page, nil
+	return page, commit, nil
+}
+
+// PageWrite is one row of a PutPages batch.
+type PageWrite struct {
+	Title   string `json:"title"`
+	Author  string `json:"author,omitempty"`
+	Text    string `json:"text"`
+	Comment string `json:"comment,omitempty"`
+}
+
+// PutPages applies a batch of page writes under a single mutation-lock
+// hold and acknowledges them with a single WAL commit — under -fsync
+// always a batch costs one fsync instead of one per row. Rows are applied
+// in order; on a row error the earlier rows stay applied (and their staged
+// records are still committed), the returned slice holds exactly the pages
+// applied, and the error names the failing row — callers retry or report
+// from that index. The durability contract per row matches PutPage.
+func (r *Repository) PutPages(writes []PageWrite) ([]*wiki.Page, error) {
+	if len(writes) == 0 {
+		return nil, nil
+	}
+	pages := make([]*wiki.Page, 0, len(writes))
+	var commit func() error
+	r.mu.Lock()
+	for _, w := range writes {
+		page, c, err := r.putPageLocked(w.Title, w.Author, w.Text, w.Comment)
+		if err != nil {
+			r.mu.Unlock()
+			if commit != nil {
+				// Earlier rows were acked into the batch; honour their
+				// durability before reporting the failure.
+				r.commitStaged(commit)
+			}
+			return pages, fmt.Errorf("smr: batch row %d (%s): %w", len(pages), w.Title, err)
+		}
+		if c != nil {
+			// The commit for the highest staged seq covers every earlier
+			// row in the batch.
+			commit = c
+		}
+		pages = append(pages, page)
+	}
+	r.mu.Unlock()
+	if err := r.commitStaged(commit); err != nil {
+		return pages, err
+	}
+	return pages, nil
 }
 
 func sqlQuote(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
@@ -343,9 +432,9 @@ func (r *Repository) reprojectRDF(page *wiki.Page) {
 // DeletePage removes a page from all three projections.
 func (r *Repository) DeletePage(title string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	canonical := wiki.ParseTitle(title).String()
 	if !r.Wiki.Delete(canonical) {
+		r.mu.Unlock()
 		return false
 	}
 	qt := sqlQuote(canonical)
@@ -359,10 +448,14 @@ func (r *Repository) DeletePage(title string) bool {
 	}
 	// Removing a node always changes the link graph.
 	seq := r.journal.Append(ChangeDelete, canonical, true)
-	// A failed WAL append cannot be reported through the boolean return;
-	// the page is gone in memory either way, so surface it in the stats
-	// rather than pretending the delete did not happen.
-	r.logMutationLogged(seq, walOp{Op: walOpDelete, Title: canonical, At: r.Wiki.Now()})
+	// A failed WAL append or commit cannot be reported through the boolean
+	// return; the page is gone in memory either way, so it is surfaced in
+	// WALStats.AppendErrs rather than pretending the delete did not happen.
+	commit, err := r.stageMutation(seq, WALOp{Op: walOpDelete, Title: canonical, At: r.Wiki.Now()})
+	r.mu.Unlock()
+	if err == nil {
+		r.commitStaged(commit)
+	}
 	return true
 }
 
@@ -436,16 +529,23 @@ func (r *Repository) PropertyValues(property string) ([]string, error) {
 // a WAL append failure is returned as an error with the tag already live.
 func (r *Repository) AddTag(page, tag, author string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.addTagLocked(page, tag, author, r.Wiki.Now())
+	commit, err := r.addTagLocked(page, tag, author, r.Wiki.Now())
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Same durability contract as PutPage: on error the tag is live but
+	// was never made durable; the error means "not persisted".
+	return r.commitStaged(commit)
 }
 
 // addTagLocked is AddTag with an explicit timestamp — the restore paths
 // (snapshot tag replay, WAL tail replay) pass the original creation time
-// instead of the live clock. Caller holds mu.
-func (r *Repository) addTagLocked(page, tag, author string, created time.Time) error {
+// instead of the live clock. Caller holds mu and must pass the returned
+// commit to commitStaged after releasing it.
+func (r *Repository) addTagLocked(page, tag, author string, created time.Time) (func() error, error) {
 	if _, ok := r.Wiki.Get(page); !ok {
-		return fmt.Errorf("smr: tagging unknown page %q", page)
+		return nil, fmt.Errorf("smr: tagging unknown page %q", page)
 	}
 	canonical := wiki.ParseTitle(page).String()
 	normalized := strings.ToLower(strings.TrimSpace(tag))
@@ -454,18 +554,12 @@ func (r *Repository) addTagLocked(page, tag, author string, created time.Time) e
 		sqlQuote(canonical), sqlQuote(normalized), sqlQuote(author),
 		sqlQuote(created.UTC().Format(time.RFC3339Nano))))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	seq := r.journal.AppendTag(canonical, normalized)
-	if err := r.logMutation(seq, walOp{
+	return r.stageMutation(seq, WALOp{
 		Op: walOpTag, Title: canonical, Tag: normalized, Author: author, At: created,
-	}); err != nil {
-		// Same durability contract as PutPage: the tag is live but was
-		// never made durable; the error means "not persisted".
-		r.walAppendErrs.Add(1)
-		return err
-	}
-	return nil
+	})
 }
 
 // TagCounts returns tag -> frequency over all pages. Values of metadata

@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestGroupCommitSharesFsync stages several records before any commit is
+// called; the first commit becomes the flush leader and its single fsync
+// must cover every staged record, so the remaining commits return without
+// syncing again.
+func TestGroupCommitSharesFsync(t *testing.T) {
+	l, _ := openCollect(t, t.TempDir(), Options{Sync: SyncAlways})
+	defer l.Close()
+
+	const n = 10
+	commits := make([]func() error, n)
+	for i := 0; i < n; i++ {
+		c, err := l.AppendAsync(uint64(i+1), []byte(fmt.Sprintf("staged-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		commits[i] = c
+	}
+	before := l.Stats()
+	if before.Syncs != 0 {
+		t.Fatalf("staging alone synced %d times", before.Syncs)
+	}
+	for i, c := range commits {
+		if err := c(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Syncs != 1 {
+		t.Fatalf("%d staged records cost %d fsyncs, want 1", n, st.Syncs)
+	}
+	if st.GroupCommits != 1 || st.GroupedAppends != n {
+		t.Fatalf("group counters %d/%d, want 1/%d", st.GroupCommits, st.GroupedAppends, n)
+	}
+}
+
+func TestAppendBatchOneCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{Sync: SyncAlways})
+
+	recs := make([]Record, 5)
+	for i := range recs {
+		recs[i] = Record{Seq: uint64(i + 1), Data: []byte(fmt.Sprintf("batch-%d", i))}
+	}
+	commit, err := l.AppendBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Syncs != 1 || st.LastSeq != 5 {
+		t.Fatalf("batch stats %+v, want 1 sync at seq 5", st)
+	}
+
+	// Empty batch: trivial commit, no records, no sync.
+	commit, err = l.AppendBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-monotonic batch aborts at the failing record; the staged prefix
+	// survives.
+	if _, err := l.AppendBatch([]Record{{Seq: 6, Data: []byte("ok")}, {Seq: 6, Data: []byte("dup")}}); err == nil {
+		t.Fatal("non-monotonic batch accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := openCollect(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6 (batch + aborted batch's staged prefix)", len(got))
+	}
+	for i, rec := range got[:5] {
+		if rec.Seq != recs[i].Seq || !bytes.Equal(rec.Data, recs[i].Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, recs[i])
+		}
+	}
+}
+
+// TestDisableGroupCommitSyncsInline is the ablation baseline: with group
+// commit off, every staged record under SyncAlways costs its own fsync
+// before the commit function is even constructed.
+func TestDisableGroupCommitSyncsInline(t *testing.T) {
+	l, _ := openCollect(t, t.TempDir(), Options{Sync: SyncAlways, DisableGroupCommit: true})
+	defer l.Close()
+	const n = 7
+	for i := 1; i <= n; i++ {
+		if err := l.Append(uint64(i), []byte("inline")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Syncs != n {
+		t.Fatalf("ablation baseline synced %d times for %d appends, want one each", st.Syncs, n)
+	}
+	if st.GroupCommits != 0 {
+		t.Fatalf("group commits %d with pipeline disabled", st.GroupCommits)
+	}
+}
+
+// TestGroupCommitConcurrentAppend hammers Append from many goroutines under
+// -race: every record must be durable and replayable, and the shared-fsync
+// pipeline must never sync more than once per append.
+func TestGroupCommitConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{Sync: SyncAlways})
+
+	const writers, perWriter = 8, 25
+	var seqMu sync.Mutex
+	next := uint64(0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				seqMu.Lock()
+				next++
+				seq := next
+				commit, err := l.AppendAsync(seq, []byte(fmt.Sprintf("c-%d", seq)))
+				seqMu.Unlock()
+				if err != nil {
+					t.Errorf("append %d: %v", seq, err)
+					return
+				}
+				if err := commit(); err != nil {
+					t.Errorf("commit %d: %v", seq, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.Stats()
+	total := uint64(writers * perWriter)
+	if st.Appends != total || st.LastSeq != total {
+		t.Fatalf("stats %+v after %d appends", st, total)
+	}
+	if st.Syncs > total {
+		t.Fatalf("%d syncs for %d appends — group commit made things worse", st.Syncs, total)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, dir, Options{})
+	defer l2.Close()
+	if uint64(len(got)) != total {
+		t.Fatalf("replayed %d records, want %d", len(got), total)
+	}
+	for i, rec := range got {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+}

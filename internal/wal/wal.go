@@ -30,6 +30,18 @@
 // offset; anywhere else it is reported as corruption. A record written
 // under SyncAlways is therefore never lost, and a torn record is never
 // surfaced.
+//
+// # Group commit
+//
+// Under SyncAlways an append is two phases: the record's bytes are staged
+// into the active segment under the log mutex (AppendAsync, AppendBatch),
+// then the caller waits — outside any lock — for an fsync that covers its
+// sequence number. The first waiter with no flush in flight becomes the
+// leader and issues one fsync for every record staged so far, so N
+// concurrent writers cost one fsync instead of N. An append is
+// acknowledged only after its covering fsync returned, so the durability
+// contract is unchanged: a record whose Append (or commit) returned nil
+// survives an immediate crash.
 package wal
 
 import (
@@ -86,6 +98,11 @@ type Options struct {
 	SegmentBytes int64
 	// Sync is the fsync policy for appends.
 	Sync SyncPolicy
+	// DisableGroupCommit makes every append under SyncAlways fsync
+	// individually instead of joining the commit pipeline — the
+	// pre-group-commit behaviour, kept as the ablation baseline for the
+	// write-throughput benchmarks.
+	DisableGroupCommit bool
 }
 
 // DefaultSegmentBytes is the rotation threshold when Options leaves it 0.
@@ -124,6 +141,12 @@ type Stats struct {
 	Syncs        uint64 `json:"syncs"`
 	TornDropped  int    `json:"tornDropped"`  // torn tail records discarded at Open
 	SegmentBytes int64  `json:"segmentBytes"` // rotation threshold
+	// Group-commit counters: GroupCommits is the number of shared fsyncs
+	// the commit pipeline issued, GroupedAppends the number of appends
+	// those fsyncs acknowledged. GroupedAppends − GroupCommits is the
+	// number of fsyncs group commit saved over the per-record baseline.
+	GroupCommits   uint64 `json:"groupCommits"`
+	GroupedAppends uint64 `json:"groupedAppends"`
 }
 
 // Log is an open write-ahead log. It is safe for concurrent use, though the
@@ -148,6 +171,16 @@ type Log struct {
 	// watch is closed (and replaced) on every successful append, waking
 	// long-poll readers blocked in WaitFor. Lazily allocated.
 	watch chan struct{}
+
+	// Commit pipeline (SyncAlways): appends stage their bytes under mu and
+	// then wait for a covering fsync outside it, so concurrent writers
+	// share one sync instead of queueing one each.
+	flushedSeq     uint64        // highest seq covered by an fsync; guarded by mu
+	flushing       bool          // a commit leader is fsyncing outside mu; guarded by mu
+	flushWait      chan struct{} // closed+replaced when a flush round ends; guarded by mu
+	unflushed      uint64        // appends staged since the last covering fsync; guarded by mu
+	groupCommits   uint64        // shared fsyncs issued by the pipeline; guarded by mu
+	groupedAppends uint64        // appends acknowledged by those fsyncs; guarded by mu
 }
 
 // ErrCompacted reports a ReadFrom position whose successor records have
@@ -297,10 +330,62 @@ func encodeRecord(seq uint64, data []byte) []byte {
 
 // Append writes one record. seq must be strictly greater than every
 // previously appended or replayed sequence number. Under SyncAlways the
-// record is fsynced before Append returns.
+// record is fsynced (individually or as part of a group commit) before
+// Append returns.
 func (l *Log) Append(seq uint64, data []byte) error {
+	commit, err := l.AppendAsync(seq, data)
+	if err != nil {
+		return err
+	}
+	return commit()
+}
+
+// AppendAsync stages one record: the bytes are written to the active
+// segment before it returns, but under SyncAlways the record is durable
+// only once the returned commit function has returned nil. Callers that
+// hold a coarser lock around AppendAsync should release it before calling
+// commit — that is what lets concurrent writers share one fsync.
+func (l *Log) AppendAsync(seq uint64, data []byte) (commit func() error, err error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if err := l.appendLocked(seq, data); err != nil {
+		l.mu.Unlock()
+		return nil, err
+	}
+	err = l.maybeInlineSyncLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return l.commitWait(seq) }, nil
+}
+
+// AppendBatch stages a slice of records under one lock acquisition —
+// sequence numbers must be strictly increasing across the batch and past
+// the log head. The returned commit function waits for one fsync covering
+// the whole batch. A staging error aborts the batch at the failing record;
+// previously staged records remain in the log.
+func (l *Log) AppendBatch(recs []Record) (commit func() error, err error) {
+	if len(recs) == 0 {
+		return func() error { return nil }, nil
+	}
+	l.mu.Lock()
+	for _, rec := range recs {
+		if err := l.appendLocked(rec.Seq, rec.Data); err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+	}
+	err = l.maybeInlineSyncLocked()
+	last := recs[len(recs)-1].Seq
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return l.commitWait(last) }, nil
+}
+
+// appendLocked stages one record into the active segment. Caller holds mu.
+func (l *Log) appendLocked(seq uint64, data []byte) error {
 	if l.closed {
 		return fmt.Errorf("wal: append to closed log")
 	}
@@ -337,14 +422,104 @@ func (l *Log) Append(seq uint64, data []byte) error {
 	seg.lastSeq = seq
 	l.lastSeq = seq
 	l.appends++
-	if l.opts.Sync == SyncAlways {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: %w", err)
-		}
-		l.syncs++
+	l.unflushed++
+	if l.opts.Sync != SyncAlways {
+		// No covering fsync is coming: feed readers wake on the write.
+		l.wakeLocked()
 	}
+	return nil
+}
+
+// maybeInlineSyncLocked performs the per-record fsync when group commit is
+// disabled, so every staged record is durable before its commit function
+// is even constructed. Caller holds mu.
+func (l *Log) maybeInlineSyncLocked() error {
+	if l.opts.Sync != SyncAlways || !l.opts.DisableGroupCommit {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.syncs++
+	l.flushedSeq = l.lastSeq
+	l.unflushed = 0
 	l.wakeLocked()
 	return nil
+}
+
+// commitWait blocks until an fsync covers seq. The first waiter to find no
+// flush in flight becomes the leader: it captures the current head, syncs
+// the active segment outside mu, and acknowledges every append the sync
+// covered — the group commit. Followers park on the round's channel and
+// re-check; a round that leaves them uncovered makes one of them the next
+// leader. Under SyncNever (or when the record was already inline-synced)
+// it returns immediately.
+func (l *Log) commitWait(seq uint64) error {
+	if l.opts.Sync != SyncAlways {
+		return nil
+	}
+	l.mu.Lock()
+	for {
+		if l.flushedSeq >= seq {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.closed {
+			// Close syncs the active segment and advances flushedSeq, so
+			// landing here means the close-time sync failed or the close
+			// raced the stage: the record cannot be confirmed durable.
+			l.mu.Unlock()
+			return fmt.Errorf("wal: log closed before seq %d was committed", seq)
+		}
+		if !l.flushing {
+			l.flushing = true
+			covered := l.lastSeq
+			staged := l.unflushed
+			l.unflushed = 0
+			f := l.f
+			l.mu.Unlock()
+			err := f.Sync()
+			l.mu.Lock()
+			l.flushing = false
+			if err == nil {
+				l.syncs++
+				l.groupCommits++
+				l.groupedAppends += staged
+				if covered > l.flushedSeq {
+					l.flushedSeq = covered
+				}
+				l.wakeLocked() // feed readers: the records are durable now
+			}
+			l.flushRoundDoneLocked()
+			if err != nil {
+				if l.flushedSeq >= covered {
+					// The handle went stale under us (rotation or Close
+					// synced and closed the segment while we held it);
+					// the records are durable through that path.
+					continue
+				}
+				l.mu.Unlock()
+				return fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		if l.flushWait == nil {
+			l.flushWait = make(chan struct{})
+		}
+		ch := l.flushWait
+		l.mu.Unlock()
+		<-ch
+		l.mu.Lock()
+	}
+}
+
+// flushRoundDoneLocked wakes every commitWait follower parked on the
+// current flush round. Caller holds mu.
+func (l *Log) flushRoundDoneLocked() {
+	if l.flushWait != nil {
+		close(l.flushWait)
+		l.flushWait = nil
+	}
 }
 
 // wakeLocked wakes every WaitFor blocked on new records. Caller holds mu.
@@ -466,6 +641,11 @@ func (l *Log) ensureSegmentLocked(nextSeq uint64) error {
 			return fmt.Errorf("wal: %w", err)
 		}
 		l.syncs++
+		// Everything written so far lives in now-synced segments: commit
+		// waiters parked on the outgoing segment are covered by this sync.
+		l.flushedSeq = l.lastSeq
+		l.unflushed = 0
+		l.flushRoundDoneLocked()
 		if err := l.f.Close(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -533,6 +713,9 @@ func (l *Log) Sync() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.syncs++
+	l.flushedSeq = l.lastSeq
+	l.unflushed = 0
+	l.flushRoundDoneLocked()
 	return nil
 }
 
@@ -576,12 +759,14 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	st := Stats{
-		LastSeq:      l.lastSeq,
-		Segments:     len(l.segments),
-		Appends:      l.appends,
-		Syncs:        l.syncs,
-		TornDropped:  l.torn,
-		SegmentBytes: l.opts.SegmentBytes,
+		LastSeq:        l.lastSeq,
+		Segments:       len(l.segments),
+		Appends:        l.appends,
+		Syncs:          l.syncs,
+		TornDropped:    l.torn,
+		SegmentBytes:   l.opts.SegmentBytes,
+		GroupCommits:   l.groupCommits,
+		GroupedAppends: l.groupedAppends,
 	}
 	for _, seg := range l.segments {
 		st.Bytes += seg.size
@@ -600,13 +785,18 @@ func (l *Log) Close() error {
 	l.closed = true
 	l.wakeLocked() // blocked WaitFor callers observe the close
 	if l.f == nil {
+		l.flushRoundDoneLocked() // commit waiters observe the close too
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
 		l.f.Close()
+		l.flushRoundDoneLocked()
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.syncs++
+	l.flushedSeq = l.lastSeq
+	l.unflushed = 0
+	l.flushRoundDoneLocked()
 	err := l.f.Close()
 	l.f = nil
 	if err != nil {

@@ -264,6 +264,13 @@ func (s *System) PutPage(title, author, text, comment string) (*wiki.Page, error
 	return s.Repo.PutPage(title, author, text, comment)
 }
 
+// PutPages writes a batch of pages as one repository batch — one mutation
+// lock hold, one group-committed WAL fsync (smr.Repository.PutPages). Call
+// Refresh afterwards to make them searchable and ranked.
+func (s *System) PutPages(writes []smr.PageWrite) ([]*wiki.Page, error) {
+	return s.Repo.PutPages(writes)
+}
+
 // Refresh brings every derived structure up to date with the repository —
 // the equivalent of the original system's periodic re-rank ("Pagerank
 // scores need to be updated regularly as new metadata pages are
