@@ -29,6 +29,7 @@ func main() {
 	load := flag.String("load", "", "bulk-load a CSV file instead of the demo corpus")
 	sensors := flag.Int("sensors", 300, "demo corpus size")
 	recommend := flag.Bool("recommend", false, "also print recommendations from the top results")
+	explainPlan := flag.Bool("explain", false, "print the executed plan tree (estimated vs actual rows) before the results")
 	flag.Parse()
 
 	sys, err := sensormeta.New()
@@ -64,7 +65,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts := search.ExecOptions{SortBy: search.SortKey(*sortBy), Limit: *limit}
+		opts := search.ExecOptions{SortBy: search.SortKey(*sortBy), Limit: *limit, Explain: *explainPlan}
 		if *pageSize > 0 {
 			opts.Limit = *pageSize
 		}
@@ -75,6 +76,10 @@ func main() {
 				log.Fatal(err)
 			}
 			if page == 0 {
+				if res.Plan != nil {
+					fmt.Println(res.Plan.String())
+					fmt.Println()
+				}
 				fmt.Printf("%d match(es)\n", res.Matched)
 				fmt.Printf("%-40s %10s %12s\n", "page", "relevance", "rank")
 			}
@@ -115,7 +120,26 @@ func main() {
 	}
 
 	var results []search.Result
-	if *alpha >= 0 {
+	if *explainPlan {
+		// Explain mode routes the legacy flags through the shared executor
+		// (the same translation the legacy API endpoints use), which is the
+		// layer that can report its plan. Results are identical either way.
+		e, lerr := search.LegacyExpr(q)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		opts := search.ExecOptions{SortBy: q.SortBy, Limit: q.Limit, Explain: true}
+		if *alpha >= 0 {
+			opts.Alpha = alpha
+		}
+		res, qerr := sys.Query(e, opts)
+		if qerr != nil {
+			log.Fatal(qerr)
+		}
+		fmt.Println(res.Plan.String())
+		fmt.Println()
+		results = res.Results
+	} else if *alpha >= 0 {
 		results, err = sys.SearchFused(q, *alpha)
 	} else {
 		results, err = sys.Search(q)

@@ -1,0 +1,12 @@
+package planstats_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/planstats"
+)
+
+func TestPlanstats(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), planstats.Analyzer, "a")
+}

@@ -1,0 +1,36 @@
+// Package a is the planstats fixture: a Table with a Scan method, called
+// from a file that is not on the plan-execution allowlist.
+package a
+
+// Table mirrors the relational table's shape.
+type Table struct{ rows []int }
+
+// Scan visits every live row.
+func (t *Table) Scan(fn func(id int64, row int) bool) {
+	for i, r := range t.rows {
+		if !fn(int64(i), r) {
+			return
+		}
+	}
+}
+
+// Other has a Scan of its own; only Table's is pinned.
+type Other struct{}
+
+func (Other) Scan(fn func(id int64, row int) bool) {}
+
+// selectEverything is the shortcut the invariant forbids: row production
+// bypassing the plan tree.
+func selectEverything(t *Table) int {
+	n := 0
+	t.Scan(func(id int64, row int) bool { // want `direct Table.Scan outside plan execution`
+		n++
+		return true
+	})
+	return n
+}
+
+// otherScanIsFine: Scan methods on unrelated types are not the idiom.
+func otherScanIsFine(o Other) {
+	o.Scan(func(id int64, row int) bool { return true })
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis/detmarshal"
 	"repro/internal/analysis/errenvelope"
 	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/planstats"
 	"repro/internal/analysis/replayclock"
 	"repro/internal/analysis/sortedsetonly"
 )
@@ -28,6 +29,7 @@ func All() []*analysis.Analyzer {
 		detmarshal.Analyzer,
 		errenvelope.Analyzer,
 		lockguard.Analyzer,
+		planstats.Analyzer,
 		replayclock.Analyzer,
 		sortedsetonly.Analyzer,
 	}
@@ -58,6 +60,8 @@ var scopes = map[string][]string{
 	sortedsetonly.Analyzer.Name: nil,
 	// The HTTP surface.
 	errenvelope.Analyzer.Name: {"repro/internal/server"},
+	// The SELECT planner: every access path must be a plan node.
+	planstats.Analyzer.Name: {"repro/internal/relational"},
 	// Library request paths that run under a caller's deadline.
 	ctxplumb.Analyzer.Name: {
 		"repro/internal/replica",

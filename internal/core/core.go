@@ -18,7 +18,9 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/explain"
 	"repro/internal/query"
+	"repro/internal/relational"
 	"repro/internal/search"
 	"repro/internal/smr"
 )
@@ -52,6 +54,11 @@ type CombinedQuery struct {
 	// (SPARQL, page variable, SQL, keywords, filter expression, user), so a
 	// cursor minted for one combined query cannot page another.
 	Cursor string
+	// Explain attaches a plan tree to the result: one node per part (the SQL
+	// part embeds the relational planner's tree, a driving filter part the
+	// search executor's) under the join. Pure observation — it never changes
+	// what executes or the cursor signature.
+	Explain bool
 }
 
 // Column is one output column of a combined result.
@@ -70,6 +77,9 @@ type Result struct {
 	// the rows after this page. Empty when this page exhausts the join (or
 	// Limit was 0).
 	NextCursor string
+	// Plan is the executed plan tree (only when CombinedQuery.Explain): the
+	// join root with one child per part, estimated versus actual rows.
+	Plan *explain.Node
 }
 
 // Hint tells the interface which visualization the paper's system would
@@ -145,6 +155,10 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 	type attrs map[string]string
 	// candidate sets per part; nil means "part absent".
 	var sets []map[string]attrs
+	var plan *explain.Node
+	if q.Explain {
+		plan = explain.New("CombinedJoin", "intersect on page, order=pagerank desc")
+	}
 	var extraCols []string
 	seenCol := map[string]bool{}
 	addCol := func(c string) {
@@ -195,10 +209,24 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 			}
 		}
 		sets = append(sets, set)
+		if plan != nil {
+			// No cost model reaches into the RDF store, so the SPARQL part
+			// reports only its actual candidate count.
+			n := explain.New("SPARQLPart", "?"+pageVar+" over RDF graph")
+			n.Act = len(set)
+			plan.Add(n)
+		}
 	}
 
 	if q.SQL != "" {
-		rs, err := m.repo.QuerySQL(q.SQL)
+		var rs *relational.ResultSet
+		var sqlPlan *explain.Node
+		var err error
+		if q.Explain {
+			rs, sqlPlan, err = m.repo.DB.QueryWith(q.SQL, relational.QueryOptions{Explain: true})
+		} else {
+			rs, err = m.repo.QuerySQL(q.SQL)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: SQL part: %w", err)
 		}
@@ -221,28 +249,68 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 			}
 		}
 		sets = append(sets, set)
+		if plan != nil {
+			n := explain.New("SQLPart", "first column joins on page title")
+			n.Act = len(set)
+			if sqlPlan != nil {
+				n.Est = sqlPlan.Est
+				n.Add(sqlPlan)
+			}
+			plan.Add(n)
+		}
 	}
 
+	// The keyword part is cost-based: it drives (a full-text search
+	// materializes its whole match set) only when its posting-size estimate
+	// undercuts every candidate set the other parts already produced.
+	// Otherwise the smaller set bounds the join and keywords degrade to a
+	// per-title probe applied during the join — same matches, same scores,
+	// never an enumeration of the posting lists.
+	var kwProbe func(string) (float64, bool)
+	var kwNode *explain.Node
 	if strings.TrimSpace(q.Keywords) != "" {
-		hits, err := m.engine.Search(search.Query{Keywords: q.Keywords, User: q.User})
-		if err != nil {
-			return nil, fmt.Errorf("core: keyword part: %w", err)
-		}
 		addCol("relevance")
-		set := map[string]attrs{}
-		for _, h := range hits {
-			set[h.Title] = attrs{"relevance": strconv.FormatFloat(h.Relevance, 'f', 4, 64)}
+		kwEst := m.engine.EstimateMatches(query.Keyword{Text: q.Keywords})
+		smallest := -1
+		for _, set := range sets {
+			if smallest < 0 || len(set) < smallest {
+				smallest = len(set)
+			}
 		}
-		sets = append(sets, set)
+		if smallest < 0 || kwEst <= smallest {
+			hits, err := m.engine.Search(search.Query{Keywords: q.Keywords, User: q.User})
+			if err != nil {
+				return nil, fmt.Errorf("core: keyword part: %w", err)
+			}
+			set := map[string]attrs{}
+			for _, h := range hits {
+				set[h.Title] = attrs{"relevance": strconv.FormatFloat(h.Relevance, 'f', 4, 64)}
+			}
+			sets = append(sets, set)
+			if plan != nil {
+				kwNode = explain.New("KeywordPart", "drives: full-text search")
+				kwNode.Est, kwNode.Act = kwEst, len(set)
+				plan.Add(kwNode)
+			}
+		} else {
+			kwProbe = m.engine.CompileScorer(q.Keywords, search.ModeAll)
+			if plan != nil {
+				kwNode = explain.New("KeywordPart",
+					fmt.Sprintf("probe: estimate %d exceeds smallest part %d", kwEst, smallest))
+				kwNode.Est = kwEst
+				plan.Add(kwNode)
+			}
+		}
 	}
 
 	// The structured filter: when it is the only part, its candidate-pruned
 	// execution produces the candidate set outright; otherwise it is
 	// applied as a per-title predicate during the join below.
 	filterInJoin := false
+	var filterNode *explain.Node
 	if q.Filter != nil {
 		if len(sets) == 0 {
-			res, err := m.engine.Execute(q.Filter, search.ExecOptions{User: q.User})
+			res, err := m.engine.Execute(q.Filter, search.ExecOptions{User: q.User, Explain: q.Explain})
 			if err != nil {
 				return nil, fmt.Errorf("core: filter part: %w", err)
 			}
@@ -251,10 +319,28 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 				set[r.Title] = attrs{}
 			}
 			sets = append(sets, set)
+			if plan != nil {
+				n := explain.New("FilterPart", "drives: candidate-pruned execution")
+				n.Act = len(set)
+				if res.Plan != nil {
+					n.Est = res.Plan.Est
+					n.Add(res.Plan)
+				}
+				plan.Add(n)
+			}
 		} else {
 			filterInJoin = true
+			if plan != nil {
+				filterNode = explain.New("FilterPart", "predicate during join")
+				plan.Add(filterNode)
+			}
 		}
 	}
+
+	// Intersect smallest set first — the cheapest probe order. Attribute
+	// keys are disjoint across parts (sparql.*, sql.*, relevance), so the
+	// merge order cannot change any cell.
+	sort.SliceStable(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
 
 	// Intersect candidate sets, merging attribute maps.
 	joined := sets[0]
@@ -282,14 +368,38 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 		filterMatch = m.engine.CompileMatcher(q.Filter)
 	}
 	titles := make([]string, 0, len(joined))
+	probeMatched, filterPassed := 0, 0
 	for title := range joined {
 		if !m.repo.ACL.CanRead(q.User, title) {
 			continue
 		}
-		if filterMatch != nil && !filterMatch(title) {
-			continue
+		if kwProbe != nil {
+			// The non-driving keyword part: score just this candidate. The
+			// formatting matches the driving path byte for byte.
+			score, ok := kwProbe(title)
+			if !ok {
+				continue
+			}
+			probeMatched++
+			joined[title]["relevance"] = strconv.FormatFloat(score, 'f', 4, 64)
+		}
+		if filterMatch != nil {
+			if !filterMatch(title) {
+				continue
+			}
+			filterPassed++
 		}
 		titles = append(titles, title)
+	}
+	if plan != nil {
+		if kwProbe != nil && kwNode != nil {
+			kwNode.Act = probeMatched
+		}
+		if filterNode != nil {
+			filterNode.Act = filterPassed
+		}
+		// The smallest part bounds the join, so it doubles as the estimate.
+		plan.Est, plan.Act = len(sets[0]), len(titles)
 	}
 	rowLess := func(scoreA float64, titleA string, scoreB float64, titleB string) bool {
 		if scoreA != scoreB {
@@ -317,7 +427,7 @@ func (m *Manager) Execute(q CombinedQuery) (*Result, error) {
 		})
 	}
 
-	res := &Result{Titles: titles, NextCursor: nextCursor}
+	res := &Result{Titles: titles, NextCursor: nextCursor, Plan: plan}
 	res.Columns = append(res.Columns, Column{Name: "page"})
 	for _, c := range extraCols {
 		res.Columns = append(res.Columns, Column{Name: c, Numeric: true})

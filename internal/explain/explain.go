@@ -1,0 +1,73 @@
+// Package explain holds the plan-tree node shared by every layer that can
+// describe how it executed a query: the relational planner, the search
+// executor and the combined-query join in core all render to the same
+// structure, so the server can return one JSON shape for ?explain=1 and the
+// CLI can print one text tree regardless of which engine produced it.
+package explain
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EstUnknown marks a node whose row count could not be estimated at plan
+// time (for example the SPARQL side of a combined query).
+const EstUnknown = -1
+
+// Node is one operator of an executed plan. Est is the planner's row
+// estimate (EstUnknown when the layer had no basis for one); Act is the
+// number of rows the operator actually produced.
+type Node struct {
+	Op       string  `json:"op"`
+	Detail   string  `json:"detail,omitempty"`
+	Est      int     `json:"estRows"`
+	Act      int     `json:"actRows"`
+	Children []*Node `json:"children,omitempty"`
+}
+
+// New returns a leafless node with an unknown estimate.
+func New(op, detail string) *Node {
+	return &Node{Op: op, Detail: detail, Est: EstUnknown, Act: 0}
+}
+
+// Add appends children and returns the node for chaining.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// String renders the tree deterministically, one operator per line with
+// box-drawing connectors, estimated and actual rows on every node:
+//
+//	Limit(limit=20) est=20 act=20
+//	└─ Sort(keys=[page ASC]) est=37 act=37
+//	   └─ IndexScan(annotations: property='measures') est=37 act=37
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, "", "", "")
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (n *Node) render(b *strings.Builder, prefix, connector, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(connector)
+	b.WriteString(n.Op)
+	if n.Detail != "" {
+		b.WriteString("(")
+		b.WriteString(n.Detail)
+		b.WriteString(")")
+	}
+	if n.Est == EstUnknown {
+		b.WriteString(" est=-")
+	} else {
+		fmt.Fprintf(b, " est=%d", n.Est)
+	}
+	fmt.Fprintf(b, " act=%d\n", n.Act)
+	for i, c := range n.Children {
+		if i == len(n.Children)-1 {
+			c.render(b, prefix+childPrefix, "└─ ", "   ")
+		} else {
+			c.render(b, prefix+childPrefix, "├─ ", "│  ")
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/explain"
 )
 
 // DB is an embedded relational database: a set of named tables guarded by a
@@ -13,6 +15,9 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// planner aggregates planning/execution counters; it carries its own
+	// mutex so read-locked queries can record concurrently.
+	planner plannerStats
 }
 
 // NewDB returns an empty database.
@@ -144,17 +149,84 @@ func (db *DB) Exec(sql string) (*ResultSet, error) {
 
 // Query is Exec restricted to SELECT; it exists for call-site clarity.
 func (db *DB) Query(sql string) (*ResultSet, error) {
+	rs, _, err := db.QueryWith(sql, QueryOptions{})
+	return rs, err
+}
+
+// QueryOptions tunes how a SELECT is planned and reported.
+type QueryOptions struct {
+	// ForceFallback compiles the written-order scan-everything baseline:
+	// no index access, no pushdown, no join reordering, always
+	// sort-after-materialize. It exists for planner ablation (benchmarks and
+	// the equivalence property test) and must return byte-identical results.
+	ForceFallback bool
+	// Explain attaches the executed plan tree (with actual row counts) to
+	// the result.
+	Explain bool
+}
+
+// QueryWith runs a SELECT with explicit planner options. The returned plan
+// tree is nil unless opts.Explain is set.
+func (db *DB) QueryWith(sql string, opts QueryOptions) (*ResultSet, *explain.Node, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
-		return nil, fmt.Errorf("relational: Query requires SELECT, got %T", stmt)
+		return nil, nil, fmt.Errorf("relational: Query requires SELECT, got %T", stmt)
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.execSelect(sel)
+	p, err := db.compileSelect(sel, opts.ForceFallback)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := db.runPlan(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !opts.Explain {
+		return rs, nil, nil
+	}
+	return rs, p.explainRoot, nil
+}
+
+// Explain plans and executes a SELECT, returning the plan tree with both
+// estimated and actual row counts per node.
+func (db *DB) Explain(sql string) (*explain.Node, error) {
+	_, plan, err := db.QueryWith(sql, QueryOptions{Explain: true})
+	return plan, err
+}
+
+// EstimateSelect compiles a SELECT without executing it and returns the
+// planner's estimated output row count. The combined-query layer uses it to
+// pick the cheapest driving side.
+func (db *DB) EstimateSelect(sql string) (int, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return 0, fmt.Errorf("relational: EstimateSelect requires SELECT, got %T", stmt)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, err := db.compileSelect(sel, false)
+	if err != nil {
+		return 0, err
+	}
+	if p.explainRoot.Est < 0 {
+		return 0, nil
+	}
+	return p.explainRoot.Est, nil
+}
+
+// PlannerStats snapshots the planner's activity counters and estimate-error
+// quantiles.
+func (db *DB) PlannerStats() PlannerStats {
+	return db.planner.snapshot()
 }
 
 func (db *DB) execInsert(s *InsertStmt) (*ResultSet, error) {

@@ -417,9 +417,12 @@ func evalScalarCall(ctx *evalContext, x *Call) (Value, error) {
 	return Value{}, fmt.Errorf("relational: unknown function %s", x.Name)
 }
 
-// groupState accumulates rows of one group and answers aggregate calls.
+// groupState accumulates the member rows of one group and answers aggregate
+// calls. Members are joined plan rows; bind positions a shared scratch
+// context at one member, so aggregation allocates no per-member contexts.
 type groupState struct {
-	rows []*evalContext // contexts of member rows
+	rows []jrow
+	bind func(jrow) *evalContext
 }
 
 func (g *groupState) value(call *Call) (Value, error) {
@@ -434,8 +437,8 @@ func (g *groupState) value(call *Call) (Value, error) {
 	}
 	var vals []Value
 	seen := make(map[string]bool)
-	for _, rc := range g.rows {
-		v, err := eval(rc, call.Args[0])
+	for _, jr := range g.rows {
+		v, err := eval(g.bind(jr), call.Args[0])
 		if err != nil {
 			return Value{}, err
 		}

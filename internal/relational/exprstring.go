@@ -1,0 +1,96 @@
+package relational
+
+import (
+	"strings"
+)
+
+// ExprString renders an expression back to deterministic SQL-ish text for
+// EXPLAIN details. Output depends only on the AST, so golden tests can pin
+// plan shapes byte-for-byte.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Literal:
+		writeLiteral(b, x.Val)
+	case *ColumnRef:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Name)
+	case *Binary:
+		b.WriteByte('(')
+		writeExpr(b, x.L)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		writeExpr(b, x.R)
+		b.WriteByte(')')
+	case *Unary:
+		if x.Op == "NOT" {
+			b.WriteString("NOT ")
+		} else {
+			b.WriteString(x.Op)
+		}
+		writeExpr(b, x.X)
+	case *InExpr:
+		writeExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, item := range x.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, item)
+		}
+		b.WriteByte(')')
+	case *IsNullExpr:
+		writeExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+	case *Call:
+		b.WriteString(strings.ToLower(x.Name))
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		}
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		b.WriteString("<expr>")
+	}
+}
+
+func writeLiteral(b *strings.Builder, v Value) {
+	if v.IsNull() {
+		b.WriteString("NULL")
+		return
+	}
+	if v.Type() == TypeText {
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(v.Text0(), "'", "''"))
+		b.WriteByte('\'')
+		return
+	}
+	b.WriteString(v.String())
+}

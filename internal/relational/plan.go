@@ -1,0 +1,778 @@
+package relational
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/explain"
+)
+
+// Plan node operator names. These are the vocabulary of EXPLAIN output and
+// are pinned by golden tests — rename deliberately.
+const (
+	opTableScan        = "TableScan"
+	opIndexScan        = "IndexScan"
+	opOrderedIndexScan = "OrderByIndex"
+	opHashJoin         = "HashJoin"
+	opNestedLoop       = "NestedLoop"
+	opFilter           = "Filter"
+	opRestoreOrder     = "RestoreOrder"
+	opProject          = "Project"
+	opGroupAggregate   = "GroupAggregate"
+	opDistinct         = "Distinct"
+	opSort             = "OrderBySort"
+	opLimit            = "Limit"
+)
+
+// planBind is one table slot of a select plan, in execution (join) order.
+// srcPos is the slot's position in the written FROM/JOIN order; it differs
+// from the slice index when the planner reordered joins.
+type planBind struct {
+	name   string
+	schema *Schema
+	table  *Table
+	srcPos int
+}
+
+// jrow is one joined row in flight: rows[i] belongs to plan bind slot i
+// (nil = the NULL-extended side of a LEFT JOIN), ids[i] is the row's table
+// id (-1 when NULL-extended). The ids exist so a reordered plan can restore
+// the canonical written-order emission before output.
+type jrow struct {
+	rows []Row
+	ids  []int64
+}
+
+// planNode produces joined rows. Each node of a plan runs exactly once per
+// query; run fills the node's explain Act count as a side effect.
+type planNode interface {
+	run(ex *planExec) ([]jrow, error)
+	enode() *explain.Node
+}
+
+// planExec is the per-execution state of one plan run: shared scratch eval
+// contexts, one per binding-prefix width, all over one backing array so
+// binding a prefix also positions the wider contexts.
+type planExec struct {
+	db   *DB
+	p    *selectPlan
+	all  []binding
+	ctxs []*evalContext // ctxs[w] has bindings over slots [0, w]
+}
+
+func newPlanExec(db *DB, p *selectPlan) *planExec {
+	all := make([]binding, len(p.binds))
+	for i, b := range p.binds {
+		all[i] = binding{name: b.name, schema: b.schema}
+	}
+	ctxs := make([]*evalContext, len(p.binds))
+	for w := range ctxs {
+		ctxs[w] = &evalContext{bindings: all[: w+1 : w+1]}
+	}
+	return &planExec{db: db, p: p, all: all, ctxs: ctxs}
+}
+
+// bind points the width-matched scratch context at jr's rows.
+func (ex *planExec) bind(jr jrow) *evalContext {
+	for i, r := range jr.rows {
+		ex.all[i].row = r
+	}
+	return ex.ctxs[len(jr.rows)-1]
+}
+
+// finishNode records a node's actual row count and feeds the planner's
+// estimate-quality sample.
+func (ex *planExec) finishNode(en *explain.Node, act int) {
+	en.Act = act
+	ex.db.planner.countNode(en.Op)
+	ex.db.planner.observe(en.Est, act)
+}
+
+// --- scan nodes ---
+
+// indexCond is one WHERE conjunct an index can answer: an equality lookup
+// or a (possibly half-open) range. est is the exact entry count at plan
+// time, which doubles as the access-path cost.
+type indexCond struct {
+	idx          *Index
+	eq           Value
+	isEq         bool
+	lo, hi       Value
+	hasLo, hasHi bool
+	est          int
+	desc         string
+}
+
+func (c *indexCond) lookup() []int64 {
+	if c.isEq {
+		return c.idx.Lookup(c.eq)
+	}
+	return c.idx.Range(c.lo, c.hasLo, c.hi, c.hasHi)
+}
+
+// scanNode produces the rows of one table slot: through an intersection of
+// index conjuncts when the planner found usable ones, a full scan
+// otherwise, with pushed-down single-table filters applied inline. Rows are
+// always emitted in ascending id order (the canonical order).
+type scanNode struct {
+	bind    int
+	table   *Table
+	conds   []indexCond // empty => full scan; else intersected, most selective first
+	filters []Expr      // pushed-down conjuncts; the top Filter re-checks the full WHERE
+	en      *explain.Node
+}
+
+func (sn *scanNode) enode() *explain.Node { return sn.en }
+
+func (sn *scanNode) run(ex *planExec) ([]jrow, error) {
+	ids, rows, err := sn.fetch(ex)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]jrow, len(rows))
+	for i := range rows {
+		out[i] = jrow{rows: rows[i : i+1 : i+1], ids: ids[i : i+1 : i+1]}
+	}
+	return out, nil
+}
+
+// fetch returns the slot's candidate (id, row) pairs in ascending id order.
+// It is the single place plan execution touches Table.Scan.
+func (sn *scanNode) fetch(ex *planExec) ([]int64, []Row, error) {
+	var ids []int64
+	var rows []Row
+	var fctx *evalContext
+	if len(sn.filters) > 0 {
+		b := ex.p.binds[sn.bind]
+		fctx = &evalContext{bindings: []binding{{name: b.name, schema: b.schema}}}
+	}
+	keep := func(row Row) (bool, error) {
+		for _, f := range sn.filters {
+			fctx.bindings[0].row = row
+			v, err := eval(fctx, f)
+			if err != nil {
+				return false, err
+			}
+			if v.IsNull() || !truthy(v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	if len(sn.conds) == 0 {
+		var scanErr error
+		sn.table.Scan(func(id int64, row Row) bool {
+			if fctx != nil {
+				ok, err := keep(row)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			}
+			ids = append(ids, id)
+			rows = append(rows, row)
+			return true
+		})
+		if scanErr != nil {
+			return nil, nil, scanErr
+		}
+		ex.finishNode(sn.en, len(rows))
+		return ids, rows, nil
+	}
+	cand := sn.conds[0].lookup()
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	for _, c := range sn.conds[1:] {
+		other := c.lookup()
+		sort.Slice(other, func(i, j int) bool { return other[i] < other[j] })
+		cand = intersectSorted(cand, other)
+		if len(cand) == 0 {
+			break
+		}
+	}
+	for _, id := range cand {
+		row, live := sn.table.Get(id)
+		if !live {
+			continue
+		}
+		if fctx != nil {
+			ok, err := keep(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		ids = append(ids, id)
+		rows = append(rows, row)
+	}
+	ex.finishNode(sn.en, len(rows))
+	return ids, rows, nil
+}
+
+// intersectSorted merges two ascending id slices into their intersection.
+func intersectSorted(a, b []int64) []int64 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// orderedScanNode walks a sorted index in ORDER BY direction, applying the
+// residual WHERE per row and stopping after the first limit+offset
+// survivors — the index-backed ORDER BY with LIMIT pushdown path. Equal
+// keys come out in ascending id order (what a stable sort over the
+// canonical scan would produce), and NULL keys participate exactly where
+// Compare sorts them (first ascending, last descending).
+type orderedScanNode struct {
+	bind  int
+	table *Table
+	idx   *Index
+	desc  bool
+	where Expr // full residual WHERE, may be nil
+	stop  int  // emit at most this many rows; -1 = all
+	en    *explain.Node
+}
+
+func (on *orderedScanNode) enode() *explain.Node { return on.en }
+
+func (on *orderedScanNode) run(ex *planExec) ([]jrow, error) {
+	b := ex.p.binds[on.bind]
+	var fctx *evalContext
+	if on.where != nil {
+		fctx = &evalContext{bindings: []binding{{name: b.name, schema: b.schema}}}
+	}
+	var out []jrow
+	var walkErr error
+	on.idx.Walk(on.desc, func(_ Value, ids []int64) bool {
+		for _, id := range ids {
+			row, live := on.table.Get(id)
+			if !live {
+				continue
+			}
+			if fctx != nil {
+				fctx.bindings[0].row = row
+				v, err := eval(fctx, on.where)
+				if err != nil {
+					walkErr = err
+					return false
+				}
+				if v.IsNull() || !truthy(v) {
+					continue
+				}
+			}
+			out = append(out, jrow{rows: []Row{row}, ids: []int64{id}})
+			if on.stop >= 0 && len(out) >= on.stop {
+				return false
+			}
+		}
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	ex.finishNode(on.en, len(out))
+	return out, nil
+}
+
+// --- join node ---
+
+// joinNode joins the accumulated left rows with one more table slot. With
+// hash=true it hashes one side (chosen by estimated size) on the equi-join
+// key; otherwise it nested-loops over the materialized right rows. conds
+// are residual join predicates checked per candidate pair, in order, with
+// AND short-circuit semantics.
+type joinNode struct {
+	left      planNode
+	right     *scanNode
+	leftOuter bool
+	hash      bool
+	probe     Expr // hash: evaluated over the left prefix
+	buildCol  int  // hash: key column position in the right table
+	buildLeft bool // hash the left side, probe with right rows
+	conds     []Expr
+	en        *explain.Node
+}
+
+func (jn *joinNode) enode() *explain.Node { return jn.en }
+
+func (jn *joinNode) run(ex *planExec) ([]jrow, error) {
+	lrows, err := jn.left.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	rids, rrows, err := jn.right.fetch(ex)
+	if err != nil {
+		return nil, err
+	}
+	var lw int // left width
+	if len(lrows) > 0 {
+		lw = len(lrows[0].rows)
+	} else {
+		lw = jn.right.bind // slots [0, bind) are bound on the left
+	}
+	fctx := ex.ctxs[lw] // full-width candidate context (shares ex.all)
+
+	extend := func(l jrow, row Row, id int64) jrow {
+		rows := make([]Row, lw+1)
+		copy(rows, l.rows)
+		rows[lw] = row
+		ids := make([]int64, lw+1)
+		copy(ids, l.ids)
+		ids[lw] = id
+		return jrow{rows: rows, ids: ids}
+	}
+	// pass checks the residual join predicates for the candidate row bound
+	// in fctx's last slot (the left prefix must already be bound).
+	pass := func() (bool, error) {
+		for _, c := range jn.conds {
+			v, err := eval(fctx, c)
+			if err != nil {
+				return false, err
+			}
+			if v.IsNull() || !truthy(v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var out []jrow
+	switch {
+	case jn.hash && !jn.buildLeft:
+		// Build over the right rows, probe with each left row. Matches are
+		// emitted in ascending right-id order, so written-order plans stay
+		// canonical. Numeric keys hash by their float64 spelling so int 2
+		// and float 2.0 join, as the = operator would.
+		buildIdx := make(map[string][]int32, len(rrows))
+		for i, row := range rrows {
+			v := row[jn.buildCol]
+			if !v.IsNull() {
+				k := joinKey(v)
+				buildIdx[k] = append(buildIdx[k], int32(i))
+			}
+		}
+		pctx := ex.ctxs[lw-1]
+		for _, l := range lrows {
+			ex.bindPrefix(l)
+			pv, err := eval(pctx, jn.probe)
+			if err != nil {
+				return nil, err
+			}
+			var matches []int32
+			if !pv.IsNull() {
+				matches = buildIdx[joinKey(pv)]
+			}
+			emitted := false
+			for _, ri := range matches {
+				ex.all[lw].row = rrows[ri]
+				ok, err := pass()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				out = append(out, extend(l, rrows[ri], rids[ri]))
+				emitted = true
+			}
+			if !emitted && jn.leftOuter {
+				out = append(out, extend(l, nil, -1))
+			}
+		}
+	case jn.hash && jn.buildLeft:
+		// Build over the (smaller) left rows keyed by the probe value,
+		// stream the right rows through. Emission is right-major, so the
+		// plan carries a RestoreOrder node downstream.
+		buildIdx := make(map[string][]int32, len(lrows))
+		pctx := ex.ctxs[lw-1]
+		for i, l := range lrows {
+			ex.bindPrefix(l)
+			pv, err := eval(pctx, jn.probe)
+			if err != nil {
+				return nil, err
+			}
+			if !pv.IsNull() {
+				k := joinKey(pv)
+				buildIdx[k] = append(buildIdx[k], int32(i))
+			}
+		}
+		var matched []bool
+		if jn.leftOuter {
+			matched = make([]bool, len(lrows))
+		}
+		for ri, row := range rrows {
+			v := row[jn.buildCol]
+			if v.IsNull() {
+				continue
+			}
+			for _, li := range buildIdx[joinKey(v)] {
+				ex.bindPrefix(lrows[li])
+				ex.all[lw].row = row
+				ok, err := pass()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				out = append(out, extend(lrows[li], row, rids[ri]))
+				if matched != nil {
+					matched[li] = true
+				}
+			}
+		}
+		for li := range matched {
+			if !matched[li] {
+				out = append(out, extend(lrows[li], nil, -1))
+			}
+		}
+	default:
+		// Nested loop over the materialized right rows: the table is
+		// fetched once, candidate contexts live in reused scratch storage,
+		// and only surviving pairs allocate an output row.
+		for _, l := range lrows {
+			ex.bindPrefix(l)
+			emitted := false
+			for ri, row := range rrows {
+				ex.all[lw].row = row
+				ok, err := pass()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				out = append(out, extend(l, row, rids[ri]))
+				emitted = true
+			}
+			if !emitted && jn.leftOuter {
+				out = append(out, extend(l, nil, -1))
+			}
+		}
+	}
+	ex.finishNode(jn.en, len(out))
+	return out, nil
+}
+
+// bindPrefix points the scratch binding array at a left-prefix row without
+// touching later slots.
+func (ex *planExec) bindPrefix(l jrow) {
+	for i, r := range l.rows {
+		ex.all[i].row = r
+	}
+}
+
+// --- filter / restore ---
+
+// filterNode applies the full residual WHERE. Pushed-down conjuncts are
+// re-checked here on purpose: the pushdowns are a pruning optimization, the
+// top filter is the semantic truth (including LEFT JOIN NULL extension).
+type filterNode struct {
+	child planNode
+	where Expr
+	en    *explain.Node
+}
+
+func (fn *filterNode) enode() *explain.Node { return fn.en }
+
+func (fn *filterNode) run(ex *planExec) ([]jrow, error) {
+	rows, err := fn.child.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	kept := rows[:0]
+	for _, jr := range rows {
+		ctx := ex.bind(jr)
+		v, err := eval(ctx, fn.where)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNull() && truthy(v) {
+			kept = append(kept, jr)
+		}
+	}
+	fn.en.Act = len(kept)
+	ex.db.planner.observe(fn.en.Est, len(kept))
+	return kept, nil
+}
+
+// restoreNode re-sorts surviving rows into the canonical written-order id
+// tuple (base table major). It exists so join reordering and build-side
+// swaps are invisible in results: every plan emits rows in the same order
+// the written-order plan would, byte for byte.
+type restoreNode struct {
+	child planNode
+	// slotOrder lists bind slots in written-source order, major to minor.
+	slotOrder []int
+	en        *explain.Node
+}
+
+func (rn *restoreNode) enode() *explain.Node { return rn.en }
+
+func (rn *restoreNode) run(ex *planExec) ([]jrow, error) {
+	rows, err := rn.child.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, slot := range rn.slotOrder {
+			ai, bi := rows[a].ids[slot], rows[b].ids[slot]
+			if ai != bi {
+				return ai < bi
+			}
+		}
+		return false
+	})
+	rn.en.Act = len(rows)
+	return rows, nil
+}
+
+// --- the compiled plan and its output stage ---
+
+// selectPlan is a compiled SELECT: a tree of jrow-producing nodes plus the
+// projection/grouping/ordering output stage, compiled once per statement
+// and executed once.
+type selectPlan struct {
+	stmt  *SelectStmt
+	binds []planBind
+	root  planNode
+
+	projExprs []Expr
+	colNames  []string
+	grouped   bool
+
+	// preOrdered marks a root that already emits rows in ORDER BY order
+	// (the OrderByIndex path), making the sort stage a no-op.
+	preOrdered bool
+
+	enProject  *explain.Node
+	enDistinct *explain.Node
+	enSort     *explain.Node
+	enLimit    *explain.Node
+
+	explainRoot *explain.Node
+}
+
+// slotOfWritten returns bind slots indexed by written source position.
+func (p *selectPlan) slotOfWritten() []int {
+	out := make([]int, len(p.binds))
+	for slot, b := range p.binds {
+		out[b.srcPos] = slot
+	}
+	return out
+}
+
+// runPlan executes a compiled plan. Callers hold at least a read lock.
+func (db *DB) runPlan(p *selectPlan) (*ResultSet, error) {
+	ex := newPlanExec(db, p)
+	jrows, err := p.root.run(ex)
+	if err != nil {
+		return nil, err
+	}
+	s := p.stmt
+
+	var outRows []Row
+	var orderKeys [][]Value
+
+	evalOrderKeys := func(ctx *evalContext, projected Row) ([]Value, error) {
+		keys := make([]Value, len(s.OrderBy))
+		for i, ok := range s.OrderBy {
+			// An ORDER BY key naming a projection alias sorts on the
+			// projected value.
+			if ref, isRef := ok.Expr.(*ColumnRef); isRef && ref.Table == "" {
+				found := false
+				for ci, cn := range p.colNames {
+					if strings.EqualFold(cn, ref.Name) {
+						keys[i] = projected[ci]
+						found = true
+						break
+					}
+				}
+				if found {
+					continue
+				}
+			}
+			v, err := eval(ctx, ok.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		return keys, nil
+	}
+
+	if p.grouped {
+		// Group rows by the GROUP BY key (one global group when absent).
+		// Members are stored as jrows; aggregate evaluation binds them
+		// through one shared scratch context instead of materializing a
+		// context per member row.
+		memberCtx := &evalContext{bindings: make([]binding, len(p.binds))}
+		for i, b := range p.binds {
+			memberCtx.bindings[i] = binding{name: b.name, schema: b.schema}
+		}
+		bindMember := func(jr jrow) *evalContext {
+			for i, r := range jr.rows {
+				memberCtx.bindings[i].row = r
+			}
+			return memberCtx
+		}
+		groups := make(map[string]*groupState)
+		var order []string
+		for _, jr := range jrows {
+			ctx := ex.bind(jr)
+			var kv []Value
+			for _, ge := range s.GroupBy {
+				v, err := eval(ctx, ge)
+				if err != nil {
+					return nil, err
+				}
+				kv = append(kv, v)
+			}
+			k := rowKey(kv)
+			g, ok := groups[k]
+			if !ok {
+				g = &groupState{bind: bindMember}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, jr)
+		}
+		if len(groups) == 0 && len(s.GroupBy) == 0 {
+			// Aggregates over an empty input still yield one row.
+			groups[""] = &groupState{bind: bindMember}
+			order = append(order, "")
+		}
+		slotOf := p.slotOfWritten()
+		for _, k := range order {
+			g := groups[k]
+			// Representative row context for non-aggregate expressions. An
+			// empty group binds only the written base table with a NULL
+			// row, as the pre-planner executor did.
+			var gctx *evalContext
+			if len(g.rows) > 0 {
+				rep := g.rows[0]
+				bs := make([]binding, len(p.binds))
+				for i, b := range p.binds {
+					bs[i] = binding{name: b.name, schema: b.schema, row: rep.rows[i]}
+				}
+				gctx = &evalContext{bindings: bs, group: g}
+			} else {
+				base := p.binds[slotOf[0]]
+				gctx = &evalContext{bindings: []binding{{name: base.name, schema: base.schema}}, group: g}
+			}
+			if s.Having != nil {
+				v, err := eval(gctx, s.Having)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !truthy(v) {
+					continue
+				}
+			}
+			row := make(Row, len(p.projExprs))
+			for i, e := range p.projExprs {
+				v, err := eval(gctx, e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			outRows = append(outRows, row)
+			if len(s.OrderBy) > 0 {
+				keys, err := evalOrderKeys(gctx, row)
+				if err != nil {
+					return nil, err
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+		}
+	} else {
+		for _, jr := range jrows {
+			ctx := ex.bind(jr)
+			row := make(Row, len(p.projExprs))
+			for i, e := range p.projExprs {
+				v, err := eval(ctx, e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			outRows = append(outRows, row)
+			if len(s.OrderBy) > 0 {
+				keys, err := evalOrderKeys(ctx, row)
+				if err != nil {
+					return nil, err
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+		}
+	}
+	p.enProject.Act = len(outRows)
+
+	// DISTINCT.
+	if s.Distinct {
+		seen := make(map[string]bool)
+		dedup := outRows[:0]
+		var dedupKeys [][]Value
+		for i, r := range outRows {
+			k := rowKey(r)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dedup = append(dedup, r)
+			if len(orderKeys) > 0 {
+				dedupKeys = append(dedupKeys, orderKeys[i])
+			}
+		}
+		outRows = dedup
+		if len(orderKeys) > 0 {
+			orderKeys = dedupKeys
+		}
+		p.enDistinct.Act = len(outRows)
+	}
+
+	// ORDER BY (skipped when the root already emits in order).
+	if len(s.OrderBy) > 0 && !p.preOrdered && len(outRows) > 1 {
+		desc := make([]bool, len(s.OrderBy))
+		for i, okey := range s.OrderBy {
+			desc[i] = okey.Desc
+		}
+		sortRowsWithKeys(outRows, orderKeys, desc)
+	}
+	if p.enSort != nil {
+		p.enSort.Act = len(outRows)
+	}
+
+	// OFFSET / LIMIT.
+	if s.HasOffset {
+		if s.Offset >= len(outRows) {
+			outRows = nil
+		} else {
+			outRows = outRows[s.Offset:]
+		}
+	}
+	if s.HasLimit && s.Limit < len(outRows) {
+		outRows = outRows[:s.Limit]
+	}
+	if p.enLimit != nil {
+		p.enLimit.Act = len(outRows)
+	}
+
+	return &ResultSet{Columns: p.colNames, Rows: outRows}, nil
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/explain"
 	"repro/internal/query"
 	"repro/internal/sortedset"
 	"repro/internal/wiki"
@@ -46,6 +47,9 @@ type ExecOptions struct {
 	// expression's match set is exactly index-derivable — the ablation
 	// baseline BenchmarkFacetIndexVsStream compares against.
 	DisableFacetIndex bool
+	// Explain attaches a plan tree to the result: per-shard enumeration
+	// strategy with the index's match estimate against the actual counts.
+	Explain bool
 }
 
 // ExecResult is the outcome of executing a query expression.
@@ -62,6 +66,10 @@ type ExecResult struct {
 	// NextCursor is the opaque cursor for the page after this one; empty
 	// when this page exhausts the matching set (or Limit was 0).
 	NextCursor string
+	// Plan is the executed plan tree (only when ExecOptions.Explain): one
+	// child per shard showing the enumeration strategy chosen there,
+	// estimated versus actual rows on every node.
+	Plan *explain.Node
 }
 
 // kwMatchers caches compiled keyword matchers per (text, mode) for one
@@ -318,6 +326,7 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		maxRank  float64
 		kws      *kwMatchers
 		exact    bool
+		plan     *explain.Node
 	}
 
 	run := func(si int) *shardOut {
@@ -327,6 +336,21 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		props, facets := facetAccumulators(opts.Facets)
 		so.facets = facets
 		planned := query.Reorder(norm, estimator{meta: sh.meta, ix: sh.index, n: corpusN})
+		// attachPlan records this shard's plan node: the index's match
+		// estimate against the actual match count, with one child naming the
+		// enumeration strategy and how many candidates it streamed.
+		attachPlan := func(op, detail string, scanned int) {
+			if !opts.Explain {
+				return
+			}
+			n := explain.New("SearchShard", fmt.Sprintf("partition %d/%d", si, len(shards)))
+			n.Est = query.Estimate(planned, estimator{meta: sh.meta, ix: sh.index, n: corpusN})
+			n.Act = so.matched
+			strat := explain.New(op, detail)
+			strat.Act = scanned
+			n.Add(strat)
+			so.plan = n
+		}
 
 		// Exact-set fast path: a keyword-free expression whose match set
 		// the metaIndex derives exactly has Matched and every facet
@@ -350,6 +374,7 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 		}
 		if opts.CountOnly && so.exact {
 			so.matched = len(exact)
+			attachPlan("ExactSet", "index-derived match set", len(exact))
 			return so
 		}
 
@@ -435,8 +460,10 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 			for _, t := range exact {
 				visit(t, 0, false)
 			}
+			attachPlan("ExactSet", "index-derived match set", len(exact))
 		} else {
-			e.enumerate(sh, planned, titles, driver, hasDriverLeaf, opts.DisablePruning, visit)
+			op, detail, scanned := e.enumerate(sh, planned, titles, driver, hasDriverLeaf, opts.DisablePruning, visit)
+			attachPlan(op, detail, scanned)
 		}
 		if sel != nil {
 			so.results = sel.sorted()
@@ -470,6 +497,28 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 				mergedFacets[p][v] += n
 			}
 		}
+	}
+	if opts.Explain {
+		detail := fmt.Sprintf("shards=%d sort=%s", len(shards), key)
+		if order != "" {
+			detail += " " + string(order)
+		}
+		if fusing {
+			detail += " alpha-fused"
+		}
+		root := explain.New("Search", detail)
+		est := 0
+		for _, so := range outs {
+			if so.plan != nil {
+				est += so.plan.Est
+				root.Add(so.plan)
+			}
+		}
+		if est > corpusN {
+			est = corpusN
+		}
+		root.Est, root.Act = est, res.Matched
+		res.Plan = root
 	}
 	if opts.CountOnly {
 		return res, nil
@@ -597,7 +646,11 @@ func (e *Engine) Execute(expr query.Expr, opts ExecOptions) (*ExecResult, error)
 //
 // titles supplies the shard's sorted title partition, memoized by the
 // caller; every strategy therefore stays within the shard's own universe.
-func (e *Engine) enumerate(sh *engineShard, planned query.Expr, titles func() []string, kw query.Keyword, kwOK, noPrune bool, visit func(title string, driverScore float64, hasDriver bool)) {
+//
+// The return values name the strategy taken (a plan-node op and detail) and
+// how many candidate titles it streamed to visit — the EXPLAIN surface's
+// record of which rung of the ladder actually ran.
+func (e *Engine) enumerate(sh *engineShard, planned query.Expr, titles func() []string, kw query.Keyword, kwOK, noPrune bool, visit func(title string, driverScore float64, hasDriver bool)) (op, detail string, scanned int) {
 	ix, meta := sh.index, sh.meta
 	mode := ModeAll
 	if kw.Any {
@@ -614,27 +667,30 @@ func (e *Engine) enumerate(sh *engineShard, planned query.Expr, titles func() []
 				for _, t := range cands {
 					visit(t, 0, false)
 				}
-				return
+				return "Candidates", "structural posting intersection", len(cands)
 			}
 		}
 	}
 	if kwOK {
-		for _, h := range ix.Hits(kw.Text, mode) {
+		hits := ix.Hits(kw.Text, mode)
+		for _, h := range hits {
 			visit(h.ID, h.Score, true)
 		}
-		return
+		return "KeywordDriver", fmt.Sprintf("%q postings", kw.Text), len(hits)
 	}
 	if !noPrune {
 		if union, ok := orUnion(planned, ix, meta, titles); ok {
 			for _, t := range union {
 				visit(t, 0, false)
 			}
-			return
+			return "OrUnion", "posting-set union", len(union)
 		}
 	}
-	for _, t := range titles() {
+	ts := titles()
+	for _, t := range ts {
 		visit(t, 0, false)
 	}
+	return "CorpusScan", "all shard titles", len(ts)
 }
 
 // orUnion derives a superset title set for a top-level Or whose branches
@@ -707,6 +763,55 @@ func (e *Engine) CompileMatcher(expr query.Expr) func(title string) bool {
 		}
 		t := page.Title.String()
 		return query.Matches(expr, docView{page: page, title: t, kws: kws[shardOf(t, len(kws))]})
+	}
+}
+
+// EstimateMatches returns the index's estimate of how many pages match the
+// expression — posting-list sizes combined by the query's shape, never an
+// enumeration, so it costs O(leaves). The combined-query planner compares
+// it against the other parts' candidate-set sizes to pick the cheapest
+// driving side for the keyword part.
+func (e *Engine) EstimateMatches(expr query.Expr) int {
+	if expr == nil {
+		expr = query.All{}
+	}
+	norm := query.Normalize(expr)
+	e.mu.RLock()
+	shards := e.shards
+	e.mu.RUnlock()
+	n := e.repo.Wiki.Len()
+	total := 0
+	for _, sh := range shards {
+		total += query.Estimate(norm, estimator{meta: sh.meta, ix: sh.index, n: n})
+		if total >= n {
+			return n
+		}
+	}
+	return total
+}
+
+// CompileScorer returns a per-title relevance probe for a keyword query —
+// what the combined-query join uses when another part already bounds the
+// candidate set, so scoring one title must not enumerate the keyword's full
+// posting lists. The score for a matching title is identical to the
+// Relevance a full Search for the same keywords would report, because both
+// reduce to the same compiled DocMatcher; non-matching and unknown titles
+// return ok=false. ACL is not applied here; callers filter principals
+// themselves.
+func (e *Engine) CompileScorer(text string, mode Mode) func(title string) (float64, bool) {
+	e.mu.RLock()
+	shards := e.shards
+	e.mu.RUnlock()
+	kws := make([]*kwMatchers, len(shards))
+	for i, sh := range shards {
+		kws[i] = newKwMatchers(sh.index)
+	}
+	any := mode == ModeAny
+	return func(title string) (float64, bool) {
+		if _, ok := e.repo.Wiki.Get(title); !ok {
+			return 0, false
+		}
+		return kws[shardOf(title, len(kws))].score(title, text, any)
 	}
 }
 

@@ -21,7 +21,9 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/geo"
+	"repro/internal/relational"
 	"repro/internal/search"
 	"repro/internal/smr"
 	"repro/internal/tagging"
@@ -573,10 +575,12 @@ func (s *Server) handleAdminStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Refresh       sensormeta.RefreshStats `json:"refresh"`
 		AutoRefreshMs int64                   `json:"autoRefreshMs"`
+		Planner       relational.PlannerStats `json:"planner"`
 		Replica       any                     `json:"replica,omitempty"`
 	}{
 		Refresh:       s.sys.Stats(),
 		AutoRefreshMs: s.opts.AutoRefresh.Milliseconds(),
+		Planner:       s.sys.PlannerStats(),
 		Replica:       s.replicaStatsBlock(),
 	})
 }
@@ -617,6 +621,18 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		httpError(w, http.StatusBadRequest, "sql: q parameter required")
+		return
+	}
+	if explainRequested(r) {
+		rs, plan, err := s.sys.QuerySQLExplained(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "sql: %v", err)
+			return
+		}
+		writeJSON(w, struct {
+			*sensormeta.SQLResult
+			Plan *explain.Node `json:"plan"`
+		}{rs, plan})
 		return
 	}
 	rs, err := s.sys.QuerySQL(q)

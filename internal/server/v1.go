@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/query"
 	"repro/internal/search"
 	"repro/internal/smr"
@@ -210,6 +211,7 @@ func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
 		SortBy: key, Order: order, Alpha: in.Alpha,
 		Limit: in.Limit, Cursor: in.Cursor,
 		User: in.User, Facets: facets,
+		Explain: explainRequested(r),
 	})
 	if err != nil {
 		writeV1QueryError(w, err)
@@ -225,16 +227,29 @@ func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
 		Results    []resultItem              `json:"results"`
 		Facets     map[string]map[string]int `json:"facets,omitempty"`
 		NextCursor string                    `json:"nextCursor,omitempty"`
+		Plan       *explain.Node             `json:"plan,omitempty"`
 	}{
 		Count:      len(res.Results),
 		Matched:    res.Matched,
 		Results:    s.resultItems(res.Results, snippetFor),
 		NextCursor: res.NextCursor,
+		Plan:       res.Plan,
 	}
 	if len(facets) > 0 {
 		out.Facets = res.Facets
 	}
 	writeJSON(w, out)
+}
+
+// explainRequested reports whether the request asked for a plan tree via
+// the ?explain=1 query parameter (the body shapes stay unchanged, so
+// explain can be toggled on any existing request without editing it).
+func explainRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 // handleV1PagesBatch serves POST /api/v1/pages:batch: a slice of page
@@ -326,6 +341,7 @@ func (s *Server) handleV1Combined(w http.ResponseWriter, r *http.Request) {
 		User:     in.User,
 		Limit:    in.Limit,
 		Cursor:   in.Cursor,
+		Explain:  explainRequested(r),
 	}
 	if len(in.Filter) > 0 && string(in.Filter) != "null" {
 		expr, err := query.Unmarshal(in.Filter)
@@ -345,9 +361,10 @@ func (s *Server) handleV1Combined(w http.ResponseWriter, r *http.Request) {
 		cols[i] = c.Name
 	}
 	writeJSON(w, struct {
-		Hint       string     `json:"hint"`
-		Columns    []string   `json:"columns"`
-		Rows       [][]string `json:"rows"`
-		NextCursor string     `json:"nextCursor,omitempty"`
-	}{Hint: string(res.Hint), Columns: cols, Rows: res.Rows, NextCursor: res.NextCursor})
+		Hint       string        `json:"hint"`
+		Columns    []string      `json:"columns"`
+		Rows       [][]string    `json:"rows"`
+		NextCursor string        `json:"nextCursor,omitempty"`
+		Plan       *explain.Node `json:"plan,omitempty"`
+	}{Hint: string(res.Hint), Columns: cols, Rows: res.Rows, NextCursor: res.NextCursor, Plan: res.Plan})
 }

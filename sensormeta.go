@@ -65,11 +65,13 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/geo"
 	"repro/internal/pagerank"
 	"repro/internal/query"
 	"repro/internal/ranking"
 	"repro/internal/recommend"
+	"repro/internal/relational"
 	"repro/internal/search"
 	"repro/internal/smr"
 	"repro/internal/sparql"
@@ -522,6 +524,31 @@ func (s *System) QuerySQL(sql string) (*SQLResult, error) {
 type SQLResult struct {
 	Columns []string
 	Rows    [][]string
+}
+
+// QuerySQLExplained runs SQL like QuerySQL and additionally returns the
+// relational planner's executed plan tree (estimated versus actual rows per
+// node) — one execution serves both.
+func (s *System) QuerySQLExplained(sql string) (*SQLResult, *explain.Node, error) {
+	rs, plan, err := s.Repo.DB.QueryWith(sql, relational.QueryOptions{Explain: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &SQLResult{Columns: rs.Columns}
+	for _, row := range rs.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out, plan, nil
+}
+
+// PlannerStats snapshots the relational planner's activity counters and
+// estimate-error quantiles for the admin stats surface.
+func (s *System) PlannerStats() relational.PlannerStats {
+	return s.Repo.DB.PlannerStats()
 }
 
 // QuerySPARQL runs SPARQL against the RDF projection.
